@@ -1,0 +1,78 @@
+// Shared infrastructure for the figure-reproduction benchmarks: aligned
+// table printing, warmup/measure sweep runners, and stat collection.
+// Each bench binary reproduces one figure of the paper and prints the
+// same series the figure plots (see EXPERIMENTS.md for the mapping).
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "multiring/merge_learner.h"
+#include "multiring/sim_deployment.h"
+#include "ringpaxos/learner.h"
+#include "ringpaxos/proposer.h"
+
+namespace mrp::bench {
+
+inline bool QuickMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
+  }
+  return std::getenv("MRP_BENCH_QUICK") != nullptr;
+}
+
+// --csv <dir>: time-series benches additionally write plottable CSV
+// files into <dir> (one file per sub-experiment).
+inline const char* CsvDir(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& what) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n%s\n", title.c_str(), what.c_str());
+  std::printf("================================================================\n");
+}
+
+// One throughput/latency measurement of a deployment.
+struct Measurement {
+  double mbps = 0;       // aggregated application goodput
+  double msg_per_s = 0;
+  double latency_ms = 0; // trimmed mean (5% highest discarded, as in the paper)
+  double max_cpu = 0;    // most-loaded node, in [0,1]
+};
+
+// Attaches `clients` closed-loop proposers to ring `ring_idx`.
+inline void AddClosedLoopClients(multiring::SimDeployment& d, int ring_idx,
+                                 int clients, std::size_t window,
+                                 std::uint32_t payload) {
+  for (int i = 0; i < clients; ++i) {
+    ringpaxos::ProposerConfig pc;
+    pc.max_outstanding = window;
+    pc.payload_size = payload;
+    d.AddProposer(ring_idx, pc);
+  }
+}
+
+// Attaches an open-loop Poisson proposer with a step schedule.
+inline ringpaxos::Proposer* AddOpenLoopClient(
+    multiring::SimDeployment& d, int ring_idx,
+    std::vector<ringpaxos::ProposerConfig::RatePoint> schedule,
+    std::uint32_t payload, std::size_t window = 0, double osc_amplitude = 0,
+    Duration osc_period = Seconds(20)) {
+  ringpaxos::ProposerConfig pc;
+  pc.schedule = std::move(schedule);
+  pc.payload_size = payload;
+  pc.max_outstanding = window;
+  pc.osc_amplitude = osc_amplitude;
+  pc.osc_period = osc_period;
+  return d.AddProposer(ring_idx, pc);
+}
+
+}  // namespace mrp::bench

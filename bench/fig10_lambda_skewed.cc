@@ -1,0 +1,27 @@
+// Figure 10: the effect of lambda when ring 1 multicasts at twice the
+// rate of ring 2 (both constant, stepped every 20 s). When the fast
+// ring's consensus rate exceeds lambda, the slow ring cannot be padded
+// to match and the learner's buffer grows until it overflows — the
+// learner halts (it cannot deliver buffered messages while new ones
+// keep arriving). Only a lambda above the fastest ring's rate survives.
+#include "bench/lambda_common.h"
+
+int main(int argc, char** argv) {
+  using namespace mrp;         // NOLINT
+  using namespace mrp::bench;  // NOLINT
+
+  const bool quick = QuickMode(argc, argv);
+  LambdaScenario sc;
+  sc.ring1 = Steps({100, 200, 300, 400, 500});
+  sc.ring2 = Steps({50, 100, 150, 200, 250});
+  sc.max_buffer_msgs = 20000;
+  sc.total = quick ? Seconds(40) : Seconds(100);
+
+  PrintHeader("Figure 10 - lambda with ring1 at twice ring2's rate",
+              "lambda=1000/s overflows early; 5000/s overflows once ring1\n"
+              "exceeds ~330 Mbps; 9000/s handles every step.");
+  for (double lambda : {1000.0, 5000.0, 9000.0}) RunLambdaSeries(lambda, sc, CsvDir(argc, argv), "fig10");
+  std::printf("Expected shape: buffer overflow halts the learner for small\n"
+              "lambda (delivery -> 0); lambda=9000 stays stable.\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 11: the effect of lambda when the submission rates oscillate
+// over time (sinusoidal, +-40%) around means where ring 1 is twice
+// ring 2. The oscillation peaks push the fast ring's instantaneous
+// consensus rate above 9000/s, so only lambda = 12000/s keeps the
+// learner stable — skipping up to 12000 instances per second, i.e. up
+// to ~750 Mbps of logical stream, matching the paper's observation.
+#include "bench/lambda_common.h"
+
+int main(int argc, char** argv) {
+  using namespace mrp;         // NOLINT
+  using namespace mrp::bench;  // NOLINT
+
+  const bool quick = QuickMode(argc, argv);
+  LambdaScenario sc;
+  sc.ring1 = Steps({100, 200, 300, 400, 500});
+  sc.ring2 = Steps({50, 100, 150, 200, 250});
+  sc.osc_amplitude = 0.4;
+  sc.osc_period = Seconds(10);
+  sc.max_buffer_msgs = 20000;
+  sc.total = quick ? Seconds(40) : Seconds(100);
+
+  PrintHeader("Figure 11 - lambda with oscillating rates (avg 2:1)",
+              "Same averages as Figure 10 but rates oscillate +-40% with a\n"
+              "10 s period; only lambda=12000/s absorbs the peaks.");
+  for (double lambda : {5000.0, 9000.0, 12000.0}) RunLambdaSeries(lambda, sc, CsvDir(argc, argv), "fig11");
+  std::printf("Expected shape: 5000 overflows mid-run, 9000 overflows at the\n"
+              "last step's peaks, 12000 stays stable.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Figure 12: the effect of discontinued communication (a coordinator
+// failure) on a Multi-Ring Paxos learner. Two rings at ~4000 msg/s each
+// (~500 Mbps delivered). At t = 20 s ring 1's coordinator is stopped;
+// the learner keeps receiving from ring 2 but cannot run its
+// deterministic merge, so DELIVERY throughput drops to zero, and ring
+// 2's ingress decays because the stalled learner stops acknowledging
+// and the windowed proposer throttles. At t = 23 s the coordinator
+// resumes, notices no instances were decided during the outage, and
+// proposes one bulk skip — the learner drains its buffer in a burst (the
+// paper measures a momentary 4250 Mbps peak) and the system returns to
+// steady state.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace mrp;         // NOLINT
+  using namespace mrp::bench;  // NOLINT
+  using multiring::DeploymentOptions;
+  using multiring::SimDeployment;
+
+  const bool quick = QuickMode(argc, argv);
+  const Duration total = quick ? Seconds(30) : Seconds(40);
+  const Duration down_at = Seconds(20);
+  const Duration up_at = Seconds(23);
+
+  DeploymentOptions opts;
+  opts.n_rings = 2;
+  opts.lambda_per_sec = 9000;
+  opts.delta = Millis(1);
+  // Figure 12 restarts the same coordinator; disable fail-over.
+  opts.suspect_after = Seconds(600);
+  SimDeployment d(opts);
+  auto* learner = d.AddMergeLearner({0, 1}, 1, /*max_buffer=*/0,
+                                    /*send_delivery_acks=*/true);
+  for (int r = 0; r < 2; ++r) {
+    ringpaxos::ProposerConfig pc;
+    pc.schedule = {{Seconds(0), 4000.0}};
+    pc.payload_size = 8 * 1024;
+    // Windowed open loop: ~1.5 s of traffic may be unacknowledged; the
+    // stalled learner therefore throttles the live ring.
+    pc.max_outstanding = 6000;
+    pc.retry_timeout = Seconds(1);
+    d.AddProposer(r, pc);
+  }
+  d.Start();
+
+  PrintHeader("Figure 12 - coordinator failure and restart",
+              "Ring 1's coordinator pauses at t=20s and resumes at t=23s.\n"
+              "Left: receiving throughput at the learner; right: delivery.");
+  std::printf("%6s %8s %8s | %9s %9s %9s %10s\n", "t(s)", "rx1Mbps", "rx2Mbps",
+              "del1Mbps", "del2Mbps", "delTotal", "buffered");
+
+  bool downed = false, resumed = false;
+  for (TimePoint t{0}; t < total; t += Seconds(1)) {
+    if (!downed && t >= down_at) {
+      d.coordinator_node(0)->SetDown(true);
+      downed = true;
+    }
+    if (!resumed && t >= up_at) {
+      d.coordinator_node(0)->SetDown(false);
+      resumed = true;
+    }
+    d.RunFor(Seconds(1));
+    double rx[2], del[2];
+    for (std::size_t g = 0; g < 2; ++g) {
+      rx[g] = learner->stats(g).received.TakeWindow().Mbps(Seconds(1));
+      del[g] = learner->stats(g).delivered.TakeWindow().Mbps(Seconds(1));
+    }
+    std::printf("%6lld %8.1f %8.1f | %9.1f %9.1f %9.1f %10zu\n",
+                static_cast<long long>((t + Seconds(1)).count() / 1000000000),
+                rx[0], rx[1], del[0], del[1], del[0] + del[1],
+                learner->buffered_msgs());
+  }
+  std::printf("\nExpected shape: at t=20s rx1 and ALL delivery drop to ~0 while\n"
+              "rx2 decays (no acks -> throttling); at t=23s a catch-up skip\n"
+              "drains the buffer (delivery spike well above steady state),\n"
+              "then ~500 Mbps steady state resumes.\n"
+              "\nNote: a small standing buffer remains after recovery. The live\n"
+              "ring's retransmission wave during the outage exceeded lambda,\n"
+              "advancing its logical schedule ahead of the other ring's for\n"
+              "good — Algorithm 1 line 19 (prev_k <- k) never repays rate\n"
+              "excursions above lambda. Sizing lambda for worst-case bursts\n"
+              "avoids this.\n");
+  return 0;
+}

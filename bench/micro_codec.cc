@@ -1,0 +1,78 @@
+// Micro-benchmarks of the wire codec: encode/decode cost for the hot
+// messages (P2A with an 8 kB batch, P2B, decisions).
+#include <benchmark/benchmark.h>
+
+#include "net/codec.h"
+#include "paxos/value.h"
+#include "ringpaxos/messages.h"
+
+namespace {
+
+using namespace mrp;  // NOLINT
+
+paxos::ClientMsg MakeMsg(std::size_t payload) {
+  paxos::ClientMsg m;
+  m.group = 1;
+  m.proposer = 2;
+  m.seq = 3;
+  m.payload.assign(payload, 0x5a);
+  m.payload_size = static_cast<std::uint32_t>(payload);
+  return m;
+}
+
+ringpaxos::P2A MakeP2A(std::size_t payload) {
+  return ringpaxos::P2A{1, 2, 1000, 42,
+                        paxos::Value::Batch({MakeMsg(payload)}),
+                        {{998, 40}, {999, 41}},
+                        {0, 1}};
+}
+
+void BM_EncodeP2A(benchmark::State& state) {
+  const auto msg = MakeP2A(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    Bytes frame = net::EncodeMessage(msg);
+    bytes += frame.size();
+    benchmark::DoNotOptimize(frame);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_EncodeP2A)->Arg(512)->Arg(8 * 1024)->Arg(32 * 1024);
+
+void BM_DecodeP2A(benchmark::State& state) {
+  const Bytes frame = net::EncodeMessage(MakeP2A(static_cast<std::size_t>(state.range(0))));
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    MessagePtr msg = net::DecodeMessage(frame);
+    bytes += frame.size();
+    benchmark::DoNotOptimize(msg);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_DecodeP2A)->Arg(512)->Arg(8 * 1024)->Arg(32 * 1024);
+
+void BM_EncodeP2B(benchmark::State& state) {
+  const ringpaxos::P2B msg{1, 2, 1000, 42, 1};
+  for (auto _ : state) {
+    Bytes frame = net::EncodeMessage(msg);
+    benchmark::DoNotOptimize(frame);
+  }
+}
+BENCHMARK(BM_EncodeP2B);
+
+void BM_RoundtripDecision(benchmark::State& state) {
+  std::vector<ringpaxos::Decided> decided;
+  for (int i = 0; i < 128; ++i) {
+    decided.push_back({static_cast<InstanceId>(i), static_cast<ValueId>(i)});
+  }
+  const ringpaxos::DecisionMsg msg{1, decided};
+  for (auto _ : state) {
+    MessagePtr out = net::DecodeMessage(net::EncodeMessage(msg));
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_RoundtripDecision);
+
+}  // namespace
+
+BENCHMARK_MAIN();

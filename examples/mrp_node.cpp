@@ -1,0 +1,271 @@
+// Real-deployment node: runs one Multi-Ring Paxos role over UDP with
+// genuine ip-multicast. Launch one process per role to form a cluster on
+// a LAN (or on loopback):
+//
+//   ./mrp_node acceptor --id 0 --ring 0 --members 0,1
+//   ./mrp_node acceptor --id 1 --ring 0 --members 0,1
+//   ./mrp_node learner  --id 2 --ring 0 --members 0,1
+//   ./mrp_node proposer --id 3 --ring 0 --members 0,1 --rate 100
+//
+// With no arguments it runs a self-contained demo: a 2-ring cluster of
+// separate UDP endpoints inside this one process (same sockets and
+// codec a distributed deployment uses), for three seconds.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "multiring/merge_learner.h"
+#include "ringpaxos/learner.h"
+#include "ringpaxos/proposer.h"
+#include "ringpaxos/ring_node.h"
+#include "runtime/cluster_config.h"
+#include "runtime/node_runtime.h"
+
+using namespace mrp;  // NOLINT
+
+namespace {
+
+std::vector<NodeId> ParseIds(const std::string& csv) {
+  std::vector<NodeId> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    out.push_back(static_cast<NodeId>(std::stoul(csv.substr(pos, comma - pos))));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+ringpaxos::RingConfig MakeRing(RingId ring, std::vector<NodeId> members) {
+  ringpaxos::RingConfig rc;
+  rc.ring = ring;
+  rc.group = ring;
+  rc.data_channel = static_cast<ChannelId>(2 * ring);
+  rc.control_channel = static_cast<ChannelId>(2 * ring + 1);
+  rc.ring_members = std::move(members);
+  rc.lambda_per_sec = 1000;
+  return rc;
+}
+
+int RunRole(int argc, char** argv) {
+  const std::string role = argv[1];
+  NodeId id = 0;
+  RingId ring = 0;
+  std::vector<NodeId> members{0, 1};
+  double rate = 100;
+  int seconds = 10;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--id") id = static_cast<NodeId>(std::stoul(value));
+    else if (flag == "--ring") ring = static_cast<RingId>(std::stoul(value));
+    else if (flag == "--members") members = ParseIds(value);
+    else if (flag == "--rate") rate = std::stod(value);
+    else if (flag == "--seconds") seconds = std::stoi(value);
+  }
+  const auto rc = MakeRing(ring, members);
+
+  runtime::UdpTransport transport(id, {});
+  std::unique_ptr<Protocol> protocol;
+  if (role == "acceptor") {
+    transport.Subscribe(rc.data_channel);
+    transport.Subscribe(rc.control_channel);
+    protocol = std::make_unique<ringpaxos::RingNode>(rc);
+  } else if (role == "learner") {
+    transport.Subscribe(rc.data_channel);
+    transport.Subscribe(rc.control_channel);
+    ringpaxos::RingLearner::Options lo;
+    lo.learner.ring = rc;
+    lo.send_delivery_acks = true;
+    lo.on_deliver = [](const paxos::ClientMsg& m) {
+      std::printf("delivered: proposer=%u seq=%llu (%u bytes)\n", m.proposer,
+                  static_cast<unsigned long long>(m.seq), m.payload_size);
+    };
+    protocol = std::make_unique<ringpaxos::RingLearner>(std::move(lo));
+  } else if (role == "proposer") {
+    transport.Subscribe(rc.control_channel);
+    ringpaxos::ProposerConfig pc;
+    pc.ring = rc.ring;
+    pc.group = rc.group;
+    pc.coordinator = rc.ring_members[0];
+    pc.schedule = {{Seconds(0), rate}};
+    pc.payload_size = 1024;
+    protocol = std::make_unique<ringpaxos::Proposer>(pc);
+  } else {
+    std::fprintf(stderr, "unknown role '%s'\n", role.c_str());
+    return 2;
+  }
+
+  runtime::NodeRuntime node(id, std::move(protocol), transport);
+  transport.Start();
+  node.Start();
+  std::printf("%s %u running for %d s (ring %u, members", role.c_str(), id,
+              seconds, ring);
+  for (NodeId m : rc.ring_members) std::printf(" %u", m);
+  std::printf(")\n");
+  std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  node.Stop();
+  transport.Stop();
+  return 0;
+}
+
+// Config-file mode: one process per node id, roles from the file.
+int RunFromConfig(const std::string& path, NodeId id, int seconds) {
+  std::string error;
+  auto cfg = runtime::ClusterConfig::Load(path, &error);
+  if (!cfg) {
+    std::fprintf(stderr, "config error: %s\n", error.c_str());
+    return 2;
+  }
+  auto nit = cfg->nodes.find(id);
+  if (nit == cfg->nodes.end()) {
+    std::fprintf(stderr, "node %u not in config\n", id);
+    return 2;
+  }
+  const auto& node_cfg = nit->second;
+
+  runtime::UdpTransport transport(id, cfg->udp);
+  std::unique_ptr<Protocol> protocol;
+  if (node_cfg.acceptor_of) {
+    const auto& rc = cfg->rings.at(*node_cfg.acceptor_of);
+    transport.Subscribe(rc.data_channel);
+    transport.Subscribe(rc.control_channel);
+    protocol = std::make_unique<ringpaxos::RingNode>(rc);
+    std::printf("node %u: acceptor of ring %u\n", id, rc.ring);
+  } else if (node_cfg.learner) {
+    multiring::MergeLearner::Options mo;
+    mo.send_delivery_acks = node_cfg.learner->acks;
+    mo.on_deliver = [](GroupId g, const paxos::ClientMsg& m) {
+      static std::uint64_t count = 0;
+      if (++count % 100 == 0) {
+        std::printf("delivered %llu (latest: group %u seq %llu)\n",
+                    static_cast<unsigned long long>(count), g,
+                    static_cast<unsigned long long>(m.seq));
+      }
+    };
+    for (RingId r : node_cfg.learner->rings) {
+      ringpaxos::LearnerOptions lo;
+      lo.ring = cfg->rings.at(r);
+      mo.groups.push_back(lo);
+      transport.Subscribe(lo.ring.data_channel);
+      transport.Subscribe(lo.ring.control_channel);
+    }
+    protocol = std::make_unique<multiring::MergeLearner>(std::move(mo));
+    std::printf("node %u: learner of %zu groups\n", id,
+                node_cfg.learner->rings.size());
+  } else if (node_cfg.proposer) {
+    const auto& rc = cfg->rings.at(node_cfg.proposer->ring);
+    transport.Subscribe(rc.control_channel);
+    ringpaxos::ProposerConfig pc;
+    pc.ring = rc.ring;
+    pc.group = rc.group;
+    pc.coordinator = rc.ring_members[0];
+    pc.payload_size = node_cfg.proposer->payload;
+    if (node_cfg.proposer->rate > 0) {
+      pc.schedule = {{Seconds(0), node_cfg.proposer->rate}};
+      pc.max_outstanding = node_cfg.proposer->window;
+    } else {
+      pc.max_outstanding = node_cfg.proposer->window;
+    }
+    protocol = std::make_unique<ringpaxos::Proposer>(pc);
+    std::printf("node %u: proposer on ring %u\n", id, rc.ring);
+  } else {
+    std::fprintf(stderr, "node %u has no role\n", id);
+    return 2;
+  }
+
+  runtime::NodeRuntime node(id, std::move(protocol), transport);
+  transport.Start();
+  node.Start();
+  std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  node.Stop();
+  transport.Stop();
+  return 0;
+}
+
+int RunDemo() {
+  std::printf("mrp_node demo: 2 rings x 2 acceptors + merge learner + 2\n"
+              "proposers, every node a separate UDP endpoint with real\n"
+              "ip-multicast on loopback. Running for 3 seconds...\n\n");
+  runtime::UdpConfig udp;
+  udp.base_port = 48100;
+  udp.mcast_port_base = 48600;
+  udp.mcast_prefix = "239.255.83.";
+  runtime::LocalCluster cluster(runtime::LocalCluster::Kind::kUdp, udp);
+
+  std::vector<ringpaxos::RingConfig> rings;
+  for (RingId r = 0; r < 2; ++r) {
+    rings.push_back(MakeRing(r, {static_cast<NodeId>(2 * r),
+                                 static_cast<NodeId>(2 * r + 1)}));
+  }
+  for (const auto& rc : rings) {
+    for (int a = 0; a < 2; ++a) {
+      cluster.AddNode(std::make_unique<ringpaxos::RingNode>(rc),
+                      {rc.data_channel, rc.control_channel});
+    }
+  }
+  multiring::MergeLearner::Options mo;
+  mo.send_delivery_acks = true;
+  std::atomic<std::uint64_t> delivered{0};
+  mo.on_deliver = [&](GroupId g, const paxos::ClientMsg& m) {
+    const auto n = ++delivered;
+    if (n % 50 == 0) {
+      std::printf("  delivered %llu messages so far (latest: group %u seq %llu)\n",
+                  static_cast<unsigned long long>(n), g,
+                  static_cast<unsigned long long>(m.seq));
+    }
+  };
+  for (const auto& rc : rings) {
+    ringpaxos::LearnerOptions lo;
+    lo.ring = rc;
+    mo.groups.push_back(lo);
+  }
+  cluster.AddNode(std::make_unique<multiring::MergeLearner>(std::move(mo)),
+                  {0, 1, 2, 3});
+  for (const auto& rc : rings) {
+    ringpaxos::ProposerConfig pc;
+    pc.ring = rc.ring;
+    pc.group = rc.group;
+    pc.coordinator = rc.ring_members[0];
+    pc.max_outstanding = 4;
+    pc.payload_size = 1024;
+    cluster.AddNode(std::make_unique<ringpaxos::Proposer>(pc),
+                    {rc.control_channel});
+  }
+
+  cluster.Start();
+  std::this_thread::sleep_for(std::chrono::seconds(3));
+  cluster.Stop();
+  std::printf("\ndemo done: %llu messages atomically multicast over UDP.\n",
+              static_cast<unsigned long long>(delivered.load()));
+  return delivered.load() > 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return RunDemo();
+  if (std::string(argv[1]) == "--config") {
+    std::string path;
+    NodeId id = kNoNode;
+    int seconds = 30;
+    for (int i = 1; i + 1 < argc; i += 2) {
+      const std::string flag = argv[i];
+      if (flag == "--config") path = argv[i + 1];
+      else if (flag == "--id") id = static_cast<NodeId>(std::stoul(argv[i + 1]));
+      else if (flag == "--seconds") seconds = std::atoi(argv[i + 1]);
+    }
+    if (path.empty() || id == kNoNode) {
+      std::fprintf(stderr, "usage: mrp_node --config <file> --id <node> [--seconds n]\n");
+      return 2;
+    }
+    return RunFromConfig(path, id, seconds);
+  }
+  return RunRole(argc, argv);
+}

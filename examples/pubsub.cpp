@@ -1,0 +1,74 @@
+// Pub-sub with atomic multicast (the paper's core abstraction): three
+// topics, each ordered by its own Ring Paxos instance; subscribers pick
+// any subset of topics and the deterministic merge guarantees that any
+// two subscribers deliver their COMMON messages in the same relative
+// order — while topics they don't share proceed independently.
+//
+// Build & run:  ./build/examples/pubsub
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "multiring/merge_learner.h"
+#include "multiring/sim_deployment.h"
+#include "ringpaxos/proposer.h"
+
+using namespace mrp;  // NOLINT
+
+namespace {
+
+multiring::MergeLearner* AddSubscriber(multiring::SimDeployment& d,
+                                       const std::string& name,
+                                       const std::vector<int>& topics,
+                                       bool ack) {
+  auto& node = d.net().AddNode();
+  multiring::MergeLearner::Options opts;
+  opts.send_delivery_acks = ack;
+  opts.on_deliver = [name](GroupId topic, const paxos::ClientMsg& m) {
+    std::printf("  %-6s <- topic %u : msg %llu from publisher %u\n", name.c_str(),
+                topic, static_cast<unsigned long long>(m.seq), m.proposer);
+  };
+  for (int t : topics) {
+    ringpaxos::LearnerOptions lo;
+    lo.ring = d.ring(t);
+    opts.groups.push_back(lo);
+    d.net().Subscribe(node.self(), d.ring(t).data_channel);
+    d.net().Subscribe(node.self(), d.ring(t).control_channel);
+  }
+  auto learner = std::make_unique<multiring::MergeLearner>(std::move(opts));
+  auto* raw = learner.get();
+  node.BindProtocol(std::move(learner));
+  return raw;
+}
+
+}  // namespace
+
+int main() {
+  // Three topics = three rings. lambda keeps quiet topics from blocking
+  // subscribers of busy ones (Algorithm 1's skip instances).
+  multiring::DeploymentOptions opts;
+  opts.n_rings = 3;
+  opts.lambda_per_sec = 2000;
+  multiring::SimDeployment d(opts);
+
+  std::printf("subscribers: alice={0,1}  bob={1,2}  carol={0}\n\n");
+  AddSubscriber(d, "alice", {0, 1}, /*ack=*/true);
+  AddSubscriber(d, "bob", {1, 2}, /*ack=*/true);
+  AddSubscriber(d, "carol", {0}, /*ack=*/false);
+
+  // One publisher per topic, a handful of messages each.
+  for (int t = 0; t < 3; ++t) {
+    ringpaxos::ProposerConfig pc;
+    pc.max_outstanding = 1;  // closed loop, one at a time
+    pc.payload_size = 256;
+    d.AddProposer(t, pc);
+  }
+
+  d.Start();
+  d.RunFor(Millis(20));
+
+  std::printf(
+      "\nAtomic multicast guarantee: alice and bob deliver topic-1 messages\n"
+      "in the same relative order; topics 0 and 2 never block each other.\n");
+  return 0;
+}

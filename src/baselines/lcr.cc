@@ -1,0 +1,154 @@
+#include "baselines/lcr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace mrp::baselines {
+
+std::size_t LcrNode::IndexOf(NodeId n) const {
+  for (std::size_t i = 0; i < cfg_.ring.size(); ++i) {
+    if (cfg_.ring[i] == n) return i;
+  }
+  return cfg_.ring.size();
+}
+
+NodeId LcrNode::Successor() const {
+  return cfg_.ring[(my_idx_ + 1) % cfg_.ring.size()];
+}
+
+void LcrNode::OnStart(Env& env) {
+  my_idx_ = IndexOf(env.self());
+  assert(my_idx_ < cfg_.ring.size());
+  vc_.assign(cfg_.ring.size(), 0);
+  last_sample_ = env.now();
+  if (cfg_.lambda_per_sec > 0 && my_idx_ == 0) {
+    env.SetTimer(cfg_.delta, [this, &env] { OnDeltaTimer(env); });
+  }
+  if (cfg_.window > 0) {
+    Duration jitter{0};
+    if (cfg_.start_jitter.count() > 0) {
+      jitter = Duration(static_cast<std::int64_t>(
+          env.rng().uniform() * static_cast<double>(cfg_.start_jitter.count())));
+    }
+    env.SetTimer(jitter, [this, &env] {
+      while (own_unstable_ < cfg_.window) Broadcast(env, cfg_.payload_size);
+    });
+  }
+}
+
+void LcrNode::Broadcast(Env& env, std::uint32_t payload_size) {
+  ++vc_[my_idx_];
+  auto msg = MakeMessage<LcrData>(env.self(), vc_[my_idx_], vc_, payload_size,
+                                  env.now());
+  const auto& data = *static_cast<const LcrData*>(msg.get());
+  ++own_unstable_;
+  Store(env, msg, data);
+  if (cfg_.ring.size() > 1) env.Send(Successor(), msg);
+}
+
+void LcrNode::BroadcastValue(Env& env, paxos::Value value) {
+  ++vc_[my_idx_];
+  auto msg = MakeMessage<LcrData>(env.self(), vc_[my_idx_], vc_,
+                                  static_cast<std::uint32_t>(value.PayloadBytes()),
+                                  env.now(), std::move(value));
+  const auto& data = *static_cast<const LcrData*>(msg.get());
+  Store(env, msg, data);
+  if (cfg_.ring.size() > 1) env.Send(Successor(), msg);
+}
+
+void LcrNode::OnDeltaTimer(Env& env) {
+  // Algorithm 1 over LCR's delivered stream (Section VII: any atomic
+  // broadcast can order a Multi-Ring group). logical_k_ counts the
+  // logical instances this node delivered; fractional carry as in the
+  // Ring Paxos coordinator.
+  const double secs = ToSeconds(env.now() - last_sample_);
+  if (secs > 0) {
+    const double target = prev_k_ + cfg_.lambda_per_sec * secs;
+    if (logical_k_ < std::floor(target)) {
+      const auto count =
+          static_cast<std::uint64_t>(std::floor(target) - logical_k_);
+      BroadcastValue(env, paxos::Value::Skip(count));
+      // The skip itself advances logical_k_ on DELIVERY; pre-account the
+      // quota so the next interval does not double-propose.
+      prev_k_ = std::floor(target);
+    } else {
+      prev_k_ = std::max(logical_k_, target);
+    }
+    last_sample_ = env.now();
+  }
+  env.SetTimer(cfg_.delta, [this, &env] { OnDeltaTimer(env); });
+}
+
+void LcrNode::Store(Env& env, const MessagePtr& m, const LcrData& data) {
+  Key key{std::accumulate(data.ts.begin(), data.ts.end(), std::uint64_t{0}),
+          static_cast<std::uint32_t>(IndexOf(data.sender)), data.seq};
+  undelivered_.emplace(key, Pending{m, cfg_.ring.size() == 1});
+  key_of_.emplace(std::make_pair(data.sender, data.seq), key);
+  if (cfg_.ring.size() == 1) TryDeliver(env);
+}
+
+void LcrNode::MarkStable(Env& env, NodeId sender, std::uint64_t seq) {
+  auto it = key_of_.find({sender, seq});
+  if (it == key_of_.end()) return;
+  auto uit = undelivered_.find(it->second);
+  if (uit != undelivered_.end()) uit->second.stable = true;
+  key_of_.erase(it);
+  TryDeliver(env);
+}
+
+void LcrNode::TryDeliver(Env& env) {
+  while (!undelivered_.empty() && undelivered_.begin()->second.stable) {
+    MessagePtr msg = std::move(undelivered_.begin()->second.msg);
+    undelivered_.erase(undelivered_.begin());
+    const auto& data = *static_cast<const LcrData*>(msg.get());
+    latency_.Record(env.now() - data.sent_at);
+    delivered_.Add(1, data.payload_size);
+    logical_k_ += static_cast<double>(
+        data.value.kind == paxos::Value::Kind::kSkip ? data.value.skip_count : 1);
+    if (on_deliver_) on_deliver_(data);
+    if (data.sender == env.self()) {
+      // Self-clocked workload: replace the completed broadcast.
+      if (own_unstable_ > 0) --own_unstable_;
+      if (cfg_.window > 0) {
+        while (own_unstable_ < cfg_.window) Broadcast(env, cfg_.payload_size);
+      }
+    }
+  }
+}
+
+void LcrNode::OnMessage(Env& env, NodeId /*from*/, const MessagePtr& m) {
+  if (const auto* data = Cast<LcrData>(m)) {
+    const std::size_t sender_idx = IndexOf(data->sender);
+    if (sender_idx >= cfg_.ring.size()) return;
+    vc_[sender_idx] = std::max(vc_[sender_idx], static_cast<std::uint32_t>(data->seq));
+    Store(env, m, *data);
+    const NodeId succ = Successor();
+    if (succ == data->sender) {
+      // We are the sender's predecessor: the message completed the ring.
+      // Originate the acknowledgement (circulates n-1 hops).
+      MarkStable(env, data->sender, data->seq);
+      env.Send(succ, MakeMessage<LcrAck>(data->sender, data->seq,
+                                         static_cast<std::uint32_t>(cfg_.ring.size() - 2)));
+    } else {
+      env.Send(succ, m);  // forward along the ring
+    }
+    return;
+  }
+  if (const auto* ack = Cast<LcrAck>(m)) {
+    MarkStable(env, ack->sender, ack->seq);
+    if (ack->hops > 0) {
+      env.Send(Successor(), MakeMessage<LcrAck>(ack->sender, ack->seq, ack->hops - 1));
+    }
+    return;
+  }
+  if (const auto* submit = Cast<LcrSubmit>(m)) {
+    if (submit->group == cfg_.group) {
+      BroadcastValue(env, paxos::Value::Batch({submit->msg}));
+    }
+    return;
+  }
+}
+
+}  // namespace mrp::baselines

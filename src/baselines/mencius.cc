@@ -1,0 +1,147 @@
+#include "baselines/mencius.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mrp::baselines {
+
+void MenciusServer::OnStart(Env& env) {
+  self_ = env.self();
+  for (std::size_t i = 0; i < cfg_.servers.size(); ++i) {
+    if (cfg_.servers[i] == self_) my_idx_ = i;
+  }
+  next_own_ = static_cast<InstanceId>(my_idx_);
+  SkipPump(env);
+}
+
+void MenciusServer::SkipPump(Env& env) {
+  // Safety-net skip pump (the event-driven rule in OnMessage covers the
+  // common case).
+  env.SetTimer(cfg_.skip_interval, [this, &env] {
+    MaybeSkipOwed(env);
+    Deliver(env);
+    SkipPump(env);
+  });
+}
+
+InstanceId MenciusServer::NextOwned(InstanceId at_least) const {
+  const auto n = static_cast<InstanceId>(cfg_.servers.size());
+  InstanceId i = at_least;
+  const InstanceId mod = static_cast<InstanceId>(my_idx_);
+  i += (mod + n - i % n) % n;
+  return i;
+}
+
+void MenciusServer::ProposeOwned(Env& env, paxos::Value value) {
+  const InstanceId instance = next_own_;
+  next_own_ += cfg_.servers.size();
+  highest_seen_ = std::max(highest_seen_, instance);
+  auto& prop = in_flight_[instance];
+  prop.value = value;
+  prop.acks = 1;  // self
+  env.Multicast(cfg_.data_channel, MakeMessage<MenciusPropose>(instance, value));
+  // Self-insert into the learner window cache path.
+  window_.Insert(instance, std::move(value));
+  if (cfg_.servers.size() == 1) {
+    prop.committed = true;
+    Deliver(env);
+  }
+}
+
+void MenciusServer::FlushBatch(Env& env) {
+  if (pending_.empty()) return;
+  std::vector<paxos::ClientMsg> batch;
+  std::size_t bytes = 0;
+  while (!pending_.empty() && bytes < cfg_.batch_bytes) {
+    bytes += pending_.front().WireSize();
+    batch.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+  pending_bytes_ -= std::min(pending_bytes_, bytes);
+  ProposeOwned(env, paxos::Value::Batch(std::move(batch)));
+}
+
+void MenciusServer::MaybeSkipOwed(Env& env) {
+  // Mencius's skip rule: if the stream advanced past instances we own
+  // but never proposed in, fill them with no-ops so delivery can
+  // progress. (Real client load takes precedence.)
+  FlushBatch(env);
+  int guard = 0;
+  while (next_own_ < highest_seen_ && guard++ < 256) {
+    ++noops_;
+    ProposeOwned(env, paxos::Value::Skip(1));
+  }
+}
+
+void MenciusServer::Deliver(Env& env) {
+  while (true) {
+    const paxos::Value* head = window_.Peek();
+    if (head == nullptr) break;
+    const InstanceId instance = window_.next();
+    // An instance is deliverable once committed; owners commit locally,
+    // non-owners on MenciusCommit. We track committedness in in_flight_
+    // for owned instances and in committed_others_ for the rest.
+    bool committed = false;
+    auto own = in_flight_.find(instance);
+    if (own != in_flight_.end()) {
+      committed = own->second.committed;
+    } else {
+      committed = committed_others_.count(instance) > 0;
+    }
+    if (!committed) break;
+    paxos::Value value = window_.Pop();
+    in_flight_.erase(instance);
+    committed_others_.erase(instance);
+    for (const auto& msg : value.msgs) {
+      latency_.Record(env.now() - msg.sent_at);
+      delivered_.Add(1, msg.payload_size);
+    }
+    if (on_deliver_) on_deliver_(instance, value);
+  }
+}
+
+void MenciusServer::OnMessage(Env& env, NodeId from, const MessagePtr& m) {
+  if (const auto* submit = Cast<MenciusSubmit>(m)) {
+    pending_bytes_ += submit->msg.WireSize();
+    pending_.push_back(submit->msg);
+    if (pending_bytes_ >= cfg_.batch_bytes) {
+      FlushBatch(env);
+    } else if (batch_timer_ == kNoTimer) {
+      batch_timer_ = env.SetTimer(cfg_.batch_timeout, [this, &env] {
+        batch_timer_ = kNoTimer;
+        FlushBatch(env);
+      });
+    }
+    return;
+  }
+  if (const auto* prop = Cast<MenciusPropose>(m)) {
+    highest_seen_ = std::max(highest_seen_, prop->instance);
+    window_.Insert(prop->instance, prop->value);
+    env.Send(from, MakeMessage<MenciusAck>(prop->instance));
+    // Event-driven skip rule: the stream moved past our owed slots.
+    MaybeSkipOwed(env);
+    Deliver(env);
+    return;
+  }
+  if (const auto* ack = Cast<MenciusAck>(m)) {
+    auto it = in_flight_.find(ack->instance);
+    if (it == in_flight_.end() || it->second.committed) return;
+    ++it->second.acks;
+    if (it->second.acks >= cfg_.servers.size() / 2 + 1) {
+      it->second.committed = true;
+      std::vector<InstanceId> committed{ack->instance};
+      env.Multicast(cfg_.data_channel, MakeMessage<MenciusCommit>(std::move(committed)));
+      Deliver(env);
+    }
+    return;
+  }
+  if (const auto* commit = Cast<MenciusCommit>(m)) {
+    for (InstanceId i : commit->instances) {
+      if (i >= window_.next()) committed_others_.insert(i);
+    }
+    Deliver(env);
+    return;
+  }
+}
+
+}  // namespace mrp::baselines

@@ -1,0 +1,172 @@
+#include "baselines/totem.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mrp::baselines {
+
+std::size_t TotemDaemon::IndexOf(NodeId n) const {
+  for (std::size_t i = 0; i < cfg_.daemons.size(); ++i) {
+    if (cfg_.daemons[i] == n) return i;
+  }
+  return cfg_.daemons.size();
+}
+
+void TotemDaemon::OnStart(Env& env) {
+  my_idx_ = IndexOf(env.self());
+  assert(my_idx_ < cfg_.daemons.size());
+  last_token_seen_ = env.now();
+  GapWatch(env);
+  if (my_idx_ == 0) {
+    // Daemon 0 injects the token and regenerates it if lost.
+    HandleToken(env, TotemToken{0, 0});
+    TokenWatch(env);
+  }
+}
+
+void TotemDaemon::GapWatch(Env& env) {
+  // Lost TotemData stalls the in-order drain: NACK the gap to the ring
+  // (any daemon holding the copies retransmits).
+  env.SetTimer(cfg_.token_retry, [this, &env] {
+    if (ordered_window_.next() == last_drained_ && ordered_window_.buffered() > 0) {
+      const auto from = ordered_window_.next();
+      const auto count = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(32, ordered_window_.FirstGap() + 32 - from));
+      for (NodeId peer : cfg_.daemons) {
+        if (peer != env.self()) {
+          env.Send(peer, MakeMessage<TotemNack>(from, count));
+        }
+      }
+    }
+    last_drained_ = ordered_window_.next();
+    GapWatch(env);
+  });
+}
+
+void TotemDaemon::TokenWatch(Env& env) {
+  env.SetTimer(cfg_.token_retry, [this, &env] {
+    if (env.now() - last_token_seen_ >= cfg_.token_retry) {
+      HandleToken(env, TotemToken{last_token_seq_, 0});
+    }
+    TokenWatch(env);
+  });
+}
+
+void TotemDaemon::HandleToken(Env& env, const TotemToken& token) {
+  last_token_seen_ = env.now();
+  std::uint64_t seq = token.next_seq;
+  std::size_t burst = 0;
+  while (!pending_.empty() && burst < cfg_.max_burst) {
+    const auto* send = static_cast<const TotemSend*>(pending_.front().get());
+    auto data = MakeMessage<TotemData>(seq, send->group, send->client,
+                                       send->client_seq, send->payload_size,
+                                       send->sent_at);
+    // ip-multicast to all daemons; we do not self-deliver, so place the
+    // message in our own ordered window directly. Keep a copy for NACK
+    // retransmission (bounded log).
+    env.Multicast(cfg_.data_channel, data);
+    sent_log_[seq] = data;
+    if (sent_log_.size() > 4096) sent_log_.erase(sent_log_.begin());
+    ordered_window_.Insert(seq, std::move(data));
+    ++seq;
+    ++burst;
+    pending_.pop_front();
+  }
+  last_token_seq_ = seq;
+  DrainOrdered(env);
+  if (cfg_.daemons.size() > 1) {
+    env.Send(cfg_.daemons[(my_idx_ + 1) % cfg_.daemons.size()],
+             MakeMessage<TotemToken>(seq, token.rotation + 1));
+  } else {
+    // Single daemon: re-arm the token locally after a short beat.
+    env.SetTimer(Micros(50), [this, &env] {
+      HandleToken(env, TotemToken{last_token_seq_, 0});
+    });
+  }
+}
+
+void TotemDaemon::DrainOrdered(Env& env) {
+  while (ordered_window_.Peek() != nullptr) {
+    MessagePtr msg = ordered_window_.Pop();
+    const auto* data = static_cast<const TotemData*>(msg.get());
+    ++ordered_;
+    for (const auto& sub : clients_) {
+      if (std::find(sub.groups.begin(), sub.groups.end(), data->group) !=
+          sub.groups.end()) {
+        env.Send(sub.client, MakeMessage<TotemDeliver>(*data));
+      }
+    }
+  }
+}
+
+void TotemDaemon::OnMessage(Env& env, NodeId from, const MessagePtr& m) {
+  if (Cast<TotemSend>(m) != nullptr) {
+    pending_.push_back(m);
+    return;
+  }
+  if (const auto* data = Cast<TotemData>(m)) {
+    // Track the highest sequence seen so a regenerated token (after
+    // token loss) never rewinds the global sequence.
+    last_token_seq_ = std::max(last_token_seq_, data->seq + 1);
+    ordered_window_.Insert(data->seq, m);
+    DrainOrdered(env);
+    return;
+  }
+  if (const auto* token = Cast<TotemToken>(m)) {
+    HandleToken(env, *token);
+    return;
+  }
+  if (const auto* nack = Cast<TotemNack>(m)) {
+    for (std::uint64_t s = nack->from_seq; s < nack->from_seq + nack->count; ++s) {
+      auto it = sent_log_.find(s);
+      if (it != sent_log_.end()) env.Send(from, it->second);
+    }
+    return;
+  }
+}
+
+// ------------------------------------------------------------ TotemClient
+
+void TotemClient::OnStart(Env& env) {
+  Duration jitter{0};
+  if (cfg_.start_jitter.count() > 0) {
+    jitter = Duration(static_cast<std::int64_t>(
+        env.rng().uniform() * static_cast<double>(cfg_.start_jitter.count())));
+  }
+  env.SetTimer(jitter, [this, &env] {
+    for (std::size_t i = 0; i < cfg_.window; ++i) SendOne(env);
+  });
+  RetryWatch(env);
+}
+
+void TotemClient::RetryWatch(Env& env) {
+  env.SetTimer(cfg_.retry, [this, &env] {
+    if (outstanding_ > 0 && delivered_.total_count() == last_delivered_own_) {
+      // Stalled: resubmit the window (re-sequenced by the daemon).
+      const auto n = outstanding_;
+      outstanding_ = 0;
+      for (std::uint64_t i = 0; i < n; ++i) SendOne(env);
+    }
+    last_delivered_own_ = delivered_.total_count();
+    RetryWatch(env);
+  });
+}
+
+void TotemClient::SendOne(Env& env) {
+  ++outstanding_;
+  env.Send(cfg_.daemon, MakeMessage<TotemSend>(cfg_.group, env.self(), ++next_seq_,
+                                               cfg_.payload_size, env.now()));
+}
+
+void TotemClient::OnMessage(Env& env, NodeId /*from*/, const MessagePtr& m) {
+  const auto* del = Cast<TotemDeliver>(m);
+  if (del == nullptr) return;
+  delivered_.Add(1, del->payload_size);
+  latency_.Record(env.now() - del->sent_at);
+  if (del->client == env.self()) {
+    if (outstanding_ > 0) --outstanding_;
+    SendOne(env);  // closed loop
+  }
+}
+
+}  // namespace mrp::baselines

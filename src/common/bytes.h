@@ -1,0 +1,138 @@
+// Little-endian byte writer/reader used to serialize protocol messages
+// for the wire transports. The simulator passes messages by value and
+// only uses serialized sizes for bandwidth/CPU accounting.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mrp {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { AppendLe(&v, sizeof v); }
+  void u32(std::uint32_t v) { AppendLe(&v, sizeof v); }
+  void u64(std::uint64_t v) { AppendLe(&v, sizeof v); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+
+  // Unsigned LEB128; compact for the small counts that dominate headers.
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void bytes(std::span<const std::uint8_t> data) {
+    varint(data.size());
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+  void bytes(const Bytes& data) { bytes(std::span<const std::uint8_t>(data)); }
+  void str(std::string_view s) {
+    varint(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  const Bytes& data() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  void AppendLe(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);  // little-endian hosts only
+  }
+
+  Bytes buf_;
+};
+
+// Non-owning reader. All accessors return std::nullopt on underflow so a
+// malformed packet can never read out of bounds.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+  explicit ByteReader(const Bytes& data) : data_(data) {}
+
+  std::optional<std::uint8_t> u8() {
+    if (pos_ + 1 > data_.size()) return std::nullopt;
+    return data_[pos_++];
+  }
+  std::optional<std::uint16_t> u16() { return Fixed<std::uint16_t>(); }
+  std::optional<std::uint32_t> u32() { return Fixed<std::uint32_t>(); }
+  std::optional<std::uint64_t> u64() { return Fixed<std::uint64_t>(); }
+  std::optional<std::int64_t> i64() {
+    auto v = u64();
+    if (!v) return std::nullopt;
+    return static_cast<std::int64_t>(*v);
+  }
+  std::optional<double> f64() {
+    auto bits = u64();
+    if (!bits) return std::nullopt;
+    double v;
+    std::memcpy(&v, &*bits, sizeof v);
+    return v;
+  }
+
+  std::optional<std::uint64_t> varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (pos_ < data_.size() && shift < 64) {
+      std::uint8_t b = data_[pos_++];
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if (!(b & 0x80)) return v;
+      shift += 7;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<Bytes> bytes() {
+    auto n = varint();
+    if (!n || pos_ + *n > data_.size()) return std::nullopt;
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + *n));
+    pos_ += *n;
+    return out;
+  }
+  std::optional<std::string> str() {
+    auto n = varint();
+    if (!n || pos_ + *n > data_.size()) return std::nullopt;
+    std::string out(reinterpret_cast<const char*>(data_.data() + pos_), *n);
+    pos_ += *n;
+    return out;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  template <typename T>
+  std::optional<T> Fixed() {
+    if (pos_ + sizeof(T) > data_.size()) return std::nullopt;
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof v);
+    pos_ += sizeof v;
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mrp

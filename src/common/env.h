@@ -1,0 +1,56 @@
+// Env is the narrow waist between protocol logic and the world. Every
+// protocol role (Paxos acceptor, Ring Paxos coordinator, Multi-Ring
+// learner, LCR node, ...) is written against Env only, so the identical
+// state machines run under the deterministic simulator (src/sim), the
+// in-process threaded bus, and the UDP transports (src/runtime).
+#pragma once
+
+#include <functional>
+
+#include "common/message.h"
+#include "common/rand.h"
+#include "common/types.h"
+
+namespace mrp {
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  // Identity of the process this Env serves.
+  virtual NodeId self() const = 0;
+
+  // Monotonic time since the environment's epoch.
+  virtual TimePoint now() const = 0;
+
+  // One-to-one send. Unreliable: the message may be lost, duplicated or
+  // reordered, but never corrupted (system model, Section II-A).
+  virtual void Send(NodeId to, MessagePtr m) = 0;
+
+  // One-to-many send on a multicast channel (ip-multicast in the real
+  // runtime). Delivered to every subscriber except the sender.
+  virtual void Multicast(ChannelId channel, MessagePtr m) = 0;
+
+  // One-shot timer. The callback runs on the protocol's execution
+  // context (single-threaded per node). Returns an id for cancellation.
+  virtual TimerId SetTimer(Duration delay, std::function<void()> callback) = 0;
+  virtual void CancelTimer(TimerId id) = 0;
+
+  // Deterministic per-node randomness.
+  virtual Rng& rng() = 0;
+};
+
+// A protocol role hosted on a node. Single-threaded: OnStart, OnMessage
+// and timer callbacks never run concurrently for the same instance.
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  // Called once when the hosting node starts (or restarts).
+  virtual void OnStart(Env& env) = 0;
+
+  // Called for every message delivered to this node.
+  virtual void OnMessage(Env& env, NodeId from, const MessagePtr& m) = 0;
+};
+
+}  // namespace mrp

@@ -1,0 +1,106 @@
+// InstanceWindow: an ordered buffer of per-instance values with O(1)
+// amortised insertion and contiguous pop from a moving base cursor.
+// Learners use it to hold out-of-order consensus decisions until the
+// deterministic merge is ready to consume them.
+#pragma once
+
+#include <cassert>
+#include <vector>
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/types.h"
+
+namespace mrp {
+
+template <typename T>
+class InstanceWindow {
+ public:
+  // Next instance the consumer expects (the base of the window).
+  InstanceId next() const { return base_; }
+
+  // Number of buffered (present) entries, including non-contiguous ones.
+  std::size_t buffered() const { return present_; }
+
+  bool empty() const { return present_ == 0; }
+
+  // Inserts the value for `id`. Returns false (and ignores the value) if
+  // `id` was already consumed or already present — duplicate decisions
+  // are harmless and expected under retransmission.
+  bool Insert(InstanceId id, T value) {
+    if (id < base_) return false;
+    const std::size_t off = static_cast<std::size_t>(id - base_);
+    if (off >= slots_.size()) slots_.resize(off + 1);
+    if (slots_[off].has_value()) return false;
+    slots_[off] = std::move(value);
+    ++present_;
+    return true;
+  }
+
+  bool Contains(InstanceId id) const {
+    if (id < base_) return false;
+    const std::size_t off = static_cast<std::size_t>(id - base_);
+    return off < slots_.size() && slots_[off].has_value();
+  }
+
+  // Mutable access to a buffered value (nullptr if absent/consumed).
+  T* Get(InstanceId id) {
+    if (id < base_) return nullptr;
+    const std::size_t off = static_cast<std::size_t>(id - base_);
+    if (off >= slots_.size() || !slots_[off].has_value()) return nullptr;
+    return &*slots_[off];
+  }
+
+  // Value at the base of the window, if present.
+  const T* Peek() const {
+    if (slots_.empty() || !slots_.front().has_value()) return nullptr;
+    return &*slots_.front();
+  }
+
+  // Pops the value at the base; precondition: Peek() != nullptr.
+  T Pop() {
+    assert(!slots_.empty() && slots_.front().has_value());
+    T out = std::move(*slots_.front());
+    slots_.pop_front();
+    ++base_;
+    --present_;
+    return out;
+  }
+
+  // Advances the base cursor past `count` instances without requiring
+  // values (used when a skip range covers them). Buffered values inside
+  // the skipped range are discarded and returned so the caller can
+  // release any accounting tied to them.
+  std::vector<T> Skip(InstanceId count) {
+    std::vector<T> discarded;
+    while (count > 0 && !slots_.empty()) {
+      if (slots_.front().has_value()) {
+        --present_;
+        discarded.push_back(std::move(*slots_.front()));
+      }
+      slots_.pop_front();
+      ++base_;
+      --count;
+    }
+    base_ += count;
+    return discarded;
+  }
+
+  // Smallest instance >= next() that is missing (not buffered). Used to
+  // drive recovery requests for gaps.
+  InstanceId FirstGap() const {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (!slots_[i].has_value()) return base_ + i;
+    }
+    return base_ + slots_.size();
+  }
+
+ private:
+  InstanceId base_ = 0;
+  std::size_t present_ = 0;
+  std::deque<std::optional<T>> slots_;
+};
+
+}  // namespace mrp

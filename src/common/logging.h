@@ -1,0 +1,62 @@
+// Minimal leveled logger. Protocol code logs sparingly (warnings and
+// rare events only); benches and examples use INFO for narration.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace mrp {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& Instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool Enabled(LogLevel level) const { return level >= level_; }
+
+  void Write(LogLevel level, std::string_view msg) {
+    static constexpr const char* kNames[] = {"DEBUG", "INFO ", "WARN ", "ERROR"};
+    std::scoped_lock lock(mu_);
+    std::cerr << "[" << kNames[static_cast<int>(level)] << "] " << msg << "\n";
+  }
+
+ private:
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+namespace log_internal {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::Instance().Write(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace log_internal
+
+}  // namespace mrp
+
+#define MRP_LOG(level)                                       \
+  if (!::mrp::Logger::Instance().Enabled(::mrp::LogLevel::level)) {} else \
+    ::mrp::log_internal::LogLine(::mrp::LogLevel::level)
+
+#define MRP_DEBUG MRP_LOG(kDebug)
+#define MRP_INFO MRP_LOG(kInfo)
+#define MRP_WARN MRP_LOG(kWarn)
+#define MRP_ERROR MRP_LOG(kError)

@@ -1,0 +1,37 @@
+// Type-erased protocol message. Messages are immutable once sent and are
+// shared (shared_ptr<const ...>) so an ip-multicast delivers one
+// allocation to every subscriber. WireSize() is what the transports and
+// the simulator's bandwidth/CPU accounting charge for.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+namespace mrp {
+
+class MessageBase {
+ public:
+  virtual ~MessageBase() = default;
+
+  // Serialized size in bytes (header + payload) as it would appear on
+  // the wire. Used for bandwidth and CPU cost accounting.
+  virtual std::size_t WireSize() const = 0;
+
+  // Stable name for tracing/debugging.
+  virtual const char* TypeName() const = 0;
+};
+
+using MessagePtr = std::shared_ptr<const MessageBase>;
+
+// Downcast helper: returns nullptr if the message is not a T.
+template <typename T>
+const T* Cast(const MessagePtr& m) {
+  return dynamic_cast<const T*>(m.get());
+}
+
+template <typename T, typename... Args>
+MessagePtr MakeMessage(Args&&... args) {
+  return std::make_shared<const T>(std::forward<Args>(args)...);
+}
+
+}  // namespace mrp

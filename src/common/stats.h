@@ -1,0 +1,169 @@
+// Measurement utilities: log-bucketed latency histogram, windowed rate
+// meter, and a busy-time tracker used for CPU utilisation reporting.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mrp {
+
+// Histogram with logarithmic buckets (HdrHistogram-style, base-2 with 16
+// linear sub-buckets). Records nanosecond durations; quantile error is
+// bounded by ~6%.
+class Histogram {
+ public:
+  void Record(Duration d) { RecordValue(static_cast<std::uint64_t>(std::max<std::int64_t>(d.count(), 0))); }
+
+  void RecordValue(std::uint64_t v) {
+    ++count_;
+    sum_ += v;
+    max_ = std::max(max_, v);
+    min_ = std::min(min_, v);
+    buckets_[BucketIndex(v)]++;
+  }
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_); }
+  std::uint64_t max() const { return count_ == 0 ? 0 : max_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+
+  // Value at quantile q in [0,1]; returns an upper bound of the bucket.
+  std::uint64_t Quantile(double q) const {
+    if (count_ == 0) return 0;
+    const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      seen += buckets_[i];
+      if (seen >= target) return BucketUpperBound(i);
+    }
+    return max_;
+  }
+
+  // Mean after discarding the highest `discard_fraction` of samples — the
+  // paper reports latency "after discarding the 5% highest values".
+  double TrimmedMean(double discard_fraction) const {
+    if (count_ == 0) return 0.0;
+    const auto keep = count_ - static_cast<std::uint64_t>(discard_fraction * static_cast<double>(count_));
+    std::uint64_t seen = 0;
+    long double sum = 0;
+    for (std::size_t i = 0; i < buckets_.size() && seen < keep; ++i) {
+      const std::uint64_t take = std::min<std::uint64_t>(buckets_[i], keep - seen);
+      sum += static_cast<long double>(take) * static_cast<long double>(BucketMidpoint(i));
+      seen += take;
+    }
+    return seen == 0 ? 0.0 : static_cast<double>(sum / static_cast<long double>(seen));
+  }
+
+  void Reset() { *this = Histogram(); }
+
+  void Merge(const Histogram& other) {
+    count_ += other.count_;
+    sum_ += other.sum_;
+    max_ = std::max(max_, other.max_);
+    min_ = std::min(min_, other.min_);
+    for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  }
+
+ private:
+  static constexpr int kSubBucketBits = 4;  // 16 linear sub-buckets per octave
+
+  static std::size_t BucketIndex(std::uint64_t v) {
+    if (v < (1u << kSubBucketBits)) return v;
+    const int msb = 63 - __builtin_clzll(v);
+    const int octave = msb - kSubBucketBits + 1;
+    const std::uint64_t sub = (v >> (msb - kSubBucketBits)) & ((1u << kSubBucketBits) - 1);
+    return static_cast<std::size_t>((octave + 1) << kSubBucketBits) + sub;
+  }
+
+  static std::uint64_t BucketLowerBound(std::size_t i) {
+    if (i < (1u << kSubBucketBits)) return i;
+    const std::size_t octave = (i >> kSubBucketBits) - 1;
+    const std::uint64_t sub = i & ((1u << kSubBucketBits) - 1);
+    return ((1ULL << kSubBucketBits) + sub) << (octave - 1);
+  }
+
+  static std::uint64_t BucketUpperBound(std::size_t i) {
+    if (i < (1u << kSubBucketBits)) return i;
+    const std::size_t octave = (i >> kSubBucketBits) - 1;
+    return BucketLowerBound(i) + (1ULL << (octave - 1)) - 1;
+  }
+
+  static std::uint64_t BucketMidpoint(std::size_t i) {
+    return (BucketLowerBound(i) + BucketUpperBound(i)) / 2;
+  }
+
+  // 64 octaves x 16 sub-buckets is plenty for ns-resolution durations.
+  std::array<std::uint64_t, (64 + 2) << kSubBucketBits> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+  std::uint64_t min_ = ~0ULL;
+};
+
+// Counts events/bytes and converts to rates over explicit windows.
+class RateMeter {
+ public:
+  void Add(std::uint64_t count, std::uint64_t bytes) {
+    count_ += count;
+    bytes_ += bytes;
+  }
+
+  std::uint64_t total_count() const { return count_; }
+  std::uint64_t total_bytes() const { return bytes_; }
+
+  // Snapshot-and-reset of the current window.
+  struct Window {
+    std::uint64_t count = 0;
+    std::uint64_t bytes = 0;
+    double MsgPerSec(Duration window) const {
+      const double s = ToSeconds(window);
+      return s <= 0 ? 0 : static_cast<double>(count) / s;
+    }
+    double Mbps(Duration window) const {
+      const double s = ToSeconds(window);
+      return s <= 0 ? 0 : static_cast<double>(bytes) * 8.0 / s / 1e6;
+    }
+  };
+
+  Window TakeWindow() {
+    Window w{count_ - win_count_, bytes_ - win_bytes_};
+    win_count_ = count_;
+    win_bytes_ = bytes_;
+    return w;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t win_count_ = 0;
+  std::uint64_t win_bytes_ = 0;
+};
+
+// Accumulates busy time; utilisation = busy / elapsed within a window.
+class BusyMeter {
+ public:
+  void AddBusy(Duration d) { busy_ += d; }
+  Duration total_busy() const { return busy_; }
+
+  // Utilisation in [0,1] over [window_start, now), then advances window.
+  double TakeUtilisation(TimePoint now) {
+    const Duration elapsed = now - window_start_;
+    const Duration busy = busy_ - window_busy_;
+    window_start_ = now;
+    window_busy_ = busy_;
+    if (elapsed.count() <= 0) return 0.0;
+    return std::min(1.0, ToSeconds(busy) / ToSeconds(elapsed));
+  }
+
+ private:
+  Duration busy_{0};
+  TimePoint window_start_{0};
+  Duration window_busy_{0};
+};
+
+}  // namespace mrp

@@ -1,0 +1,64 @@
+// Core identifier and time types shared by every module.
+//
+// All protocol layers use simulated-or-real time expressed as a single
+// monotonic nanosecond counter (TimePoint) so that the identical protocol
+// code runs under the discrete-event simulator and the real runtime.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace mrp {
+
+// Identifies a process (proposer, acceptor, learner, daemon, client...).
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+// Identifies an atomic-multicast group (Section II-B of the paper).
+using GroupId = std::uint32_t;
+
+// Identifies a Ring Paxos instance ("ring") inside Multi-Ring Paxos.
+using RingId = std::uint32_t;
+
+// A logical consensus instance number within one ring. Instance numbering
+// is per-ring and gap-free; skip batches cover ranges of instances.
+using InstanceId = std::uint64_t;
+
+// Paxos round (ballot) number. Rounds are partitioned among potential
+// coordinators: round r is owned by node (r % ring_size).
+using Round = std::uint32_t;
+
+// Identifier assigned by a Ring Paxos coordinator to a client value so
+// that consensus can be executed on small IDs instead of full values.
+using ValueId = std::uint64_t;
+inline constexpr ValueId kNoValueId = std::numeric_limits<ValueId>::max();
+
+// A multicast channel (maps to an ip-multicast address in the real
+// runtime, and to a subscription set in the simulator).
+using ChannelId = std::uint32_t;
+
+// Monotonic time. One nanosecond resolution, starts at zero in the
+// simulator; offset from an arbitrary epoch in the real runtime.
+using Duration = std::chrono::nanoseconds;
+using TimePoint = Duration;  // time since environment epoch
+
+inline constexpr TimePoint kTimeZero = TimePoint{0};
+
+constexpr Duration Micros(std::int64_t us) { return std::chrono::microseconds(us); }
+constexpr Duration Millis(std::int64_t ms) { return std::chrono::milliseconds(ms); }
+constexpr Duration Seconds(std::int64_t s) { return std::chrono::seconds(s); }
+
+constexpr double ToSeconds(Duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+constexpr Duration FromSeconds(double s) {
+  return std::chrono::duration_cast<Duration>(std::chrono::duration<double>(s));
+}
+
+// Identifies a pending timer registered with an Env.
+using TimerId = std::uint64_t;
+inline constexpr TimerId kNoTimer = 0;
+
+}  // namespace mrp

@@ -1,0 +1,117 @@
+#include "multiring/merge_learner.h"
+
+#include <algorithm>
+
+namespace mrp::multiring {
+
+using ringpaxos::DeliveryAck;
+
+MergeLearner::MergeLearner(Options opts) : opts_(std::move(opts)) {
+  std::vector<std::unique_ptr<GroupSource>> sources;
+  for (auto& g : opts_.groups) {
+    sources.push_back(std::make_unique<RingGroupSource>(g));
+  }
+  for (auto& s : opts_.sources) sources.push_back(std::move(s));
+  opts_.sources.clear();
+  // Deterministic merge order: ascending group id (Section IV-B, the
+  // groups' unique identifiers are totally ordered).
+  std::sort(sources.begin(), sources.end(),
+            [](const auto& a, const auto& b) { return a->group() < b->group(); });
+  for (auto& s : sources) {
+    auto stats = std::make_unique<GroupStats>();
+    stats->group = s->group();
+    stats_.push_back(std::move(stats));
+    groups_.push_back(std::make_unique<GroupState>(std::move(s)));
+  }
+}
+
+void MergeLearner::OnStart(Env& env) {
+  for (auto& g : groups_) g->source->OnStart(env);
+  ArmTick(env);
+}
+
+void MergeLearner::ArmTick(Env& env) {
+  env.SetTimer(opts_.tick_interval, [this, &env] {
+    for (auto& g : groups_) g->source->Tick(env);
+    PumpMerge(env);
+    ArmTick(env);
+  });
+}
+
+void MergeLearner::OnMessage(Env& env, NodeId from, const MessagePtr& m) {
+  bool consumed = false;
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    if (groups_[i]->source->OnMessage(env, from, m)) {
+      stats_[i]->received.Add(1, m->WireSize());
+      consumed = true;
+      break;  // sources consume disjoint message streams
+    }
+  }
+  if (consumed) {
+    received_.Add(1, m->WireSize());
+    PumpMerge(env);
+  }
+}
+
+std::size_t MergeLearner::buffered_msgs() const {
+  std::size_t total = 0;
+  for (const auto& g : groups_) total += g->source->buffered_msgs();
+  return total;
+}
+
+void MergeLearner::Deliver(Env& env, std::size_t idx, const paxos::Value& value) {
+  GroupStats& st = *stats_[idx];
+  const auto& only = groups_[idx]->source->subscribe_only();
+  for (const auto& msg : value.msgs) {
+    if (!only.empty() &&
+        std::find(only.begin(), only.end(), msg.group) == only.end()) {
+      ++st.discarded;
+      continue;
+    }
+    st.latency.Record(env.now() - msg.sent_at);
+    st.delivered.Add(1, msg.payload_size);
+    ++total_delivered_;
+    if (opts_.on_deliver) opts_.on_deliver(st.group, msg);
+    if (opts_.send_delivery_acks) {
+      env.Send(msg.proposer,
+               MakeMessage<DeliveryAck>(groups_[idx]->source->ack_ring(),
+                                        msg.group, msg.seq));
+    }
+  }
+}
+
+void MergeLearner::PumpMerge(Env& env) {
+  if (halted_ || groups_.empty()) return;
+  // Buffer overflow => permanent halt (paper, Section VI-E / Figure 10).
+  if (opts_.max_buffer_msgs > 0 && buffered_msgs() > opts_.max_buffer_msgs) {
+    halted_ = true;
+    return;
+  }
+
+  while (true) {
+    GroupState& g = *groups_[current_];
+    // Consume up to M logical instances from the current group.
+    while (consumed_ < opts_.m) {
+      if (g.pending_skip > 0) {
+        const std::uint64_t take =
+            std::min<std::uint64_t>(g.pending_skip, opts_.m - consumed_);
+        g.pending_skip -= take;
+        consumed_ += static_cast<std::uint32_t>(take);
+        continue;
+      }
+      auto ready = g.source->Pop();
+      if (!ready) return;  // blocked: wait for this group's next instance
+      ++consumed_;
+      if (ready->value.is_skip()) {
+        stats_[current_]->skipped_logical += ready->value.skip_count;
+        g.pending_skip += ready->value.skip_count - 1;  // one consumed now
+      } else {
+        Deliver(env, current_, ready->value);
+      }
+    }
+    current_ = (current_ + 1) % groups_.size();
+    consumed_ = 0;
+  }
+}
+
+}  // namespace mrp::multiring

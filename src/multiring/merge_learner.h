@@ -1,0 +1,130 @@
+// Multi-Ring Paxos learner (Algorithm 1, Task 4). Subscribes to one or
+// more groups — each ordered by its own protocol instance (a Ring Paxos
+// ring by default, or any GroupSource, realizing the paper's Section VII
+// conjecture) — and deterministically merges the per-group decision
+// streams: groups are visited in ascending group-id order, consuming M
+// consensus instances per group per turn and buffering decisions that
+// arrive ahead of their turn. Skip instances consume merge turns without
+// delivering anything — this is what lets slow groups keep up with fast
+// ones (Section IV-A).
+//
+// A bounded buffer models the paper's learner-halt behaviour (Figure
+// 10): once more than `max_buffer_msgs` messages are buffered, the
+// learner stops delivering for good, exactly like the prototype whose
+// buffers overflow.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/env.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "multiring/group_source.h"
+#include "paxos/value.h"
+#include "ringpaxos/learner.h"
+#include "ringpaxos/messages.h"
+
+namespace mrp::multiring {
+
+// GroupSource adapter over the Ring Paxos learner core.
+class RingGroupSource final : public GroupSource {
+ public:
+  explicit RingGroupSource(ringpaxos::LearnerOptions opts)
+      : opts_(std::move(opts)), core_(opts_) {}
+
+  bool OnMessage(Env& env, NodeId /*from*/, const MessagePtr& m) override {
+    return core_.OnRingMessage(env, m);
+  }
+  bool HasReady() const override { return core_.HasReady(); }
+  std::optional<Ready> Pop() override {
+    auto r = core_.Pop();
+    if (!r) return std::nullopt;
+    return Ready{r->instance, std::move(r->value)};
+  }
+  std::size_t buffered_msgs() const override { return core_.buffered_msgs(); }
+  void Tick(Env& env) override { core_.Tick(env); }
+  GroupId group() const override { return opts_.ring.group; }
+  const std::vector<GroupId>& subscribe_only() const override {
+    return opts_.subscribe_only;
+  }
+  RingId ack_ring() const override { return opts_.ring.ring; }
+  const ringpaxos::LearnerCore& core() const { return core_; }
+
+ private:
+  ringpaxos::LearnerOptions opts_;
+  ringpaxos::LearnerCore core_;
+};
+
+class MergeLearner final : public Protocol {
+ public:
+  using DeliverFn = std::function<void(GroupId, const paxos::ClientMsg&)>;
+
+  struct Options {
+    // Ring-Paxos-backed groups (the common case); converted to
+    // RingGroupSources on construction.
+    std::vector<ringpaxos::LearnerOptions> groups;
+    // Additional custom sources (e.g. PaxosGroupSource).
+    std::vector<std::unique_ptr<GroupSource>> sources;
+    // M: consensus instances consumed per group per round-robin turn.
+    std::uint32_t m = 1;
+    // Total buffered messages before the learner halts (0 = unlimited).
+    std::size_t max_buffer_msgs = 0;
+    bool send_delivery_acks = false;
+    Duration tick_interval = Millis(10);
+    DeliverFn on_deliver;  // optional
+  };
+
+  explicit MergeLearner(Options opts);
+
+  void OnStart(Env& env) override;
+  void OnMessage(Env& env, NodeId from, const MessagePtr& m) override;
+
+  // ---- Stats ----
+  struct GroupStats {
+    GroupId group = 0;
+    Histogram latency;
+    RateMeter delivered;
+    RateMeter received;  // every message consumed for this group
+    std::uint64_t skipped_logical = 0;
+    // Messages ordered by this group's source but not subscribed to
+    // (bandwidth/CPU waste of many-groups-per-ring, Section IV-D).
+    std::uint64_t discarded = 0;
+  };
+  GroupStats& stats(std::size_t idx) { return *stats_[idx]; }
+  std::size_t group_count() const { return groups_.size(); }
+  std::uint64_t total_delivered() const { return total_delivered_; }
+  std::size_t buffered_msgs() const;
+  std::size_t group_buffered(std::size_t idx) const {
+    return groups_[idx]->source->buffered_msgs();
+  }
+  GroupSource* group_source(std::size_t idx) { return groups_[idx]->source.get(); }
+  bool halted() const { return halted_; }
+  RateMeter& received() { return received_; }
+
+ private:
+  struct GroupState {
+    explicit GroupState(std::unique_ptr<GroupSource> s) : source(std::move(s)) {}
+    std::unique_ptr<GroupSource> source;
+    // Remaining logical instances of a popped skip value still to be
+    // consumed by merge turns.
+    std::uint64_t pending_skip = 0;
+  };
+
+  void PumpMerge(Env& env);
+  void Deliver(Env& env, std::size_t idx, const paxos::Value& value);
+  void ArmTick(Env& env);
+
+  Options opts_;
+  std::vector<std::unique_ptr<GroupState>> groups_;
+  std::vector<std::unique_ptr<GroupStats>> stats_;
+  std::size_t current_ = 0;       // group whose turn it is
+  std::uint32_t consumed_ = 0;    // instances consumed in the current turn
+  bool halted_ = false;
+  std::uint64_t total_delivered_ = 0;
+  RateMeter received_;  // every consumed message (ingress accounting)
+};
+
+}  // namespace mrp::multiring

@@ -1,0 +1,73 @@
+// PaxosGroupSource: orders a Multi-Ring group with PLAIN Paxos instead
+// of Ring Paxos — the paper's Section VII conjecture ("one could use any
+// atomic broadcast protocol within a group"). The group's proposer
+// stamps decisions with the group id and pads the consensus rate with
+// skip instances exactly like a Ring Paxos coordinator, so the
+// deterministic merge works unchanged.
+//
+// Unlike Ring Paxos, plain Paxos instance ids stay dense (a skip is one
+// instance whose value spans many logical instances), so no window
+// skipping is needed here.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/instance_window.h"
+#include "multiring/group_source.h"
+#include "paxos/messages.h"
+
+namespace mrp::multiring {
+
+class PaxosGroupSource final : public GroupSource {
+ public:
+  struct Options {
+    GroupId group = 0;
+    // Proposers queried for lost decisions.
+    std::vector<NodeId> proposers;
+    Duration recovery_interval = Millis(10);
+  };
+
+  explicit PaxosGroupSource(Options opts) : opts_(std::move(opts)) {}
+
+  bool OnMessage(Env& env, NodeId /*from*/, const MessagePtr& m) override {
+    (void)env;
+    const auto* dec = Cast<paxos::DecisionMsg>(m);
+    if (dec == nullptr || dec->group != opts_.group) return false;
+    if (window_.Insert(dec->instance, dec->value)) {
+      buffered_ += dec->value.msgs.size();
+    }
+    return true;
+  }
+
+  bool HasReady() const override { return window_.Peek() != nullptr; }
+
+  std::optional<Ready> Pop() override {
+    if (window_.Peek() == nullptr) return std::nullopt;
+    const InstanceId instance = window_.next();
+    paxos::Value value = window_.Pop();
+    buffered_ -= std::min(buffered_, value.msgs.size());
+    return Ready{instance, std::move(value)};
+  }
+
+  std::size_t buffered_msgs() const override { return buffered_; }
+
+  void Tick(Env& env) override {
+    const bool stuck = window_.next() == last_next_ && window_.buffered() > 0;
+    last_next_ = window_.next();
+    if (!stuck || opts_.proposers.empty()) return;
+    const NodeId target = opts_.proposers[static_cast<std::size_t>(
+        env.rng().below(opts_.proposers.size()))];
+    env.Send(target, MakeMessage<paxos::LearnReq>(window_.next()));
+  }
+
+  GroupId group() const override { return opts_.group; }
+
+ private:
+  Options opts_;
+  InstanceWindow<paxos::Value> window_;
+  std::size_t buffered_ = 0;
+  InstanceId last_next_ = 0;
+};
+
+}  // namespace mrp::multiring

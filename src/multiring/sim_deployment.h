@@ -1,0 +1,183 @@
+// SimDeployment: builds a complete Multi-Ring Paxos cluster on the
+// discrete-event simulator — rings (acceptor universes with in-memory or
+// simulated-disk storage), merge/single-group learners and workload
+// proposers — and wires multicast subscriptions. Shared by the tests and
+// every benchmark so topologies are declared, not hand-assembled.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <memory>
+#include <vector>
+
+#include "multiring/merge_learner.h"
+#include "ringpaxos/config.h"
+#include "ringpaxos/learner.h"
+#include "ringpaxos/proposer.h"
+#include "ringpaxos/ring_node.h"
+#include "sim/disk_storage.h"
+#include "sim/network.h"
+
+namespace mrp::multiring {
+
+struct DeploymentOptions {
+  int n_rings = 1;
+  int ring_size = 2;   // in-ring acceptors (f+1), coordinator included
+  int n_spares = 0;    // spare acceptors per ring
+  bool disk = false;   // recoverable mode: acceptors write to simulated disk
+  double lambda_per_sec = 9000;   // paper default
+  Duration delta = Millis(1);     // paper default
+  sim::NetConfig net;
+  // Per-ring tuning knobs copied into every RingConfig.
+  std::size_t batch_bytes = 8 * 1024;
+  Duration batch_timeout = Millis(1);
+  std::size_t window = 64;
+  bool ack_submits = false;
+  bool batch_skips = true;  // false = Algorithm-1-literal skips (ablation)
+  bool skip_resync = false;  // absolute lambda*t schedule (extension)
+  std::size_t trim_keep = 50'000;  // acceptor log retention (instances)
+  Duration suspect_after = Millis(100);
+  Duration heartbeat_interval = Millis(20);
+};
+
+class SimDeployment {
+ public:
+  explicit SimDeployment(DeploymentOptions opts) : opts_(opts), net_(opts.net) {
+    for (int r = 0; r < opts_.n_rings; ++r) AddRing(r);
+  }
+
+  sim::SimNetwork& net() { return net_; }
+  const ringpaxos::RingConfig& ring(int i) const { return rings_[i]; }
+  int n_rings() const { return static_cast<int>(rings_.size()); }
+
+  // The initial coordinator (ring_members[0]) of ring i.
+  sim::SimNode* coordinator_node(int i) { return ring_nodes_[i][0]; }
+  ringpaxos::RingNode* coordinator(int i) {
+    return ring_nodes_[i][0]->protocol_as<ringpaxos::RingNode>();
+  }
+  sim::SimNode* acceptor_node(int ring, int idx) { return ring_nodes_[ring][idx]; }
+  const std::vector<sim::SimNode*>& ring_universe(int i) { return ring_nodes_[i]; }
+
+  // Learner subscribed to the given rings (by ring index).
+  MergeLearner* AddMergeLearner(const std::vector<int>& ring_indices,
+                                std::uint32_t m = 1,
+                                std::size_t max_buffer_msgs = 0,
+                                bool send_delivery_acks = false,
+                                Duration recovery_interval = Millis(10)) {
+    auto& node = net_.AddNode();
+    MergeLearner::Options opts;
+    opts.m = m;
+    opts.max_buffer_msgs = max_buffer_msgs;
+    opts.send_delivery_acks = send_delivery_acks;
+    for (int idx : ring_indices) {
+      ringpaxos::LearnerOptions lo;
+      lo.ring = rings_[idx];
+      lo.recovery_interval = recovery_interval;
+      opts.groups.push_back(lo);
+      net_.Subscribe(node.self(), rings_[idx].data_channel);
+      net_.Subscribe(node.self(), rings_[idx].control_channel);
+    }
+    auto learner = std::make_unique<MergeLearner>(std::move(opts));
+    auto* raw = learner.get();
+    node.BindProtocol(std::move(learner));
+    learner_nodes_.push_back(&node);
+    return raw;
+  }
+
+  sim::SimNode* learner_node(std::size_t i) { return learner_nodes_[i]; }
+
+  // Single-group learner on ring `idx`.
+  ringpaxos::RingLearner* AddRingLearner(int idx, bool send_delivery_acks = false) {
+    auto& node = net_.AddNode();
+    ringpaxos::RingLearner::Options opts;
+    opts.learner.ring = rings_[idx];
+    opts.send_delivery_acks = send_delivery_acks;
+    auto learner = std::make_unique<ringpaxos::RingLearner>(std::move(opts));
+    auto* raw = learner.get();
+    node.BindProtocol(std::move(learner));
+    net_.Subscribe(node.self(), rings_[idx].data_channel);
+    net_.Subscribe(node.self(), rings_[idx].control_channel);
+    learner_nodes_.push_back(&node);
+    return raw;
+  }
+
+  // Workload proposer for ring `idx`. The returned config's ring/group/
+  // coordinator fields are filled in; the caller sets the workload
+  // shape. `group_override` supports many-groups-per-ring deployments
+  // (Section IV-D): the message group may differ from the ring's
+  // nominal group.
+  ringpaxos::Proposer* AddProposer(int idx, ringpaxos::ProposerConfig cfg,
+                                   std::optional<GroupId> group_override =
+                                       std::nullopt) {
+    sim::NodeSpec spec = opts_.net.default_spec;
+    spec.infinite_cpu = true;  // clients are never the bottleneck
+    auto& node = net_.AddNode(spec);
+    cfg.ring = rings_[idx].ring;
+    cfg.group = group_override.value_or(rings_[idx].group);
+    cfg.coordinator = rings_[idx].ring_members[0];
+    auto proposer = std::make_unique<ringpaxos::Proposer>(cfg);
+    auto* raw = proposer.get();
+    node.BindProtocol(std::move(proposer));
+    net_.Subscribe(node.self(), rings_[idx].control_channel);
+    proposer_nodes_.push_back(&node);
+    return raw;
+  }
+
+  sim::SimNode* proposer_node(std::size_t i) { return proposer_nodes_[i]; }
+
+  void Start() { net_.StartAll(); }
+  void RunFor(Duration d) { net_.RunFor(d); }
+
+ private:
+  void AddRing(int r) {
+    ringpaxos::RingConfig cfg;
+    cfg.ring = static_cast<RingId>(r);
+    cfg.group = static_cast<GroupId>(r);
+    cfg.data_channel = static_cast<ChannelId>(2 * r);
+    cfg.control_channel = static_cast<ChannelId>(2 * r + 1);
+    cfg.lambda_per_sec = opts_.lambda_per_sec;
+    cfg.delta = opts_.delta;
+    cfg.batch_bytes = opts_.batch_bytes;
+    cfg.batch_timeout = opts_.batch_timeout;
+    cfg.window = opts_.window;
+    cfg.ack_submits = opts_.ack_submits;
+    cfg.batch_skips = opts_.batch_skips;
+    cfg.skip_resync = opts_.skip_resync;
+    cfg.trim_keep = opts_.trim_keep;
+    cfg.suspect_after = opts_.suspect_after;
+    cfg.heartbeat_interval = opts_.heartbeat_interval;
+
+    std::vector<sim::SimNode*> nodes;
+    for (int i = 0; i < opts_.ring_size + opts_.n_spares; ++i) {
+      auto& node = net_.AddNode();
+      nodes.push_back(&node);
+      if (i < opts_.ring_size) {
+        cfg.ring_members.push_back(node.self());
+      } else {
+        cfg.spares.push_back(node.self());
+      }
+    }
+    for (auto* node : nodes) {
+      paxos::Storage* storage = nullptr;
+      if (opts_.disk) {
+        disks_.push_back(std::make_unique<sim::SimDiskStorage>(*node));
+        storage = disks_.back().get();
+      }
+      node->BindProtocol(std::make_unique<ringpaxos::RingNode>(cfg, storage));
+      net_.Subscribe(node->self(), cfg.data_channel);
+      net_.Subscribe(node->self(), cfg.control_channel);
+    }
+    rings_.push_back(std::move(cfg));
+    ring_nodes_.push_back(std::move(nodes));
+  }
+
+  DeploymentOptions opts_;
+  sim::SimNetwork net_;
+  std::vector<ringpaxos::RingConfig> rings_;
+  std::vector<std::vector<sim::SimNode*>> ring_nodes_;
+  std::vector<sim::SimNode*> learner_nodes_;
+  std::vector<sim::SimNode*> proposer_nodes_;
+  std::vector<std::unique_ptr<sim::SimDiskStorage>> disks_;
+};
+
+}  // namespace mrp::multiring

@@ -1,0 +1,490 @@
+#include "net/codec.h"
+
+#include <optional>
+
+#include "paxos/messages.h"
+#include "paxos/value.h"
+#include "ringpaxos/messages.h"
+#include "smr/command.h"
+
+namespace mrp::net {
+namespace {
+
+using paxos::ClientMsg;
+using paxos::Value;
+using namespace ringpaxos;  // NOLINT: the codec is about this message set
+
+enum class Tag : std::uint8_t {
+  kSubmit = 1,
+  kSubmitAck = 2,
+  kP2A = 3,
+  kP2B = 4,
+  kDecision = 5,
+  kP1A = 6,
+  kP1B = 7,
+  kHeartbeat = 8,
+  kHeartbeatAck = 9,
+  kLearnReq = 10,
+  kLearnRep = 11,
+  kDeliveryAck = 12,
+  kSmrResponse = 13,
+  kTrimNotice = 14,
+  kSmrSnapshotReq = 15,
+  kSmrSnapshotRep = 16,
+  // Classic Paxos (plain-Paxos-backed groups over real transports).
+  kPxSubmit = 20,
+  kPxP1A = 21,
+  kPxP1B = 22,
+  kPxP2A = 23,
+  kPxP2B = 24,
+  kPxDecision = 25,
+  kPxLearnReq = 26,
+};
+
+void PutClientMsg(ByteWriter& w, const ClientMsg& m) {
+  w.u32(m.group);
+  w.u32(m.proposer);
+  w.u64(m.seq);
+  w.i64(m.sent_at.count());
+  w.u32(m.payload_size);
+  w.bytes(m.payload);
+}
+
+std::optional<ClientMsg> GetClientMsg(ByteReader& r) {
+  ClientMsg m;
+  auto group = r.u32();
+  auto proposer = r.u32();
+  auto seq = r.u64();
+  auto sent = r.i64();
+  auto psize = r.u32();
+  auto payload = r.bytes();
+  if (!group || !proposer || !seq || !sent || !psize || !payload) return std::nullopt;
+  m.group = *group;
+  m.proposer = *proposer;
+  m.seq = *seq;
+  m.sent_at = Duration(*sent);
+  m.payload_size = *psize;
+  m.payload = std::move(*payload);
+  return m;
+}
+
+void PutValue(ByteWriter& w, const Value& v) {
+  w.u8(static_cast<std::uint8_t>(v.kind));
+  w.u64(v.skip_count);
+  w.varint(v.msgs.size());
+  for (const auto& m : v.msgs) PutClientMsg(w, m);
+}
+
+std::optional<Value> GetValue(ByteReader& r) {
+  Value v;
+  auto kind = r.u8();
+  auto skip = r.u64();
+  auto count = r.varint();
+  if (!kind || !skip || !count || *count > 1'000'000) return std::nullopt;
+  v.kind = static_cast<Value::Kind>(*kind);
+  v.skip_count = *skip;
+  v.msgs.reserve(*count);
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    auto m = GetClientMsg(r);
+    if (!m) return std::nullopt;
+    v.msgs.push_back(std::move(*m));
+  }
+  return v;
+}
+
+void PutDecided(ByteWriter& w, const std::vector<Decided>& ds) {
+  w.varint(ds.size());
+  for (const auto& d : ds) {
+    w.u64(d.instance);
+    w.u64(d.vid);
+  }
+}
+
+std::optional<std::vector<Decided>> GetDecided(ByteReader& r) {
+  auto n = r.varint();
+  if (!n || *n > 1'000'000) return std::nullopt;
+  std::vector<Decided> out;
+  out.reserve(*n);
+  for (std::uint64_t i = 0; i < *n; ++i) {
+    auto inst = r.u64();
+    auto vid = r.u64();
+    if (!inst || !vid) return std::nullopt;
+    out.push_back({*inst, *vid});
+  }
+  return out;
+}
+
+void PutNodeList(ByteWriter& w, const std::vector<NodeId>& ns) {
+  w.varint(ns.size());
+  for (NodeId n : ns) w.u32(n);
+}
+
+std::optional<std::vector<NodeId>> GetNodeList(ByteReader& r) {
+  auto n = r.varint();
+  if (!n || *n > 10'000) return std::nullopt;
+  std::vector<NodeId> out;
+  out.reserve(*n);
+  for (std::uint64_t i = 0; i < *n; ++i) {
+    auto id = r.u32();
+    if (!id) return std::nullopt;
+    out.push_back(*id);
+  }
+  return out;
+}
+
+}  // namespace
+
+Bytes EncodeMessage(const MessageBase& msg) {
+  ByteWriter w(msg.WireSize() + 16);
+  if (const auto* m = dynamic_cast<const Submit*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kSubmit));
+    w.u32(m->ring);
+    PutClientMsg(w, m->msg);
+  } else if (const auto* m = dynamic_cast<const SubmitAck*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kSubmitAck));
+    w.u32(m->ring);
+    w.u32(m->group);
+    w.u64(m->up_to_seq);
+  } else if (const auto* m = dynamic_cast<const P2A*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kP2A));
+    w.u32(m->ring);
+    w.u32(m->round);
+    w.u64(m->instance);
+    w.u64(m->vid);
+    PutValue(w, m->value);
+    PutDecided(w, m->decided);
+    PutNodeList(w, m->layout);
+  } else if (const auto* m = dynamic_cast<const P2B*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kP2B));
+    w.u32(m->ring);
+    w.u32(m->round);
+    w.u64(m->instance);
+    w.u64(m->vid);
+    w.u32(m->votes);
+  } else if (const auto* m = dynamic_cast<const DecisionMsg*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kDecision));
+    w.u32(m->ring);
+    PutDecided(w, m->decided);
+  } else if (const auto* m = dynamic_cast<const P1A*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kP1A));
+    w.u32(m->ring);
+    w.u32(m->round);
+    w.u64(m->from_instance);
+    PutNodeList(w, m->layout);
+  } else if (const auto* m = dynamic_cast<const P1B*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kP1B));
+    w.u32(m->ring);
+    w.u32(m->round);
+    w.varint(m->accepted.size());
+    for (const auto& e : m->accepted) {
+      w.u64(e.instance);
+      w.u32(e.vrnd);
+      PutValue(w, e.value);
+    }
+  } else if (const auto* m = dynamic_cast<const Heartbeat*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kHeartbeat));
+    w.u32(m->ring);
+    w.u32(m->round);
+    w.u32(m->coordinator);
+  } else if (const auto* m = dynamic_cast<const HeartbeatAck*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kHeartbeatAck));
+    w.u32(m->ring);
+    w.u32(m->round);
+  } else if (const auto* m = dynamic_cast<const LearnReq*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kLearnReq));
+    w.u32(m->ring);
+    w.u64(m->from_instance);
+    w.u32(m->max_values);
+  } else if (const auto* m = dynamic_cast<const LearnRep*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kLearnRep));
+    w.u32(m->ring);
+    w.varint(m->entries.size());
+    for (const auto& e : m->entries) {
+      w.u64(e.instance);
+      w.u64(e.vid);
+      PutValue(w, e.value);
+    }
+  } else if (const auto* m = dynamic_cast<const DeliveryAck*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kDeliveryAck));
+    w.u32(m->ring);
+    w.u32(m->group);
+    w.u64(m->seq);
+  } else if (const auto* m = dynamic_cast<const TrimNotice*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kTrimNotice));
+    w.u32(m->ring);
+    w.u64(m->low_watermark);
+    w.u64(m->high_watermark);
+  } else if (const auto* m = dynamic_cast<const smr::SnapshotReq*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kSmrSnapshotReq));
+    w.u32(m->partition);
+  } else if (const auto* m = dynamic_cast<const smr::SnapshotRep*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kSmrSnapshotRep));
+    w.u32(m->partition);
+    w.u64(m->applied);
+    w.varint(m->rows.size());
+    for (const auto& [k, v] : m->rows) {
+      w.u64(k);
+      w.str(v);
+    }
+  } else if (const auto* m = dynamic_cast<const paxos::SubmitReq*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kPxSubmit));
+    PutClientMsg(w, m->msg);
+  } else if (const auto* m = dynamic_cast<const paxos::Phase1A*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kPxP1A));
+    w.u64(m->instance);
+    w.u32(m->round);
+  } else if (const auto* m = dynamic_cast<const paxos::Phase1B*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kPxP1B));
+    w.u64(m->instance);
+    w.u32(m->round);
+    w.u32(m->accepted_round);
+    w.u8(m->accepted.has_value() ? 1 : 0);
+    if (m->accepted) PutValue(w, *m->accepted);
+  } else if (const auto* m = dynamic_cast<const paxos::Phase2A*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kPxP2A));
+    w.u64(m->instance);
+    w.u32(m->round);
+    PutValue(w, m->value);
+  } else if (const auto* m = dynamic_cast<const paxos::Phase2B*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kPxP2B));
+    w.u64(m->instance);
+    w.u32(m->round);
+  } else if (const auto* m = dynamic_cast<const paxos::DecisionMsg*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kPxDecision));
+    w.u64(m->instance);
+    w.u32(m->group);
+    PutValue(w, m->value);
+  } else if (const auto* m = dynamic_cast<const paxos::LearnReq*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kPxLearnReq));
+    w.u64(m->from_instance);
+  } else if (const auto* m = dynamic_cast<const smr::Response*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kSmrResponse));
+    w.u64(m->req_id);
+    w.u32(m->partition);
+    w.u8(m->ok ? 1 : 0);
+    w.varint(m->rows.size());
+    for (const auto& [k, v] : m->rows) {
+      w.u64(k);
+      w.str(v);
+    }
+  } else {
+    return {};
+  }
+  return w.take();
+}
+
+MessagePtr DecodeMessage(std::span<const std::uint8_t> frame) {
+  ByteReader r(frame);
+  auto tag = r.u8();
+  if (!tag) return nullptr;
+  switch (static_cast<Tag>(*tag)) {
+    case Tag::kSubmit: {
+      auto ring = r.u32();
+      auto msg = GetClientMsg(r);
+      if (!ring || !msg) return nullptr;
+      return MakeMessage<Submit>(*ring, std::move(*msg));
+    }
+    case Tag::kSubmitAck: {
+      auto ring = r.u32();
+      auto group = r.u32();
+      auto seq = r.u64();
+      if (!ring || !group || !seq) return nullptr;
+      return MakeMessage<SubmitAck>(*ring, *group, *seq);
+    }
+    case Tag::kP2A: {
+      auto ring = r.u32();
+      auto round = r.u32();
+      auto inst = r.u64();
+      auto vid = r.u64();
+      if (!ring || !round || !inst || !vid) return nullptr;
+      auto value = GetValue(r);
+      if (!value) return nullptr;
+      auto decided = GetDecided(r);
+      auto layout = GetNodeList(r);
+      if (!decided || !layout) return nullptr;
+      return MakeMessage<P2A>(*ring, *round, *inst, *vid, std::move(*value),
+                              std::move(*decided), std::move(*layout));
+    }
+    case Tag::kP2B: {
+      auto ring = r.u32();
+      auto round = r.u32();
+      auto inst = r.u64();
+      auto vid = r.u64();
+      auto votes = r.u32();
+      if (!ring || !round || !inst || !vid || !votes) return nullptr;
+      return MakeMessage<P2B>(*ring, *round, *inst, *vid, *votes);
+    }
+    case Tag::kDecision: {
+      auto ring = r.u32();
+      auto decided = GetDecided(r);
+      if (!ring || !decided) return nullptr;
+      return MakeMessage<DecisionMsg>(*ring, std::move(*decided));
+    }
+    case Tag::kP1A: {
+      auto ring = r.u32();
+      auto round = r.u32();
+      auto from = r.u64();
+      auto layout = GetNodeList(r);
+      if (!ring || !round || !from || !layout) return nullptr;
+      return MakeMessage<P1A>(*ring, *round, *from, std::move(*layout));
+    }
+    case Tag::kP1B: {
+      auto ring = r.u32();
+      auto round = r.u32();
+      auto n = r.varint();
+      if (!ring || !round || !n || *n > 1'000'000) return nullptr;
+      std::vector<P1B::Entry> entries;
+      entries.reserve(*n);
+      for (std::uint64_t i = 0; i < *n; ++i) {
+        auto inst = r.u64();
+        auto vrnd = r.u32();
+        if (!inst || !vrnd) return nullptr;
+        auto value = GetValue(r);
+        if (!value) return nullptr;
+        entries.push_back({*inst, *vrnd, std::move(*value)});
+      }
+      return MakeMessage<P1B>(*ring, *round, std::move(entries));
+    }
+    case Tag::kHeartbeat: {
+      auto ring = r.u32();
+      auto round = r.u32();
+      auto coord = r.u32();
+      if (!ring || !round || !coord) return nullptr;
+      return MakeMessage<Heartbeat>(*ring, *round, *coord);
+    }
+    case Tag::kHeartbeatAck: {
+      auto ring = r.u32();
+      auto round = r.u32();
+      if (!ring || !round) return nullptr;
+      return MakeMessage<HeartbeatAck>(*ring, *round);
+    }
+    case Tag::kLearnReq: {
+      auto ring = r.u32();
+      auto from = r.u64();
+      auto max = r.u32();
+      if (!ring || !from || !max) return nullptr;
+      return MakeMessage<LearnReq>(*ring, *from, *max);
+    }
+    case Tag::kLearnRep: {
+      auto ring = r.u32();
+      auto n = r.varint();
+      if (!ring || !n || *n > 1'000'000) return nullptr;
+      std::vector<LearnRep::Entry> entries;
+      entries.reserve(*n);
+      for (std::uint64_t i = 0; i < *n; ++i) {
+        auto inst = r.u64();
+        auto vid = r.u64();
+        if (!inst || !vid) return nullptr;
+        auto value = GetValue(r);
+        if (!value) return nullptr;
+        entries.push_back({*inst, *vid, std::move(*value)});
+      }
+      return MakeMessage<LearnRep>(*ring, std::move(entries));
+    }
+    case Tag::kDeliveryAck: {
+      auto ring = r.u32();
+      auto group = r.u32();
+      auto seq = r.u64();
+      if (!ring || !group || !seq) return nullptr;
+      return MakeMessage<DeliveryAck>(*ring, *group, *seq);
+    }
+    case Tag::kTrimNotice: {
+      auto ring = r.u32();
+      auto low = r.u64();
+      auto high = r.u64();
+      if (!ring || !low || !high) return nullptr;
+      return MakeMessage<TrimNotice>(*ring, *low, *high);
+    }
+    case Tag::kSmrSnapshotReq: {
+      auto part = r.u32();
+      if (!part) return nullptr;
+      return MakeMessage<smr::SnapshotReq>(*part);
+    }
+    case Tag::kSmrSnapshotRep: {
+      auto part = r.u32();
+      auto applied = r.u64();
+      auto n = r.varint();
+      if (!part || !applied || !n || *n > 10'000'000) return nullptr;
+      std::vector<std::pair<smr::Key, std::string>> rows;
+      rows.reserve(*n);
+      for (std::uint64_t i = 0; i < *n; ++i) {
+        auto k = r.u64();
+        auto v = r.str();
+        if (!k || !v) return nullptr;
+        rows.emplace_back(*k, std::move(*v));
+      }
+      return MakeMessage<smr::SnapshotRep>(*part, *applied, std::move(rows));
+    }
+    case Tag::kPxSubmit: {
+      auto msg = GetClientMsg(r);
+      if (!msg) return nullptr;
+      return MakeMessage<paxos::SubmitReq>(std::move(*msg));
+    }
+    case Tag::kPxP1A: {
+      auto inst = r.u64();
+      auto round = r.u32();
+      if (!inst || !round) return nullptr;
+      return MakeMessage<paxos::Phase1A>(*inst, *round);
+    }
+    case Tag::kPxP1B: {
+      auto inst = r.u64();
+      auto round = r.u32();
+      auto vrnd = r.u32();
+      auto has = r.u8();
+      if (!inst || !round || !vrnd || !has) return nullptr;
+      std::optional<Value> value;
+      if (*has) {
+        auto v = GetValue(r);
+        if (!v) return nullptr;
+        value = std::move(*v);
+      }
+      return MakeMessage<paxos::Phase1B>(*inst, *round, *vrnd, std::move(value));
+    }
+    case Tag::kPxP2A: {
+      auto inst = r.u64();
+      auto round = r.u32();
+      if (!inst || !round) return nullptr;
+      auto value = GetValue(r);
+      if (!value) return nullptr;
+      return MakeMessage<paxos::Phase2A>(*inst, *round, std::move(*value));
+    }
+    case Tag::kPxP2B: {
+      auto inst = r.u64();
+      auto round = r.u32();
+      if (!inst || !round) return nullptr;
+      return MakeMessage<paxos::Phase2B>(*inst, *round);
+    }
+    case Tag::kPxDecision: {
+      auto inst = r.u64();
+      auto group = r.u32();
+      if (!inst || !group) return nullptr;
+      auto value = GetValue(r);
+      if (!value) return nullptr;
+      return MakeMessage<paxos::DecisionMsg>(*inst, std::move(*value), *group);
+    }
+    case Tag::kPxLearnReq: {
+      auto inst = r.u64();
+      if (!inst) return nullptr;
+      return MakeMessage<paxos::LearnReq>(*inst);
+    }
+    case Tag::kSmrResponse: {
+      auto req = r.u64();
+      auto part = r.u32();
+      auto ok = r.u8();
+      auto n = r.varint();
+      if (!req || !part || !ok || !n || *n > 1'000'000) return nullptr;
+      std::vector<std::pair<smr::Key, std::string>> rows;
+      rows.reserve(*n);
+      for (std::uint64_t i = 0; i < *n; ++i) {
+        auto k = r.u64();
+        auto v = r.str();
+        if (!k || !v) return nullptr;
+        rows.emplace_back(*k, std::move(*v));
+      }
+      return MakeMessage<smr::Response>(*req, *part, *ok != 0, std::move(rows));
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace mrp::net

@@ -1,0 +1,23 @@
+// Wire codec for the real transports: serializes the Ring Paxos /
+// Multi-Ring Paxos message set (and the KV service response) into
+// self-describing frames. The simulator never serializes — it passes
+// messages by pointer and charges WireSize() — so this codec is the
+// boundary between protocol objects and UDP/in-proc framing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.h"
+#include "common/message.h"
+
+namespace mrp::net {
+
+// Returns an empty buffer if the concrete message type is not part of
+// the wire protocol.
+Bytes EncodeMessage(const MessageBase& msg);
+
+// Returns nullptr on malformed input.
+MessagePtr DecodeMessage(std::span<const std::uint8_t> frame);
+
+}  // namespace mrp::net

@@ -1,0 +1,91 @@
+// Classic Paxos message set (Section III-A). Ring Paxos has its own,
+// larger message set in ringpaxos/messages.h; this one is used by the
+// plain Paxos substrate and by tests that validate the acceptor core.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "common/message.h"
+#include "common/types.h"
+#include "paxos/value.h"
+
+namespace mrp::paxos {
+
+// Client value submission (proposer -> coordinator).
+struct SubmitReq final : MessageBase {
+  ClientMsg msg;
+
+  explicit SubmitReq(ClientMsg m) : msg(std::move(m)) {}
+  std::size_t WireSize() const override { return 8 + msg.WireSize(); }
+  const char* TypeName() const override { return "paxos.Submit"; }
+};
+
+struct Phase1A final : MessageBase {
+  InstanceId instance;
+  Round round;
+
+  Phase1A(InstanceId i, Round r) : instance(i), round(r) {}
+  std::size_t WireSize() const override { return 8 + 8 + 4; }
+  const char* TypeName() const override { return "paxos.P1A"; }
+};
+
+struct Phase1B final : MessageBase {
+  InstanceId instance;
+  Round round;            // the round being promised
+  Round accepted_round;   // vrnd (0 if none)
+  std::optional<Value> accepted;  // vval
+
+  Phase1B(InstanceId i, Round r, Round vrnd, std::optional<Value> vval)
+      : instance(i), round(r), accepted_round(vrnd), accepted(std::move(vval)) {}
+  std::size_t WireSize() const override {
+    return 8 + 8 + 4 + 4 + (accepted ? accepted->WireSize() : 1);
+  }
+  const char* TypeName() const override { return "paxos.P1B"; }
+};
+
+struct Phase2A final : MessageBase {
+  InstanceId instance;
+  Round round;
+  Value value;
+
+  Phase2A(InstanceId i, Round r, Value v) : instance(i), round(r), value(std::move(v)) {}
+  std::size_t WireSize() const override { return 8 + 8 + 4 + value.WireSize(); }
+  const char* TypeName() const override { return "paxos.P2A"; }
+};
+
+struct Phase2B final : MessageBase {
+  InstanceId instance;
+  Round round;
+
+  Phase2B(InstanceId i, Round r) : instance(i), round(r) {}
+  std::size_t WireSize() const override { return 8 + 8 + 4; }
+  const char* TypeName() const override { return "paxos.P2B"; }
+};
+
+struct DecisionMsg final : MessageBase {
+  InstanceId instance;
+  Value value;
+  // Group ordered by this Paxos instance (tags the decision stream when
+  // plain Paxos backs a Multi-Ring group; see multiring/paxos_group.h).
+  GroupId group;
+
+  DecisionMsg(InstanceId i, Value v, GroupId g = 0)
+      : instance(i), value(std::move(v)), group(g) {}
+  std::size_t WireSize() const override { return 8 + 8 + 4 + value.WireSize(); }
+  const char* TypeName() const override { return "paxos.Decision"; }
+};
+
+// Learner gap recovery: asks a proposer to retransmit decisions starting
+// at `from_instance` (lost Decision multicasts otherwise stall the
+// learner's in-order delivery window).
+struct LearnReq final : MessageBase {
+  InstanceId from_instance;
+
+  explicit LearnReq(InstanceId from) : from_instance(from) {}
+  std::size_t WireSize() const override { return 8 + 8; }
+  const char* TypeName() const override { return "paxos.LearnReq"; }
+};
+
+}  // namespace mrp::paxos

@@ -1,0 +1,142 @@
+// Classic Paxos roles (Section III-A): per-instance two-phase consensus
+// with majority quorums. This module is the correctness substrate Ring
+// Paxos derives from; it favours clarity over throughput (no ring, no
+// ip-multicast of Phase 2, per-instance Phase 1).
+//
+// Any proposer may propose; contention is resolved through rounds.
+// Round r is owned by proposers[r % proposers.size()]; a preempted
+// proposer retries with its next owned round. Decisions are multicast on
+// `decision_channel`, to which learners subscribe.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/env.h"
+#include "common/instance_window.h"
+#include "common/types.h"
+#include "paxos/acceptor_core.h"
+#include "paxos/messages.h"
+#include "paxos/storage.h"
+#include "paxos/value.h"
+
+namespace mrp::paxos {
+
+struct PaxosConfig {
+  std::vector<NodeId> proposers;
+  std::vector<NodeId> acceptors;
+  ChannelId decision_channel = 0;
+  // Group tag stamped into decisions (Multi-Ring composition over plain
+  // Paxos, the paper's Section VII conjecture).
+  GroupId group = 0;
+  // Skip policy (Algorithm 1) for Multi-Ring composition; 0 disables.
+  // Only proposers[0] proposes skips.
+  double lambda_per_sec = 0;
+  Duration delta = Millis(1);
+  Duration phase_timeout = Millis(50);
+  std::size_t window = 8;          // concurrently running instances
+  std::size_t batch_bytes = 8 * 1024;
+
+  std::size_t Majority() const { return acceptors.size() / 2 + 1; }
+};
+
+class PaxosAcceptor final : public Protocol {
+ public:
+  // Uses an internal MemStorage unless an external Storage is supplied.
+  PaxosAcceptor();
+  explicit PaxosAcceptor(Storage& storage);
+
+  void OnStart(Env& env) override;
+  void OnMessage(Env& env, NodeId from, const MessagePtr& m) override;
+
+  AcceptorCore& core() { return core_; }
+
+ private:
+  std::unique_ptr<Storage> owned_storage_;
+  AcceptorCore core_;
+};
+
+class PaxosProposer final : public Protocol {
+ public:
+  PaxosProposer(PaxosConfig config, std::size_t my_index);
+
+  void OnStart(Env& env) override;
+  void OnMessage(Env& env, NodeId from, const MessagePtr& m) override;
+
+  // Submits a client message (also reachable via SubmitReq).
+  void Submit(Env& env, ClientMsg msg);
+
+  std::uint64_t decided_count() const { return decided_count_; }
+
+ private:
+  struct Running {
+    Round round = 0;
+    std::uint32_t attempt = 0;
+    Value own;                   // the batch this proposer wants decided
+    // Phase 1 state.
+    std::size_t promises = 0;
+    Round best_vrnd = 0;
+    std::optional<Value> adopted;
+    bool phase2 = false;
+    // Phase 2 state.
+    std::size_t accepts = 0;
+    Value proposing;             // value actually sent in Phase 2
+    bool decided = false;
+    TimerId timer = kNoTimer;
+  };
+
+  Round OwnedRound(std::uint32_t attempt) const;
+  void TryStartInstances(Env& env);
+  void StartInstanceWith(Env& env, Value value);
+  void OnDeltaTimer(Env& env);
+  void StartPhase1(Env& env, InstanceId instance);
+  void StartPhase2(Env& env, InstanceId instance);
+  void OnTimeout(Env& env, InstanceId instance);
+  void Finish(Env& env, InstanceId instance);
+
+  PaxosConfig cfg_;
+  std::size_t my_index_;
+  std::deque<ClientMsg> pending_;
+  std::map<InstanceId, Running> running_;
+  std::map<InstanceId, Value> decided_log_;  // serves learner recovery
+  InstanceId next_instance_ = 0;
+  std::uint64_t decided_count_ = 0;
+  // Skip accounting (fractional carry, as in ringpaxos::RingNode).
+  double logical_k_ = 0;
+  double prev_k_ = 0;
+  TimePoint last_sample_{0};
+};
+
+class PaxosLearner final : public Protocol {
+ public:
+  using DeliverFn = std::function<void(InstanceId, const Value&)>;
+
+  // `proposers` are queried for lost decisions; empty disables recovery.
+  PaxosLearner(DeliverFn deliver, std::vector<NodeId> proposers = {},
+               Duration recovery_interval = Millis(20))
+      : deliver_(std::move(deliver)),
+        proposers_(std::move(proposers)),
+        recovery_interval_(recovery_interval) {}
+
+  void OnStart(Env& env) override;
+  void OnMessage(Env& env, NodeId from, const MessagePtr& m) override;
+
+  InstanceId next_instance() const { return window_.next(); }
+
+ private:
+  void Drain(Env& env);
+  void CheckGaps(Env& env);
+
+  DeliverFn deliver_;
+  std::vector<NodeId> proposers_;
+  Duration recovery_interval_;
+  InstanceWindow<Value> window_;
+  InstanceId stuck_at_ = 0;  // window base at the previous gap check
+};
+
+}  // namespace mrp::paxos

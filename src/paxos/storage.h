@@ -1,0 +1,84 @@
+// Acceptor durable state. In-memory mode (a majority of acceptors never
+// fails simultaneously) completes writes immediately; recoverable mode
+// funnels writes through a disk with finite bandwidth — the resource
+// that bounds Recoverable Ring Paxos at ~400 Mbps in Figure 1.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "common/types.h"
+#include "paxos/value.h"
+
+namespace mrp::paxos {
+
+// Per-instance acceptor record (Paxos: rnd, vrnd, vval).
+struct AcceptorRecord {
+  Round promised = 0;        // highest round promised (rnd)
+  Round accepted_round = 0;  // round of the accepted value (vrnd)
+  std::optional<Value> accepted;  // accepted value (vval)
+};
+
+class Storage {
+ public:
+  virtual ~Storage() = default;
+
+  // Durably records the state for `instance`; `done` runs once the write
+  // is stable (single-threaded with the protocol). `wire_bytes` is the
+  // serialized record size used for disk bandwidth accounting.
+  virtual void Put(InstanceId instance, AcceptorRecord record,
+                   std::size_t wire_bytes, std::function<void()> done) = 0;
+
+  // In-memory view of the latest state for `instance` (records are
+  // cached in memory in both modes).
+  virtual const AcceptorRecord* Get(InstanceId instance) const = 0;
+
+  // Discards records below `instance` (checkpointing support).
+  virtual void Trim(InstanceId below) = 0;
+
+  // Visits every record with instance >= from, in instance order. The
+  // record may be mutated in place (used by multi-instance Phase 1 to
+  // raise promises; the promise itself is re-persisted by the caller's
+  // next Put, which is sufficient because we do not model replay-from-
+  // disk recovery — see DESIGN.md).
+  virtual void ForEachFrom(
+      InstanceId from,
+      const std::function<void(InstanceId, AcceptorRecord&)>& fn) = 0;
+
+  virtual std::size_t size() const = 0;
+};
+
+// In-memory storage: writes complete synchronously.
+class MemStorage final : public Storage {
+ public:
+  void Put(InstanceId instance, AcceptorRecord record, std::size_t /*wire_bytes*/,
+           std::function<void()> done) override {
+    records_[instance] = std::move(record);
+    if (done) done();
+  }
+
+  const AcceptorRecord* Get(InstanceId instance) const override {
+    auto it = records_.find(instance);
+    return it == records_.end() ? nullptr : &it->second;
+  }
+
+  void Trim(InstanceId below) override {
+    records_.erase(records_.begin(), records_.lower_bound(below));
+  }
+
+  void ForEachFrom(InstanceId from,
+                   const std::function<void(InstanceId, AcceptorRecord&)>& fn) override {
+    for (auto it = records_.lower_bound(from); it != records_.end(); ++it) {
+      fn(it->first, it->second);
+    }
+  }
+
+  std::size_t size() const override { return records_.size(); }
+
+ private:
+  std::map<InstanceId, AcceptorRecord> records_;
+};
+
+}  // namespace mrp::paxos

@@ -1,0 +1,204 @@
+#include "ringpaxos/learner.h"
+
+#include <algorithm>
+
+namespace mrp::ringpaxos {
+
+namespace {
+// vids encode their round in the high bits (RingNode::NextVid); the
+// round decides whether a proposal's value is forced to equal an
+// earlier decision's value.
+Round VidRound(ValueId vid) { return static_cast<Round>(vid >> 40); }
+}  // namespace
+
+bool LearnerCore::OnRingMessage(Env& env, const MessagePtr& m) {
+  const auto* rm = dynamic_cast<const RingMessage*>(m.get());
+  if (rm == nullptr || rm->ring != opts_.ring.ring) return false;
+
+  if (const auto* p2a = Cast<P2A>(m)) {
+    if (!p2a->layout.empty()) coordinator_hint_ = p2a->layout[0];
+    if (p2a->instance >= window_.next()) {
+      if (Cell* cell = window_.Get(p2a->instance)) {
+        // Decided with the value lost earlier. A retransmission carries
+        // it again (same vid); after a fail-over a RE-proposal carries
+        // the same VALUE under a new vid — safe to use when its round is
+        // at least the decision's round, because that proposer's Phase 1
+        // intersected the deciding quorum and was forced to the decided
+        // value. A LOWER-round proposal may be a stale loser: ignore.
+        if (!cell->value.has_value() &&
+            (cell->vid == p2a->vid || p2a->round >= VidRound(cell->vid))) {
+          cell->value = p2a->value;
+          buffered_msgs_ += MsgsIn(p2a->value);
+        }
+      } else {
+        auto [it, inserted] = cache_.try_emplace(p2a->instance);
+        if (inserted || p2a->round >= it->second.round) {
+          if (!inserted) buffered_msgs_ -= MsgsIn(it->second.value);
+          it->second = Cached{p2a->round, p2a->vid, p2a->value};
+          buffered_msgs_ += MsgsIn(p2a->value);
+        }
+      }
+    }
+    for (const auto& d : p2a->decided) PlaceDecision(d.instance, d.vid);
+    TrimCache();
+    return true;
+  }
+  if (const auto* dec = Cast<DecisionMsg>(m)) {
+    for (const auto& d : dec->decided) PlaceDecision(d.instance, d.vid);
+    TrimCache();
+    return true;
+  }
+  if (const auto* rep = Cast<LearnRep>(m)) {
+    for (const auto& e : rep->entries) {
+      if (e.instance < window_.next()) continue;
+      if (Cell* cell = window_.Get(e.instance)) {
+        // Decision already placed but the value was lost: fill it in.
+        // LearnRep entries are decision records (the acceptor only
+        // serves values matching ITS decided vid), and two decisions of
+        // one instance always carry the same value even when fail-overs
+        // relabelled the vid — so no vid comparison here.
+        if (!cell->value.has_value()) {
+          cell->value = e.value;
+          buffered_msgs_ += MsgsIn(e.value);
+        }
+        continue;
+      }
+      buffered_msgs_ += MsgsIn(e.value);
+      window_.Insert(e.instance, Cell{e.vid, e.value});
+      auto cit = cache_.find(e.instance);
+      if (cit != cache_.end()) {
+        buffered_msgs_ -= MsgsIn(cit->second.value);
+        cache_.erase(cit);
+      }
+    }
+    return true;
+  }
+  if (const auto* hb = Cast<Heartbeat>(m)) {
+    coordinator_hint_ = hb->coordinator;
+    return true;
+  }
+  if (const auto* trim = Cast<TrimNotice>(m)) {
+    // History below low_watermark is unrecoverable from the ring:
+    // fast-forward into the retained window (a late joiner; applications
+    // restore earlier state from snapshots). Target the window midpoint
+    // so half the retention remains as headroom against the trim point,
+    // which keeps moving while recovery requests are in flight. Never
+    // move backwards.
+    const InstanceId target =
+        trim->low_watermark + (trim->high_watermark - trim->low_watermark) / 2;
+    if (target > window_.next()) {
+      const InstanceId skipped = target - window_.next();
+      for (const Cell& dropped : window_.Skip(skipped)) {
+        if (dropped.value.has_value()) {
+          buffered_msgs_ -= std::min(buffered_msgs_, MsgsIn(*dropped.value));
+        }
+      }
+      fast_forwarded_ += skipped;
+      TrimCache();
+    }
+    return true;
+  }
+  (void)env;
+  return false;
+}
+
+void LearnerCore::PlaceDecision(InstanceId instance, ValueId vid) {
+  if (instance < window_.next() || window_.Contains(instance)) return;
+  Cell cell;
+  cell.vid = vid;
+  auto it = cache_.find(instance);
+  if (it != cache_.end()) {
+    if (it->second.vid == vid || it->second.round >= VidRound(vid)) {
+      // Exact proposal, or a later-round re-proposal whose value Phase 1
+      // forced to equal the decision's.
+      cell.value = std::move(it->second.value);
+    } else {
+      // A stale proposal from a dead round was cached; the decided value
+      // will arrive via recovery.
+      buffered_msgs_ -= MsgsIn(it->second.value);
+    }
+    cache_.erase(it);
+  }
+  window_.Insert(instance, std::move(cell));
+}
+
+void LearnerCore::TrimCache() {
+  // Drop cached proposals for instances the window has already passed.
+  while (!cache_.empty() && cache_.begin()->first < window_.next()) {
+    buffered_msgs_ -= MsgsIn(cache_.begin()->second.value);
+    cache_.erase(cache_.begin());
+  }
+}
+
+void LearnerCore::Tick(Env& env) {
+  TrimCache();
+  const bool stuck = window_.next() == last_next_ &&
+                     (window_.buffered() > 0 || !cache_.empty());
+  last_next_ = window_.next();
+  if (!stuck) return;
+  // Estimate how far behind the live edge we are (highest instance seen
+  // in the undecided cache) and request several consecutive chunks in
+  // parallel — a deeply lagging or late-joining learner must recover
+  // faster than the live rate or it never catches up.
+  const InstanceId live = cache_.empty() ? window_.next() : cache_.rbegin()->first;
+  const std::uint64_t backlog = live > window_.next() ? live - window_.next() : 0;
+  const int chunks =
+      1 + static_cast<int>(std::min<std::uint64_t>(
+              3, backlog / std::max<std::uint32_t>(1, opts_.recovery_batch)));
+  // Rotate over the WHOLE universe (members and spares), interleaved
+  // with the current coordinator: after reconfigurations the record for
+  // an old instance may live only on a node that is no longer in the
+  // ring (or not the preferential acceptor), and a fixed target set can
+  // dead-end the learner forever.
+  const auto universe = opts_.ring.Universe();
+  for (int i = 0; i < chunks; ++i) {
+    NodeId target;
+    const int flip = ++recovery_flip_;
+    if (flip % 2 == 0 && coordinator_hint_ != kNoNode) {
+      target = coordinator_hint_;
+    } else {
+      target = universe[(env.self() + static_cast<NodeId>(flip)) % universe.size()];
+    }
+    env.Send(target,
+             MakeMessage<LearnReq>(
+                 opts_.ring.ring,
+                 window_.next() + static_cast<InstanceId>(i) * opts_.recovery_batch,
+                 opts_.recovery_batch));
+  }
+}
+
+// ---------------------------------------------------------- RingLearner
+
+void RingLearner::OnStart(Env& env) { ArmTick(env); }
+
+void RingLearner::ArmTick(Env& env) {
+  env.SetTimer(opts_.learner.recovery_interval, [this, &env] {
+    core_.Tick(env);
+    Drain(env);
+    ArmTick(env);
+  });
+}
+
+void RingLearner::OnMessage(Env& env, NodeId /*from*/, const MessagePtr& m) {
+  if (core_.OnRingMessage(env, m)) Drain(env);
+}
+
+void RingLearner::Drain(Env& env) {
+  while (auto ready = core_.Pop()) {
+    if (ready->value.is_skip()) {
+      skipped_logical_ += ready->value.skip_count;
+      continue;
+    }
+    for (const auto& msg : ready->value.msgs) {
+      latency_.Record(env.now() - msg.sent_at);
+      delivered_.Add(1, msg.payload_size);
+      if (opts_.on_deliver) opts_.on_deliver(msg);
+      if (opts_.send_delivery_acks) {
+        env.Send(msg.proposer,
+                 MakeMessage<DeliveryAck>(core_.ring(), msg.group, msg.seq));
+      }
+    }
+  }
+}
+
+}  // namespace mrp::ringpaxos

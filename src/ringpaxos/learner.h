@@ -1,0 +1,157 @@
+// Ring Paxos learner. LearnerCore is the transport-free state machine:
+// it caches the client values received by ip-multicast (Phase 2A),
+// matches them with decision announcements (piggybacked or standalone),
+// exposes the decided stream in instance order, and recovers lost
+// messages from a preferential acceptor (Section III-B). RingLearner
+// wraps one core into a Protocol and delivers eagerly; the Multi-Ring
+// merge learner (src/multiring) wraps several cores and consumes them
+// with the deterministic merge.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/env.h"
+#include "common/instance_window.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "paxos/value.h"
+#include "ringpaxos/config.h"
+#include "ringpaxos/messages.h"
+
+namespace mrp::ringpaxos {
+
+struct LearnerOptions {
+  RingConfig ring;
+  Duration recovery_interval = Millis(10);
+  std::uint32_t recovery_batch = 32;
+  // When several groups are mapped to this ring (Section IV-D), a
+  // learner may subscribe to a subset: unsubscribed messages are still
+  // received and ordered (they waste the learner's bandwidth and CPU,
+  // as the paper notes) but are discarded instead of delivered. Empty =
+  // deliver every group on the ring.
+  std::vector<GroupId> subscribe_only;
+};
+
+class LearnerCore {
+ public:
+  explicit LearnerCore(LearnerOptions opts) : opts_(std::move(opts)) {}
+
+  // Feeds one ring message; returns true if it was consumed (P2A,
+  // Decision, LearnRep, Heartbeat for coordinator tracking).
+  bool OnRingMessage(Env& env, const MessagePtr& m);
+
+  // Next decided instance whose value is known, if the head of the
+  // instance stream is ready.
+  struct Ready {
+    InstanceId instance;
+    paxos::Value value;
+  };
+  bool HasReady() const {
+    const Cell* c = window_.Peek();
+    return c != nullptr && c->value.has_value();
+  }
+  std::optional<Ready> Pop() {
+    if (!HasReady()) return std::nullopt;
+    const InstanceId instance = window_.next();
+    Cell cell = window_.Pop();
+    const std::size_t n = MsgsIn(*cell.value);
+    buffered_msgs_ -= std::min(buffered_msgs_, n);
+    if (cell.value->is_skip() && cell.value->skip_count > 1) {
+      // One physical decision covers skip_count logical instances; the
+      // ids inside the range were never proposed individually. Any
+      // stale cells discarded by the advance release their accounting.
+      for (const Cell& dropped : window_.Skip(cell.value->skip_count - 1)) {
+        if (dropped.value.has_value()) {
+          buffered_msgs_ -= std::min(buffered_msgs_, MsgsIn(*dropped.value));
+        }
+      }
+    }
+    return Ready{instance, std::move(*cell.value)};
+  }
+
+  InstanceId next_instance() const { return window_.next(); }
+
+  // Messages buffered: decided-but-unconsumed plus cached-undecided.
+  std::size_t buffered_msgs() const { return buffered_msgs_; }
+  std::size_t cache_entries() const { return cache_.size(); }
+  std::size_t window_entries() const { return window_.buffered(); }
+  // Logical instances jumped over because the acceptors' logs no longer
+  // held them (late join / deep lag).
+  InstanceId fast_forwarded() const { return fast_forwarded_; }
+
+  // Gap recovery; call every opts.recovery_interval.
+  void Tick(Env& env);
+
+  RingId ring() const { return opts_.ring.ring; }
+  GroupId group() const { return opts_.ring.group; }
+
+ private:
+  struct Cell {
+    ValueId vid = kNoValueId;
+    std::optional<paxos::Value> value;
+  };
+  struct Cached {
+    Round round = 0;
+    ValueId vid = kNoValueId;
+    paxos::Value value;
+  };
+
+  void PlaceDecision(InstanceId instance, ValueId vid);
+  void TrimCache();
+  std::size_t MsgsIn(const paxos::Value& v) const { return v.msgs.size(); }
+
+  LearnerOptions opts_;
+  InstanceWindow<Cell> window_;
+  std::map<InstanceId, Cached> cache_;
+  NodeId coordinator_hint_ = kNoNode;
+  std::size_t buffered_msgs_ = 0;
+
+  // Stuck detection for recovery.
+  InstanceId last_next_ = 0;
+  int recovery_flip_ = 0;
+  InstanceId fast_forwarded_ = 0;
+};
+
+// Single-group learner: delivers the decided client messages of one ring
+// in instance order as they become available.
+class RingLearner final : public Protocol {
+ public:
+  using DeliverFn = std::function<void(const paxos::ClientMsg&)>;
+
+  struct Options {
+    LearnerOptions learner;
+    bool send_delivery_acks = false;
+    DeliverFn on_deliver;  // optional
+  };
+
+  explicit RingLearner(Options opts)
+      : opts_(std::move(opts)), core_(opts_.learner) {}
+
+  void OnStart(Env& env) override;
+  void OnMessage(Env& env, NodeId from, const MessagePtr& m) override;
+
+  // ---- Stats ----
+  const Histogram& latency() const { return latency_; }
+  Histogram& latency() { return latency_; }
+  RateMeter& delivered() { return delivered_; }
+  std::uint64_t delivered_msgs() const { return delivered_.total_count(); }
+  std::uint64_t skipped_logical() const { return skipped_logical_; }
+  InstanceId next_instance() const { return core_.next_instance(); }
+
+ private:
+  void Drain(Env& env);
+  void ArmTick(Env& env);
+
+  Options opts_;
+  LearnerCore core_;
+  Histogram latency_;
+  RateMeter delivered_;
+  std::uint64_t skipped_logical_ = 0;
+};
+
+}  // namespace mrp::ringpaxos

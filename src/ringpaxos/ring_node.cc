@@ -1,0 +1,652 @@
+#include "ringpaxos/ring_node.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace mrp::ringpaxos {
+
+using paxos::Value;
+
+RingNode::RingNode(RingConfig cfg, paxos::Storage* storage)
+    : cfg_(std::move(cfg)),
+      owned_storage_(storage ? nullptr : std::make_unique<paxos::MemStorage>()),
+      core_(storage ? *storage : *owned_storage_) {}
+
+void RingNode::OnStart(Env& env) {
+  self_ = env.self();
+  layouts_[0] = cfg_.ring_members;
+  last_sample_ = env.now();
+  last_leader_sign_ = env.now();
+  if (cfg_.RoundOwner(0) == self_) {
+    StartTakeover(env, cfg_.ring_members);
+  } else if (cfg_.InUniverse(self_)) {
+    follower_timer_ = env.SetTimer(cfg_.heartbeat_interval,
+                                   [this, &env] { OnFollowerCheckTimer(env); });
+  }
+}
+
+// --------------------------------------------------------------- helpers
+
+const std::vector<NodeId>* RingNode::LayoutFor(Round r) const {
+  auto it = layouts_.find(r);
+  return it == layouts_.end() ? nullptr : &it->second;
+}
+
+int RingNode::PositionIn(const std::vector<NodeId>& layout, NodeId n) const {
+  for (std::size_t i = 0; i < layout.size(); ++i) {
+    if (layout[i] == n) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+ValueId RingNode::NextVid() {
+  // Unique across coordinators: high bits carry the round (owned by a
+  // single node), low bits a local counter.
+  return (static_cast<ValueId>(round_) << 40) | ++vid_seq_;
+}
+
+// ---------------------------------------------------------- message pump
+
+void RingNode::OnMessage(Env& env, NodeId from, const MessagePtr& m) {
+  const auto* rm = dynamic_cast<const RingMessage*>(m.get());
+  if (rm == nullptr || rm->ring != cfg_.ring) return;
+
+  if (const auto* p2a = Cast<P2A>(m)) {
+    OnP2A(env, *p2a);
+  } else if (const auto* p2b = Cast<P2B>(m)) {
+    OnP2B(env, from, *p2b);
+  } else if (const auto* submit = Cast<Submit>(m)) {
+    OnSubmit(env, *submit);
+  } else if (const auto* p1a = Cast<P1A>(m)) {
+    OnP1A(env, from, *p1a);
+  } else if (const auto* p1b = Cast<P1B>(m)) {
+    OnP1B(env, from, *p1b);
+  } else if (const auto* dec = Cast<DecisionMsg>(m)) {
+    NoteDecided(dec->decided);
+    last_leader_sign_ = env.now();
+  } else if (const auto* hb = Cast<Heartbeat>(m)) {
+    last_leader_sign_ = env.now();
+    if (hb->round > round_) round_ = hb->round;
+    if (role_ == Role::kCandidate && hb->round > candidate_round_) {
+      BecomeFollower(env, hb->round);
+    }
+    if (role_ != Role::kLeader && cfg_.InUniverse(self_)) {
+      env.Send(hb->coordinator, MakeMessage<HeartbeatAck>(cfg_.ring, hb->round));
+    }
+  } else if (const auto* ack = Cast<HeartbeatAck>(m)) {
+    if (role_ == Role::kLeader && ack->round == round_) {
+      member_last_ack_[from] = env.now();
+    }
+  } else if (const auto* req = Cast<LearnReq>(m)) {
+    OnLearnReq(env, from, *req);
+  }
+}
+
+// ----------------------------------------------------------- acceptor side
+
+void RingNode::OnP2A(Env& env, const P2A& msg) {
+  if (msg.round > round_) {
+    if (role_ != Role::kFollower) BecomeFollower(env, msg.round);
+    round_ = msg.round;
+  }
+  if (layouts_.find(msg.round) == layouts_.end()) layouts_[msg.round] = msg.layout;
+  last_leader_sign_ = env.now();
+  NoteDecided(msg.decided);
+
+  const InstanceId instance = msg.instance;
+  const Round round = msg.round;
+  const ValueId vid = msg.vid;
+  core_.HandlePhase2(instance, round, msg.value, [this, &env, instance, round, vid](bool ok) {
+    if (!ok) return;
+    auto& mark = accept_marks_[instance];
+    mark.round = round;
+    mark.vid = vid;
+    mark.durable = true;
+    ForwardP2B(env, instance);
+  });
+}
+
+void RingNode::ForwardP2B(Env& env, InstanceId instance) {
+  auto mit = accept_marks_.find(instance);
+  if (mit == accept_marks_.end() || !mit->second.durable) return;
+  const AcceptMark& mark = mit->second;
+  const std::vector<NodeId>* layout = LayoutFor(mark.round);
+  if (layout == nullptr) return;
+  const int pos = PositionIn(*layout, self_);
+  if (pos <= 0) return;  // not a ring member, or the coordinator itself
+  const std::size_t n = layout->size();
+  const NodeId next = (*layout)[(static_cast<std::size_t>(pos) + 1) % n];
+  if (pos == 1) {
+    // First acceptor after the coordinator: originate the Phase 2B.
+    env.Send(next, MakeMessage<P2B>(cfg_.ring, mark.round, instance, mark.vid, 1));
+    return;
+  }
+  auto pit = pending_p2b_.find(instance);
+  if (pit == pending_p2b_.end()) return;
+  const P2B& prev = pit->second;
+  if (prev.round != mark.round || prev.vid != mark.vid) return;
+  env.Send(next,
+           MakeMessage<P2B>(cfg_.ring, mark.round, instance, mark.vid, prev.votes + 1));
+  pending_p2b_.erase(pit);
+}
+
+void RingNode::OnP2B(Env& env, NodeId /*from*/, const P2B& msg) {
+  if (role_ == Role::kLeader && msg.round == round_) {
+    auto it = outstanding_.find(msg.instance);
+    if (it == outstanding_.end() || it->second.vid != msg.vid) return;
+    const std::vector<NodeId>* layout = LayoutFor(round_);
+    if (layout == nullptr) return;
+    if (msg.votes + 1 >= layout->size()) {
+      it->second.ring_voted = true;
+      CheckInstanceDecided(env, msg.instance);
+    }
+    return;
+  }
+  // Acceptor in the middle of the ring: keep the highest-vote copy and
+  // forward once our own acceptance is durable.
+  auto [it, inserted] = pending_p2b_.try_emplace(msg.instance, msg);
+  if (!inserted &&
+      (msg.round > it->second.round ||
+       (msg.round == it->second.round && msg.votes > it->second.votes))) {
+    it->second = msg;
+  }
+  ForwardP2B(env, msg.instance);
+}
+
+void RingNode::NoteDecided(const std::vector<Decided>& decided) {
+  if (decided.empty()) return;
+  for (const auto& d : decided) {
+    if (d.instance >= decided_watermark_) decided_vids_[d.instance] = d.vid;
+  }
+  AdvanceDecidedWatermark();
+}
+
+void RingNode::AdvanceDecidedWatermark() {
+  while (true) {
+    auto it = decided_vids_.find(decided_watermark_);
+    if (it == decided_vids_.end()) break;
+    const paxos::AcceptorRecord* rec = core_.storage().Get(decided_watermark_);
+    if (rec == nullptr || !rec->accepted) break;  // span unknown yet
+    decided_watermark_ += rec->accepted->LogicalInstances();
+  }
+  if (decided_watermark_ > cfg_.trim_keep) {
+    const InstanceId below = decided_watermark_ - cfg_.trim_keep;
+    core_.storage().Trim(below);
+    decided_vids_.erase(decided_vids_.begin(), decided_vids_.lower_bound(below));
+    accept_marks_.erase(accept_marks_.begin(), accept_marks_.lower_bound(below));
+    pending_p2b_.erase(pending_p2b_.begin(), pending_p2b_.lower_bound(below));
+  }
+}
+
+void RingNode::OnLearnReq(Env& env, NodeId from, const LearnReq& msg) {
+  // History below the trim point is gone: report the replayable window
+  // so the learner can fast-forward into it (applications recover the
+  // earlier state from snapshots).
+  const InstanceId log_base =
+      decided_watermark_ > cfg_.trim_keep ? decided_watermark_ - cfg_.trim_keep : 0;
+  if (msg.from_instance < log_base) {
+    env.Send(from,
+             MakeMessage<TrimNotice>(cfg_.ring, log_base, decided_watermark_));
+    return;
+  }
+  std::vector<LearnRep::Entry> entries;
+  std::size_t bytes = 0;
+  for (auto it = decided_vids_.lower_bound(msg.from_instance);
+       it != decided_vids_.end() && entries.size() < msg.max_values &&
+       bytes < 512 * 1024;
+       ++it) {
+    const paxos::AcceptorRecord* rec = core_.storage().Get(it->first);
+    auto mit = accept_marks_.find(it->first);
+    // Serve only when our accepted value is the decided one (vid match);
+    // a stale accepted value from a dead round must never be served.
+    if (rec == nullptr || !rec->accepted || mit == accept_marks_.end() ||
+        mit->second.vid != it->second) {
+      continue;
+    }
+    bytes += rec->accepted->WireSize();
+    entries.push_back({it->first, it->second, *rec->accepted});
+  }
+  if (!entries.empty()) {
+    env.Send(from, MakeMessage<LearnRep>(cfg_.ring, std::move(entries)));
+  }
+}
+
+// --------------------------------------------------------- coordinator side
+
+void RingNode::OnSubmit(Env& env, const Submit& msg) {
+  // Followers drop (the proposer re-targets via heartbeats and
+  // retransmits); a candidate buffers until Phase 1 completes.
+  if (role_ == Role::kFollower) return;
+  pending_bytes_ += msg.msg.WireSize();
+  pending_.push_back(msg.msg);
+  if (role_ != Role::kLeader) return;
+  if (pending_bytes_ >= cfg_.batch_bytes) {
+    TryProposeBatches(env);
+  } else if (batch_timer_ == kNoTimer) {
+    batch_timer_ = env.SetTimer(cfg_.batch_timeout, [this, &env] { OnBatchTimer(env); });
+  }
+}
+
+void RingNode::OnBatchTimer(Env& env) {
+  batch_timer_ = kNoTimer;
+  if (role_ != Role::kLeader) return;
+  if (!pending_.empty() && outstanding_.size() < cfg_.window) {
+    // Timeout fired: propose a partial batch.
+    std::vector<paxos::ClientMsg> batch;
+    std::size_t bytes = 0;
+    while (!pending_.empty() && bytes < cfg_.batch_bytes) {
+      bytes += pending_.front().WireSize();
+      batch.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    pending_bytes_ -= std::min(pending_bytes_, bytes);
+    ProposeValue(env, Value::Batch(std::move(batch)));
+  }
+  if (!pending_.empty()) {
+    batch_timer_ = env.SetTimer(cfg_.batch_timeout, [this, &env] { OnBatchTimer(env); });
+  }
+}
+
+void RingNode::TryProposeBatches(Env& env) {
+  while (role_ == Role::kLeader && pending_bytes_ >= cfg_.batch_bytes &&
+         outstanding_.size() < cfg_.window) {
+    std::vector<paxos::ClientMsg> batch;
+    std::size_t bytes = 0;
+    while (!pending_.empty() && bytes < cfg_.batch_bytes) {
+      bytes += pending_.front().WireSize();
+      batch.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    pending_bytes_ -= std::min(pending_bytes_, bytes);
+    ProposeValue(env, Value::Batch(std::move(batch)));
+  }
+  if (!pending_.empty() && batch_timer_ == kNoTimer) {
+    batch_timer_ = env.SetTimer(cfg_.batch_timeout, [this, &env] { OnBatchTimer(env); });
+  }
+}
+
+std::vector<Decided> RingNode::TakePiggyback() {
+  constexpr std::size_t kMaxPiggyback = 128;
+  if (to_announce_.size() <= kMaxPiggyback) return std::move(to_announce_);
+  std::vector<Decided> out(to_announce_.begin(),
+                           to_announce_.begin() + kMaxPiggyback);
+  to_announce_.erase(to_announce_.begin(), to_announce_.begin() + kMaxPiggyback);
+  return out;
+}
+
+void RingNode::ProposeValue(Env& env, Value value) {
+  const InstanceId instance = next_instance_;
+  next_instance_ += value.LogicalInstances();
+  const ValueId vid = NextVid();
+
+  Outstanding out;
+  out.vid = vid;
+  out.value = value;
+  out.proposed_at = env.now();
+  outstanding_.emplace(instance, std::move(out));
+
+  {
+    auto p2a = MakeMessage<P2A>(cfg_.ring, round_, instance, vid, value,
+                                TakePiggyback(), layouts_.at(round_));
+    if (cfg_.unicast_fanout) {
+      for (NodeId to : cfg_.fanout_targets) env.Send(to, p2a);
+    } else {
+      env.Multicast(cfg_.data_channel, std::move(p2a));
+    }
+  }
+
+  // The coordinator is itself an acceptor: accept locally.
+  const Round round = round_;
+  core_.HandlePhase2(instance, round, std::move(value),
+                     [this, &env, instance, round, vid](bool ok) {
+                       if (!ok) return;
+                       auto& mark = accept_marks_[instance];
+                       mark.round = round;
+                       mark.vid = vid;
+                       mark.durable = true;
+                       auto it = outstanding_.find(instance);
+                       if (it != outstanding_.end() && it->second.vid == vid &&
+                           role_ == Role::kLeader && round_ == round) {
+                         it->second.self_durable = true;
+                         CheckInstanceDecided(env, instance);
+                       }
+                     });
+}
+
+void RingNode::CheckInstanceDecided(Env& env, InstanceId instance) {
+  auto it = outstanding_.find(instance);
+  if (it == outstanding_.end()) return;
+  const Outstanding& out = it->second;
+  const auto* layout = LayoutFor(round_);
+  const bool ring_ok = out.ring_voted || (layout != nullptr && layout->size() == 1);
+  if (out.self_durable && ring_ok) InstanceDecided(env, instance);
+}
+
+void RingNode::InstanceDecided(Env& env, InstanceId instance) {
+  auto it = outstanding_.find(instance);
+  if (it == outstanding_.end()) return;
+  Outstanding out = std::move(it->second);
+  outstanding_.erase(it);
+
+  decide_latency_.Record(env.now() - out.proposed_at);
+  decided_vids_[instance] = out.vid;
+  AdvanceDecidedWatermark();
+  ++decided_instances_;
+  decided_msgs_ += out.value.msgs.size();
+  if (out.value.is_skip()) skipped_logical_ += out.value.skip_count;
+  to_announce_.push_back({instance, out.vid});
+
+  if (cfg_.ack_submits && !out.value.msgs.empty()) {
+    // One cumulative ack per proposer present in the batch.
+    std::map<NodeId, std::pair<GroupId, std::uint64_t>> acks;
+    for (const auto& msg : out.value.msgs) {
+      auto& e = acks[msg.proposer];
+      e.first = msg.group;
+      e.second = std::max(e.second, msg.seq);
+    }
+    for (const auto& [proposer, e] : acks) {
+      env.Send(proposer, MakeMessage<SubmitAck>(cfg_.ring, e.first, e.second));
+    }
+  }
+  TryProposeBatches(env);
+  // No in-flight instance left to piggyback on: announce now rather than
+  // waiting for the flush timer (keeps closed-loop clients from
+  // synchronizing on the flush period).
+  if (outstanding_.empty()) FlushDecisions(env);
+}
+
+void RingNode::FlushDecisions(Env& env) {
+  if (!to_announce_.empty()) {
+    env.Multicast(cfg_.data_channel,
+                  MakeMessage<DecisionMsg>(cfg_.ring, std::move(to_announce_)));
+    to_announce_.clear();
+  }
+}
+
+void RingNode::OnDeltaTimer(Env& env) {
+  delta_timer_ = kNoTimer;
+  if (role_ != Role::kLeader) return;
+  // Algorithm 1 lines 13-20, with real elapsed time so that a paused and
+  // resumed coordinator emits one catch-up skip covering the outage.
+  const Duration elapsed = env.now() - last_sample_;
+  const double secs = ToSeconds(elapsed);
+  if (secs > 0) {
+    const double k = static_cast<double>(next_instance_);
+    last_mu_ = (k - prev_k_) / secs;
+    const double target = prev_k_ + cfg_.lambda_per_sec * secs;
+    if (k < std::floor(target)) {
+      auto count = static_cast<std::uint64_t>(std::floor(target) - k);
+      if (cfg_.batch_skips) {
+        ++skip_proposals_;
+        ProposeValue(env, Value::Skip(count));
+      } else {
+        // Ablation: Algorithm 1 executed literally — one consensus
+        // instance per skipped instance.
+        count = std::min<std::uint64_t>(count, cfg_.unbatched_skip_cap);
+        for (std::uint64_t i = 0; i < count; ++i) {
+          ++skip_proposals_;
+          ProposeValue(env, Value::Skip(1));
+        }
+      }
+    }
+    // Carry the fractional quota: every ring then tracks the identical
+    // lambda*t logical schedule (fractions never discarded), so equally
+    // loaded rings stay in lockstep at the merge learners. With
+    // skip_resync the baseline is the schedule itself, so a burst above
+    // lambda is repaid later instead of desynchronising the ring.
+    prev_k_ = cfg_.skip_resync
+                  ? target
+                  : std::max(static_cast<double>(next_instance_), target);
+    last_sample_ = env.now();
+  }
+  FlushDecisions(env);
+  delta_timer_ = env.SetTimer(DeltaPeriod(), [this, &env] { OnDeltaTimer(env); });
+}
+
+Duration RingNode::DeltaPeriod() const {
+  return cfg_.lambda_per_sec > 0 ? cfg_.delta : cfg_.decision_flush;
+}
+
+void RingNode::OnRetryTimer(Env& env) {
+  retry_timer_ = kNoTimer;
+  if (role_ != Role::kLeader) return;
+  for (auto& [instance, out] : outstanding_) {
+    if (env.now() - out.proposed_at >= cfg_.p2_retry) {
+      ++out.retries;
+      out.proposed_at = env.now();
+      auto p2a = MakeMessage<P2A>(cfg_.ring, round_, instance, out.vid, out.value,
+                                  std::vector<Decided>{}, layouts_.at(round_));
+      if (cfg_.unicast_fanout) {
+        for (NodeId to : cfg_.fanout_targets) env.Send(to, p2a);
+      } else {
+        env.Multicast(cfg_.data_channel, std::move(p2a));
+      }
+    }
+  }
+  FlushDecisions(env);
+  retry_timer_ = env.SetTimer(cfg_.p2_retry, [this, &env] { OnRetryTimer(env); });
+}
+
+void RingNode::OnLeaderHeartbeatTimer(Env& env) {
+  heartbeat_timer_ = kNoTimer;
+  if (role_ != Role::kLeader) return;
+  env.Multicast(cfg_.control_channel, MakeMessage<Heartbeat>(cfg_.ring, round_, self_));
+  FlushDecisions(env);
+
+  // Ring-member failure detection: a member that stopped acking is
+  // replaced by a spare (Section IV-C).
+  const auto* layout = LayoutFor(round_);
+  if (layout != nullptr) {
+    bool reconfigure = false;
+    for (NodeId member : *layout) {
+      if (member == self_) continue;
+      auto it = member_last_ack_.find(member);
+      if (it != member_last_ack_.end() &&
+          env.now() - it->second > cfg_.suspect_after) {
+        reconfigure = true;
+      }
+    }
+    if (reconfigure) {
+      StartTakeover(env, CurrentLayoutAlive(env.now()));
+      return;
+    }
+  }
+  heartbeat_timer_ = env.SetTimer(cfg_.heartbeat_interval,
+                                  [this, &env] { OnLeaderHeartbeatTimer(env); });
+}
+
+std::vector<NodeId> RingNode::CurrentLayoutAlive(TimePoint now) const {
+  // New layout: self first, then responsive current members, then spares,
+  // up to the configured ring size.
+  const std::size_t target = cfg_.ring_members.size();
+  std::vector<NodeId> layout{self_};
+  auto alive = [&](NodeId n) {
+    auto it = member_last_ack_.find(n);
+    return it == member_last_ack_.end() || now - it->second <= cfg_.suspect_after;
+  };
+  const auto* current = LayoutFor(round_);
+  if (current != nullptr) {
+    for (NodeId n : *current) {
+      if (layout.size() >= target) break;
+      if (n != self_ && alive(n)) layout.push_back(n);
+    }
+  }
+  for (NodeId n : cfg_.Universe()) {
+    if (layout.size() >= target) break;
+    if (std::find(layout.begin(), layout.end(), n) == layout.end() && alive(n)) {
+      layout.push_back(n);
+    }
+  }
+  return layout;
+}
+
+void RingNode::BecomeFollower(Env& env, Round observed_round) {
+  FlushDecisions(env);
+  role_ = Role::kFollower;
+  round_ = std::max(round_, observed_round);
+  if (batch_timer_ != kNoTimer) env.CancelTimer(batch_timer_);
+  if (delta_timer_ != kNoTimer) env.CancelTimer(delta_timer_);
+  if (retry_timer_ != kNoTimer) env.CancelTimer(retry_timer_);
+  if (heartbeat_timer_ != kNoTimer) env.CancelTimer(heartbeat_timer_);
+  if (phase1_timer_ != kNoTimer) env.CancelTimer(phase1_timer_);
+  batch_timer_ = delta_timer_ = retry_timer_ = heartbeat_timer_ = phase1_timer_ =
+      kNoTimer;
+  // The new coordinator re-runs consensus for outstanding instances and
+  // proposers resubmit unacknowledged messages.
+  outstanding_.clear();
+  pending_.clear();
+  pending_bytes_ = 0;
+  last_leader_sign_ = env.now();
+  if (follower_timer_ == kNoTimer && cfg_.InUniverse(self_)) {
+    follower_timer_ = env.SetTimer(cfg_.heartbeat_interval,
+                                   [this, &env] { OnFollowerCheckTimer(env); });
+  }
+}
+
+// ----------------------------------------------------------------- failover
+
+void RingNode::OnFollowerCheckTimer(Env& env) {
+  follower_timer_ = kNoTimer;
+  if (role_ == Role::kFollower && cfg_.InUniverse(self_)) {
+    // Stagger takeover patience by the node's distance from the current
+    // owner in round-ownership order, so the next-in-line reacts first.
+    const auto universe = cfg_.Universe();
+    const NodeId owner = cfg_.RoundOwner(round_);
+    const auto idx_of = [&](NodeId n) {
+      return static_cast<std::size_t>(
+          std::find(universe.begin(), universe.end(), n) - universe.begin());
+    };
+    const std::size_t distance =
+        (idx_of(self_) + universe.size() - idx_of(owner)) % universe.size();
+    const Duration patience =
+        cfg_.suspect_after * static_cast<std::int64_t>(distance) +
+        cfg_.suspect_after;
+    if (env.now() - last_leader_sign_ > patience) {
+      StartTakeover(env, CurrentLayoutAlive(env.now()));
+      return;
+    }
+    follower_timer_ = env.SetTimer(cfg_.heartbeat_interval,
+                                   [this, &env] { OnFollowerCheckTimer(env); });
+  }
+}
+
+void RingNode::StartTakeover(Env& env, std::vector<NodeId> layout) {
+  const Round r =
+      (round_ == 0 && cfg_.RoundOwner(0) == self_ && role_ == Role::kFollower)
+          ? 0
+          : cfg_.NextRoundOwnedBy(self_, round_);
+  if (role_ == Role::kLeader) BecomeFollower(env, round_);
+  if (follower_timer_ != kNoTimer) {
+    env.CancelTimer(follower_timer_);
+    follower_timer_ = kNoTimer;
+  }
+  role_ = Role::kCandidate;
+  candidate_round_ = r;
+  round_ = std::max(round_, r);
+  candidate_layout_ = std::move(layout);
+  layouts_[r] = candidate_layout_;
+  promises_.clear();
+  phase1_values_.clear();
+  phase1_from_ = decided_watermark_;
+
+  // Self-promise.
+  core_.HandlePhase1Range(phase1_from_, r,
+                          [this](InstanceId i, Round vrnd, const Value& v) {
+                            CollectPromiseEntry(i, vrnd, v);
+                          });
+  promises_.insert(self_);
+
+  for (NodeId n : cfg_.Universe()) {
+    if (n == self_) continue;
+    env.Send(n, MakeMessage<P1A>(cfg_.ring, r, phase1_from_, candidate_layout_));
+  }
+  if (promises_.size() >= cfg_.UniverseMajority()) {
+    FinishPhase1(env);
+    return;
+  }
+  if (phase1_timer_ != kNoTimer) env.CancelTimer(phase1_timer_);
+  phase1_timer_ = env.SetTimer(cfg_.phase1_timeout, [this, &env] {
+    phase1_timer_ = kNoTimer;
+    if (role_ == Role::kCandidate) StartTakeover(env, CurrentLayoutAlive(env.now()));
+  });
+}
+
+void RingNode::CollectPromiseEntry(InstanceId i, Round vrnd, const Value& v) {
+  auto [it, inserted] = phase1_values_.try_emplace(i, vrnd, v);
+  if (!inserted && vrnd >= it->second.first) it->second = {vrnd, v};
+}
+
+void RingNode::CollectPromise(NodeId from, const std::vector<P1B::Entry>& entries) {
+  promises_.insert(from);
+  for (const auto& e : entries) CollectPromiseEntry(e.instance, e.vrnd, e.value);
+}
+
+void RingNode::OnP1A(Env& env, NodeId from, const P1A& msg) {
+  if (msg.round > round_) {
+    if (role_ != Role::kFollower) BecomeFollower(env, msg.round);
+    round_ = msg.round;
+  }
+  layouts_[msg.round] = msg.layout;
+  last_leader_sign_ = env.now();
+
+  std::vector<P1B::Entry> entries;
+  const bool promised = core_.HandlePhase1Range(
+      msg.from_instance, msg.round,
+      [&entries](InstanceId i, Round vrnd, const Value& v) {
+        entries.push_back({i, vrnd, v});
+      });
+  if (!promised) return;
+  env.Send(from, MakeMessage<P1B>(cfg_.ring, msg.round, std::move(entries)));
+}
+
+void RingNode::OnP1B(Env& env, NodeId from, const P1B& msg) {
+  if (role_ != Role::kCandidate || msg.round != candidate_round_) return;
+  CollectPromise(from, msg.accepted);
+  if (promises_.size() >= cfg_.UniverseMajority()) FinishPhase1(env);
+}
+
+void RingNode::FinishPhase1(Env& env) {
+  if (phase1_timer_ != kNoTimer) {
+    env.CancelTimer(phase1_timer_);
+    phase1_timer_ = kNoTimer;
+  }
+  role_ = Role::kLeader;
+  round_ = candidate_round_;
+  layouts_[round_] = candidate_layout_;
+  member_last_ack_.clear();
+  for (NodeId n : candidate_layout_) {
+    if (n != self_) member_last_ack_[n] = env.now();
+  }
+
+  // Re-propose every value reported by the promise quorum; fill holes
+  // with skips (they stand for never-proposed instances; a decided value
+  // can never hide in a hole because every decision reached a majority-
+  // intersecting quorum).
+  next_instance_ = phase1_from_;
+  auto values = std::move(phase1_values_);
+  phase1_values_.clear();
+  for (auto& [instance, entry] : values) {
+    if (instance < next_instance_) continue;  // covered by a prior span
+    if (instance > next_instance_) {
+      ProposeValue(env, Value::Skip(instance - next_instance_));
+    }
+    ProposeValue(env, std::move(entry.second));
+  }
+
+  prev_k_ = static_cast<double>(next_instance_);
+  last_sample_ = env.now();
+
+  env.Multicast(cfg_.control_channel, MakeMessage<Heartbeat>(cfg_.ring, round_, self_));
+  heartbeat_timer_ = env.SetTimer(cfg_.heartbeat_interval,
+                                  [this, &env] { OnLeaderHeartbeatTimer(env); });
+  retry_timer_ = env.SetTimer(cfg_.p2_retry, [this, &env] { OnRetryTimer(env); });
+  // The delta timer doubles as the idle decision-flush timer when skips
+  // are disabled (lambda == 0 makes the skip check a no-op).
+  delta_timer_ = env.SetTimer(DeltaPeriod(), [this, &env] { OnDeltaTimer(env); });
+  TryProposeBatches(env);
+}
+
+}  // namespace mrp::ringpaxos

@@ -1,0 +1,187 @@
+// RingNode: one acceptor of a Ring Paxos instance. Every universe member
+// runs the same protocol object; the member that owns the current round
+// additionally acts as the coordinator (the coordinator *is* one of the
+// acceptors, Section III-B).
+//
+// Acceptor duties: accept Phase 2A values received by ip-multicast,
+// forward the small Phase 2B votes along the logical ring, serve learner
+// recovery requests, track decisions for log trimming.
+//
+// Coordinator duties: batch client values, assign value-IDs, ip-multicast
+// Phase 2A, detect decisions at the end of the ring, piggyback/flush
+// decision announcements, propose skip instances per the Multi-Ring
+// Paxos rate policy (Algorithm 1), monitor ring members via heartbeats
+// and reconfigure the ring (recruiting spares) on suspicion, and take
+// over with a multi-instance Phase 1 after a coordinator failure.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/env.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "paxos/acceptor_core.h"
+#include "paxos/storage.h"
+#include "ringpaxos/config.h"
+#include "ringpaxos/messages.h"
+
+namespace mrp::ringpaxos {
+
+class RingNode final : public Protocol {
+ public:
+  // `storage` is borrowed (e.g. a SimDiskStorage tied to the node); if
+  // null the node owns an in-memory store ("In-memory Ring Paxos").
+  explicit RingNode(RingConfig cfg, paxos::Storage* storage = nullptr);
+
+  void OnStart(Env& env) override;
+  void OnMessage(Env& env, NodeId from, const MessagePtr& m) override;
+
+  // ---- Introspection (tests, benches) ----
+  bool is_coordinator() const { return role_ == Role::kLeader; }
+  Round round() const { return round_; }
+  InstanceId next_instance() const { return next_instance_; }
+  std::uint64_t decided_instances() const { return decided_instances_; }
+  std::uint64_t decided_msgs() const { return decided_msgs_; }
+  std::uint64_t skipped_logical() const { return skipped_logical_; }
+  std::uint64_t skip_proposals() const { return skip_proposals_; }
+  double last_mu() const { return last_mu_; }
+  // Coordinator-side consensus latency: ProposeValue -> decision.
+  Histogram& decide_latency() { return decide_latency_; }
+  std::size_t outstanding() const { return outstanding_.size(); }
+  std::size_t pending_msgs() const { return pending_.size(); }
+  const RingConfig& config() const { return cfg_; }
+  InstanceId decided_watermark() const { return decided_watermark_; }
+  // Debug/diagnostic view of one instance's acceptor-side state.
+  struct InstanceDebug {
+    bool has_decided_vid = false;
+    ValueId decided_vid = kNoValueId;
+    bool has_record = false;
+    bool has_mark = false;
+    ValueId mark_vid = kNoValueId;
+  };
+  InstanceDebug DebugInstance(InstanceId i) const {
+    InstanceDebug d;
+    auto it = decided_vids_.find(i);
+    d.has_decided_vid = it != decided_vids_.end();
+    if (d.has_decided_vid) d.decided_vid = it->second;
+    d.has_record = core_.Get(i) != nullptr && core_.Get(i)->accepted.has_value();
+    auto mit = accept_marks_.find(i);
+    d.has_mark = mit != accept_marks_.end();
+    if (d.has_mark) d.mark_vid = mit->second.vid;
+    return d;
+  }
+
+ private:
+  enum class Role { kFollower, kCandidate, kLeader };
+
+  struct Outstanding {
+    ValueId vid = kNoValueId;
+    paxos::Value value;
+    TimePoint proposed_at{0};
+    int retries = 0;
+    bool self_durable = false;
+    bool ring_voted = false;  // P2B with full votes received
+  };
+
+  struct AcceptMark {
+    Round round = 0;
+    ValueId vid = kNoValueId;
+    bool durable = false;
+  };
+
+  // ---- Acceptor side ----
+  void OnP2A(Env& env, const P2A& msg);
+  void OnP2B(Env& env, NodeId from, const P2B& msg);
+  void OnP1A(Env& env, NodeId from, const P1A& msg);
+  void OnLearnReq(Env& env, NodeId from, const LearnReq& msg);
+  void ForwardP2B(Env& env, InstanceId instance);
+  void NoteDecided(const std::vector<Decided>& decided);
+  void AdvanceDecidedWatermark();
+  const std::vector<NodeId>* LayoutFor(Round r) const;
+  int PositionIn(const std::vector<NodeId>& layout, NodeId n) const;
+
+  // ---- Coordinator side ----
+  void OnSubmit(Env& env, const Submit& msg);
+  void TryProposeBatches(Env& env);
+  void ProposeValue(Env& env, paxos::Value value);
+  void CheckInstanceDecided(Env& env, InstanceId instance);
+  void InstanceDecided(Env& env, InstanceId instance);
+  void FlushDecisions(Env& env);
+  std::vector<Decided> TakePiggyback();
+  void OnDeltaTimer(Env& env);
+  Duration DeltaPeriod() const;
+  void OnBatchTimer(Env& env);
+  void OnRetryTimer(Env& env);
+  void OnLeaderHeartbeatTimer(Env& env);
+  void BecomeFollower(Env& env, Round observed_round);
+  ValueId NextVid();
+
+  // ---- Fail-over ----
+  void OnFollowerCheckTimer(Env& env);
+  void StartTakeover(Env& env, std::vector<NodeId> layout);
+  void OnP1B(Env& env, NodeId from, const P1B& msg);
+  void FinishPhase1(Env& env);
+  void CollectPromise(NodeId from, const std::vector<P1B::Entry>& entries);
+  void CollectPromiseEntry(InstanceId i, Round vrnd, const paxos::Value& v);
+  std::vector<NodeId> CurrentLayoutAlive(TimePoint now) const;
+
+  RingConfig cfg_;
+  std::unique_ptr<paxos::Storage> owned_storage_;
+  paxos::AcceptorCore core_;
+  NodeId self_ = kNoNode;
+
+  // Round / layout state.
+  Role role_ = Role::kFollower;
+  Round round_ = 0;            // highest round seen/owned
+  std::map<Round, std::vector<NodeId>> layouts_;
+
+  // Acceptor state.
+  std::map<InstanceId, AcceptMark> accept_marks_;
+  std::map<InstanceId, P2B> pending_p2b_;
+  std::map<InstanceId, ValueId> decided_vids_;
+  InstanceId decided_watermark_ = 0;  // everything below is decided
+
+  // Coordinator state.
+  std::deque<paxos::ClientMsg> pending_;
+  std::size_t pending_bytes_ = 0;
+  std::map<InstanceId, Outstanding> outstanding_;
+  InstanceId next_instance_ = 0;    // logical: skips advance by their span
+  std::uint64_t vid_seq_ = 0;
+  std::vector<Decided> to_announce_;
+  double prev_k_ = 0;               // Algorithm 1 prev_k (logical instances)
+  TimePoint last_sample_{0};
+  double last_mu_ = 0;
+  std::map<NodeId, TimePoint> member_last_ack_;
+  TimerId batch_timer_ = kNoTimer;
+  TimerId delta_timer_ = kNoTimer;
+  TimerId retry_timer_ = kNoTimer;
+  TimerId heartbeat_timer_ = kNoTimer;
+
+  // Candidate (Phase 1) state.
+  Round candidate_round_ = 0;
+  std::vector<NodeId> candidate_layout_;
+  std::set<NodeId> promises_;
+  std::map<InstanceId, std::pair<Round, paxos::Value>> phase1_values_;
+  InstanceId phase1_from_ = 0;
+  TimerId phase1_timer_ = kNoTimer;
+
+  // Follower failure-detection state.
+  TimePoint last_leader_sign_{0};
+  TimerId follower_timer_ = kNoTimer;
+
+  // Stats.
+  std::uint64_t decided_instances_ = 0;
+  std::uint64_t decided_msgs_ = 0;
+  std::uint64_t skipped_logical_ = 0;
+  std::uint64_t skip_proposals_ = 0;
+  Histogram decide_latency_;
+};
+
+}  // namespace mrp::ringpaxos

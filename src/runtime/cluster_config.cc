@@ -1,0 +1,171 @@
+#include "runtime/cluster_config.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace mrp::runtime {
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) {
+    if (tok[0] == '#') break;
+    out.push_back(tok);
+  }
+  return out;
+}
+
+bool ParseIdList(const std::string& csv, std::vector<NodeId>* out) {
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string part = csv.substr(pos, comma - pos);
+    try {
+      out->push_back(static_cast<NodeId>(std::stoul(part)));
+    } catch (...) {
+      return false;
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return !out->empty();
+}
+
+bool ParseRingList(const std::string& csv, std::vector<RingId>* out) {
+  std::vector<NodeId> ids;
+  if (!ParseIdList(csv, &ids)) return false;
+  for (NodeId id : ids) out->push_back(static_cast<RingId>(id));
+  return true;
+}
+
+}  // namespace
+
+std::optional<ClusterConfig> ClusterConfig::Load(const std::string& path,
+                                                 std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return Parse(buffer.str(), error);
+}
+
+std::optional<ClusterConfig> ClusterConfig::Parse(const std::string& text,
+                                                  std::string* error) {
+  ClusterConfig cfg;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  auto fail = [&](const std::string& why) {
+    if (error) *error = "line " + std::to_string(lineno) + ": " + why;
+    return std::nullopt;
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto tok = Tokenize(line);
+    if (tok.empty()) continue;
+
+    if (tok[0] == "ring") {
+      if (tok.size() < 4 || tok[2] != "members") return fail("ring syntax");
+      ringpaxos::RingConfig rc;
+      rc.ring = static_cast<RingId>(std::stoul(tok[1]));
+      rc.group = rc.ring;
+      rc.data_channel = static_cast<ChannelId>(2 * rc.ring);
+      rc.control_channel = static_cast<ChannelId>(2 * rc.ring + 1);
+      if (!ParseIdList(tok[3], &rc.ring_members)) return fail("bad member list");
+      for (std::size_t i = 4; i + 1 < tok.size(); i += 2) {
+        if (tok[i] == "spares") {
+          if (!ParseIdList(tok[i + 1], &rc.spares)) return fail("bad spare list");
+        } else if (tok[i] == "lambda") {
+          rc.lambda_per_sec = std::stod(tok[i + 1]);
+        } else {
+          return fail("unknown ring option " + tok[i]);
+        }
+      }
+      cfg.rings[rc.ring] = std::move(rc);
+      continue;
+    }
+
+    if (tok[0] == "node") {
+      if (tok.size() < 3) return fail("node syntax");
+      Node node;
+      node.id = static_cast<NodeId>(std::stoul(tok[1]));
+      const std::string& role = tok[2];
+      if (role == "acceptor") {
+        if (tok.size() < 4) return fail("acceptor needs a ring id");
+        node.acceptor_of = static_cast<RingId>(std::stoul(tok[3]));
+      } else if (role == "learner") {
+        if (tok.size() < 4) return fail("learner needs ring ids");
+        LearnerRole lr;
+        if (!ParseRingList(tok[3], &lr.rings)) return fail("bad ring list");
+        for (std::size_t i = 4; i < tok.size(); ++i) {
+          if (tok[i] == "acks") lr.acks = true;
+        }
+        node.learner = std::move(lr);
+      } else if (role == "proposer") {
+        if (tok.size() < 4) return fail("proposer needs a ring id");
+        ProposerRole pr;
+        pr.ring = static_cast<RingId>(std::stoul(tok[3]));
+        for (std::size_t i = 4; i + 1 < tok.size(); i += 2) {
+          if (tok[i] == "rate") pr.rate = std::stod(tok[i + 1]);
+          else if (tok[i] == "window") pr.window = std::stoul(tok[i + 1]);
+          else if (tok[i] == "size") pr.payload = static_cast<std::uint32_t>(std::stoul(tok[i + 1]));
+          else return fail("unknown proposer option " + tok[i]);
+        }
+        node.proposer = pr;
+      } else {
+        return fail("unknown role " + role);
+      }
+      cfg.nodes[node.id] = std::move(node);
+      continue;
+    }
+
+    if (tok[0] == "udp") {
+      for (std::size_t i = 1; i + 1 < tok.size(); i += 2) {
+        if (tok[i] == "base_port") {
+          cfg.udp.base_port = static_cast<std::uint16_t>(std::stoul(tok[i + 1]));
+        } else if (tok[i] == "mcast_prefix") {
+          cfg.udp.mcast_prefix = tok[i + 1];
+        } else if (tok[i] == "mcast_port") {
+          cfg.udp.mcast_port_base = static_cast<std::uint16_t>(std::stoul(tok[i + 1]));
+        } else if (tok[i] == "iface") {
+          cfg.udp.bind_ip = tok[i + 1];
+          cfg.udp.mcast_if = tok[i + 1];
+        } else {
+          return fail("unknown udp option " + tok[i]);
+        }
+      }
+      continue;
+    }
+
+    return fail("unknown directive " + tok[0]);
+  }
+
+  // Validation: every referenced ring exists.
+  for (const auto& [id, node] : cfg.nodes) {
+    if (node.acceptor_of && !cfg.rings.count(*node.acceptor_of)) {
+      if (error) *error = "node " + std::to_string(id) + " references unknown ring";
+      return std::nullopt;
+    }
+    if (node.learner) {
+      for (RingId r : node.learner->rings) {
+        if (!cfg.rings.count(r)) {
+          if (error) *error = "node " + std::to_string(id) + " references unknown ring";
+          return std::nullopt;
+        }
+      }
+    }
+    if (node.proposer && !cfg.rings.count(node.proposer->ring)) {
+      if (error) *error = "node " + std::to_string(id) + " references unknown ring";
+      return std::nullopt;
+    }
+  }
+  return cfg;
+}
+
+}  // namespace mrp::runtime

@@ -1,0 +1,54 @@
+// Cluster configuration file for real deployments: a small line-based
+// format describing rings and node roles, parsed into the structures the
+// runtime needs. Format (comments with '#', one directive per line):
+//
+//   ring <ring-id> members <id,id,...> [spares <id,...>] [lambda <n>]
+//   node <id> acceptor <ring-id>
+//   node <id> learner <ring-id>[,<ring-id>...] [acks]
+//   node <id> proposer <ring-id> [rate <msg/s>] [window <n>] [size <bytes>]
+//   udp base_port <port> mcast_prefix <a.b.c.> mcast_port <port> [iface <ip>]
+//
+// See examples/cluster.cfg for a complete cluster.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ringpaxos/config.h"
+#include "runtime/udp.h"
+
+namespace mrp::runtime {
+
+struct ClusterConfig {
+  struct LearnerRole {
+    std::vector<RingId> rings;
+    bool acks = false;
+  };
+  struct ProposerRole {
+    RingId ring = 0;
+    double rate = 0;  // 0 = closed loop
+    std::size_t window = 4;
+    std::uint32_t payload = 1024;
+  };
+  struct Node {
+    NodeId id = kNoNode;
+    std::optional<RingId> acceptor_of;
+    std::optional<LearnerRole> learner;
+    std::optional<ProposerRole> proposer;
+  };
+
+  std::map<RingId, ringpaxos::RingConfig> rings;
+  std::map<NodeId, Node> nodes;
+  UdpConfig udp;
+
+  // Parses the file; returns nullopt and fills `error` on malformed
+  // input.
+  static std::optional<ClusterConfig> Load(const std::string& path,
+                                           std::string* error);
+  static std::optional<ClusterConfig> Parse(const std::string& text,
+                                            std::string* error);
+};
+
+}  // namespace mrp::runtime

@@ -1,0 +1,94 @@
+// In-process message bus: routes MessagePtr between node endpoints in
+// the same process without serialization. Channels model ip-multicast.
+// Thread-safe; delivery happens on the receiving node's loop via its
+// RxFn (the NodeRuntime posts to its EventLoop).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/transport.h"
+
+namespace mrp::runtime {
+
+class InProcBus {
+ public:
+  class Endpoint final : public Transport {
+   public:
+    Endpoint(InProcBus& bus, NodeId self) : bus_(bus), self_(self) {}
+
+    void Send(NodeId to, MessagePtr msg) override { bus_.Route(self_, to, std::move(msg)); }
+    void Multicast(ChannelId channel, MessagePtr msg) override {
+      bus_.RouteChannel(self_, channel, std::move(msg));
+    }
+    void Subscribe(ChannelId channel) override { bus_.Subscribe(self_, channel); }
+    void SetReceiver(RxFn rx) override {
+      std::scoped_lock lock(bus_.mu_);
+      rx_ = std::move(rx);
+    }
+
+    NodeId self() const { return self_; }
+
+   private:
+    friend class InProcBus;
+    InProcBus& bus_;
+    NodeId self_;
+    RxFn rx_;
+  };
+
+  Endpoint& AddEndpoint(NodeId id) {
+    std::scoped_lock lock(mu_);
+    auto ep = std::make_unique<Endpoint>(*this, id);
+    auto* raw = ep.get();
+    endpoints_[id] = std::move(ep);
+    return *raw;
+  }
+
+ private:
+  friend class Endpoint;
+
+  void Route(NodeId from, NodeId to, MessagePtr msg) {
+    Transport::RxFn rx;
+    {
+      std::scoped_lock lock(mu_);
+      auto it = endpoints_.find(to);
+      if (it == endpoints_.end()) return;
+      rx = it->second->rx_;
+    }
+    if (rx) rx(from, std::move(msg));
+  }
+
+  void RouteChannel(NodeId from, ChannelId channel, MessagePtr msg) {
+    std::vector<Transport::RxFn> rxs;
+    {
+      std::scoped_lock lock(mu_);
+      auto it = channels_.find(channel);
+      if (it == channels_.end()) return;
+      for (NodeId n : it->second) {
+        if (n == from) continue;
+        auto eit = endpoints_.find(n);
+        if (eit != endpoints_.end() && eit->second->rx_) {
+          rxs.push_back(eit->second->rx_);
+        }
+      }
+    }
+    for (auto& rx : rxs) rx(from, msg);
+  }
+
+  void Subscribe(NodeId n, ChannelId channel) {
+    std::scoped_lock lock(mu_);
+    auto& subs = channels_[channel];
+    for (NodeId s : subs) {
+      if (s == n) return;
+    }
+    subs.push_back(n);
+  }
+
+  std::mutex mu_;
+  std::unordered_map<NodeId, std::unique_ptr<Endpoint>> endpoints_;
+  std::unordered_map<ChannelId, std::vector<NodeId>> channels_;
+};
+
+}  // namespace mrp::runtime

@@ -1,0 +1,57 @@
+#include "runtime/node_runtime.h"
+
+#include <condition_variable>
+#include <mutex>
+
+namespace mrp::runtime {
+
+void NodeRuntime::RunOnLoop(std::function<void()> fn) {
+  if (loop_.on_loop_thread()) {
+    fn();
+    return;
+  }
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  loop_.Post([&] {
+    fn();
+    std::scoped_lock lock(mu);
+    done = true;
+    cv.notify_one();
+  });
+  std::unique_lock lock(mu);
+  cv.wait(lock, [&] { return done; });
+}
+
+NodeId LocalCluster::AddNode(std::unique_ptr<Protocol> protocol,
+                             const std::vector<ChannelId>& subscriptions) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  Transport* transport = nullptr;
+  if (kind_ == Kind::kInProc) {
+    auto& ep = bus_.AddEndpoint(id);
+    for (ChannelId ch : subscriptions) ep.Subscribe(ch);
+    transport = &ep;
+  } else {
+    udp_.push_back(std::make_unique<UdpTransport>(id, udp_cfg_));
+    for (ChannelId ch : subscriptions) udp_.back()->Subscribe(ch);
+    transport = udp_.back().get();
+  }
+  nodes_.push_back(std::make_unique<NodeRuntime>(id, std::move(protocol), *transport));
+  return id;
+}
+
+void LocalCluster::Start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& udp : udp_) udp->Start();
+  for (auto& node : nodes_) node->Start();
+}
+
+void LocalCluster::Stop() {
+  if (!started_) return;
+  started_ = false;
+  for (auto& node : nodes_) node->Stop();
+  for (auto& udp : udp_) udp->Stop();
+}
+
+}  // namespace mrp::runtime

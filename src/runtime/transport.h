@@ -1,0 +1,27 @@
+// Transport abstraction for the real runtime. Implementations: the
+// in-process bus (runtime/inproc.h) and UDP with ip-multicast
+// (runtime/udp.h).
+#pragma once
+
+#include <functional>
+
+#include "common/message.h"
+#include "common/types.h"
+
+namespace mrp::runtime {
+
+class Transport {
+ public:
+  // Called (possibly from a transport thread) for every received
+  // message; implementations of Env post it onto the node's loop.
+  using RxFn = std::function<void(NodeId from, MessagePtr msg)>;
+
+  virtual ~Transport() = default;
+
+  virtual void Send(NodeId to, MessagePtr msg) = 0;
+  virtual void Multicast(ChannelId channel, MessagePtr msg) = 0;
+  virtual void Subscribe(ChannelId channel) = 0;
+  virtual void SetReceiver(RxFn rx) = 0;
+};
+
+}  // namespace mrp::runtime

@@ -1,0 +1,158 @@
+#include "runtime/udp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+#include "net/codec.h"
+
+namespace mrp::runtime {
+namespace {
+
+constexpr std::size_t kMaxFrame = 60 * 1024;
+
+sockaddr_in MakeAddr(const std::string& ip, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("bad address: " + ip);
+  }
+  return addr;
+}
+
+}  // namespace
+
+UdpTransport::UdpTransport(NodeId self, UdpConfig cfg)
+    : self_(self), cfg_(std::move(cfg)) {
+  unicast_fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (unicast_fd_ < 0) throw std::runtime_error("socket() failed");
+  int one = 1;
+  ::setsockopt(unicast_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  auto addr = MakeAddr(cfg_.bind_ip, static_cast<std::uint16_t>(cfg_.base_port + self_));
+  if (::bind(unicast_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    throw std::runtime_error("bind() failed for node " + std::to_string(self_));
+  }
+
+  mcast_tx_fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  in_addr iface{};
+  inet_pton(AF_INET, cfg_.mcast_if.c_str(), &iface);
+  ::setsockopt(mcast_tx_fd_, IPPROTO_IP, IP_MULTICAST_IF, &iface, sizeof iface);
+  int loop = 1;
+  ::setsockopt(mcast_tx_fd_, IPPROTO_IP, IP_MULTICAST_LOOP, &loop, sizeof loop);
+}
+
+UdpTransport::~UdpTransport() {
+  Stop();
+  if (unicast_fd_ >= 0) ::close(unicast_fd_);
+  if (mcast_tx_fd_ >= 0) ::close(mcast_tx_fd_);
+  for (auto& [ch, fd] : mcast_rx_fds_) ::close(fd);
+}
+
+int UdpTransport::OpenMulticastRx(ChannelId channel) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(cfg_.mcast_port_base + channel));
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    throw std::runtime_error("multicast bind failed");
+  }
+  ip_mreq mreq{};
+  const std::string group = cfg_.mcast_prefix + std::to_string(1 + channel);
+  inet_pton(AF_INET, group.c_str(), &mreq.imr_multiaddr);
+  inet_pton(AF_INET, cfg_.mcast_if.c_str(), &mreq.imr_interface);
+  if (::setsockopt(fd, IPPROTO_IP, IP_ADD_MEMBERSHIP, &mreq, sizeof mreq) != 0) {
+    ::close(fd);
+    throw std::runtime_error("IP_ADD_MEMBERSHIP failed");
+  }
+  return fd;
+}
+
+void UdpTransport::Subscribe(ChannelId channel) {
+  for (const auto& [ch, fd] : mcast_rx_fds_) {
+    if (ch == channel) return;
+  }
+  mcast_rx_fds_.emplace_back(channel, OpenMulticastRx(channel));
+}
+
+void UdpTransport::SetReceiver(RxFn rx) { rx_ = std::move(rx); }
+
+void UdpTransport::Send(NodeId to, MessagePtr msg) {
+  Bytes frame = net::EncodeMessage(*msg);
+  if (frame.empty() || frame.size() + 4 > kMaxFrame) return;
+  ByteWriter w(frame.size() + 4);
+  w.u32(self_);
+  Bytes out = w.take();
+  out.insert(out.end(), frame.begin(), frame.end());
+  auto addr = MakeAddr(cfg_.bind_ip, static_cast<std::uint16_t>(cfg_.base_port + to));
+  ::sendto(unicast_fd_, out.data(), out.size(), 0,
+           reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  ++tx_frames_;
+}
+
+void UdpTransport::Multicast(ChannelId channel, MessagePtr msg) {
+  Bytes frame = net::EncodeMessage(*msg);
+  if (frame.empty() || frame.size() + 4 > kMaxFrame) return;
+  ByteWriter w(frame.size() + 4);
+  w.u32(self_);
+  Bytes out = w.take();
+  out.insert(out.end(), frame.begin(), frame.end());
+  const std::string group = cfg_.mcast_prefix + std::to_string(1 + channel);
+  auto addr = MakeAddr(group, static_cast<std::uint16_t>(cfg_.mcast_port_base + channel));
+  ::sendto(mcast_tx_fd_, out.data(), out.size(), 0,
+           reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  ++tx_frames_;
+}
+
+void UdpTransport::Start() {
+  if (running_.exchange(true)) return;
+  poll_thread_ = std::thread([this] { PollLoop(); });
+}
+
+void UdpTransport::Stop() {
+  if (!running_.exchange(false)) return;
+  if (poll_thread_.joinable()) poll_thread_.join();
+}
+
+void UdpTransport::PollLoop() {
+  std::vector<pollfd> fds;
+  fds.push_back({unicast_fd_, POLLIN, 0});
+  for (const auto& [ch, fd] : mcast_rx_fds_) fds.push_back({fd, POLLIN, 0});
+
+  std::vector<std::uint8_t> buf(kMaxFrame);
+  while (running_.load(std::memory_order_relaxed)) {
+    const int n = ::poll(fds.data(), fds.size(), /*timeout_ms=*/50);
+    if (n <= 0) continue;
+    for (auto& pfd : fds) {
+      if (!(pfd.revents & POLLIN)) continue;
+      for (;;) {
+        const ssize_t got = ::recv(pfd.fd, buf.data(), buf.size(), MSG_DONTWAIT);
+        if (got <= 4) break;
+        ByteReader r(std::span<const std::uint8_t>(buf.data(), static_cast<std::size_t>(got)));
+        auto from = r.u32();
+        if (!from || *from == self_) continue;  // multicast self-loop filter
+        MessagePtr msg = net::DecodeMessage(
+            std::span<const std::uint8_t>(buf.data() + 4, static_cast<std::size_t>(got) - 4));
+        if (msg == nullptr) {
+          MRP_WARN << "udp: dropping undecodable frame of " << got << " bytes";
+          continue;
+        }
+        ++rx_frames_;
+        if (rx_) rx_(*from, std::move(msg));
+      }
+    }
+  }
+}
+
+}  // namespace mrp::runtime

@@ -1,0 +1,67 @@
+// UDP transport with real ip-multicast. Unicast: one socket per node at
+// base_port + node id. Multicast: one group address per channel
+// (mcast_base + channel) joined on the configured interface; the sender
+// is filtered out on receive (frames carry the sender id). A background
+// thread polls all sockets and hands decoded messages to the receiver.
+//
+// Defaults target loopback so a whole cluster runs on one machine; with
+// bind_ip / interface set to a real NIC the same code runs a distributed
+// deployment (see examples/mrp_node.cc).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/transport.h"
+
+namespace mrp::runtime {
+
+struct UdpConfig {
+  std::string bind_ip = "127.0.0.1";
+  std::uint16_t base_port = 45000;        // unicast: base_port + node id
+  std::string mcast_prefix = "239.255.77.";  // + (1 + channel)
+  std::uint16_t mcast_port_base = 46500;  // + channel
+  std::string mcast_if = "127.0.0.1";
+};
+
+class UdpTransport final : public Transport {
+ public:
+  UdpTransport(NodeId self, UdpConfig cfg);
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  void Send(NodeId to, MessagePtr msg) override;
+  void Multicast(ChannelId channel, MessagePtr msg) override;
+  void Subscribe(ChannelId channel) override;
+  void SetReceiver(RxFn rx) override;
+
+  // Starts the polling thread (after subscriptions are registered).
+  void Start();
+  void Stop();
+
+  std::uint64_t tx_frames() const { return tx_frames_.load(); }
+  std::uint64_t rx_frames() const { return rx_frames_.load(); }
+
+ private:
+  void PollLoop();
+  int OpenMulticastRx(ChannelId channel);
+
+  NodeId self_;
+  UdpConfig cfg_;
+  RxFn rx_;
+  int unicast_fd_ = -1;
+  int mcast_tx_fd_ = -1;
+  std::vector<std::pair<ChannelId, int>> mcast_rx_fds_;
+  std::thread poll_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> tx_frames_{0};
+  std::atomic<std::uint64_t> rx_frames_{0};
+};
+
+}  // namespace mrp::runtime

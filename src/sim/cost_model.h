@@ -1,0 +1,52 @@
+// Resource cost model calibrated against the paper's testbed (Dell
+// SC1435, 2 GHz Opterons, 1 GbE switch with 0.1 ms RTT, commodity disks):
+//
+//  * per-byte CPU cost such that a Ring Paxos coordinator — which
+//    receives every client value once and ip-multicasts it once —
+//    saturates its CPU at ~700 Mbps of application data (Figure 1,
+//    "CPU bound" at 97.6%);
+//  * 50 MB/s effective sequential disk bandwidth so recoverable
+//    acceptors bind at ~400 Mbps (Figure 1, "disk bound") while the
+//    coordinator sits near 60% CPU;
+//  * 1 Gbps full-duplex NICs and 50 us one-way switch latency.
+//
+// The calibration targets the *shape* of the evaluation (which resource
+// binds, where ceilings and crossovers fall), not the authors' absolute
+// hardware numbers.
+#pragma once
+
+#include "common/types.h"
+
+namespace mrp::sim {
+
+struct NodeSpec {
+  // NIC, full duplex.
+  double link_bw_bps = 1e9;          // 1 GbE
+  Duration link_latency = Micros(50);  // one-way, switch included
+  Duration link_jitter = Micros(5);    // uniform [0, jitter) per packet
+
+  // CPU cost of handling a message. Fixed part covers syscall/interrupt
+  // and protocol bookkeeping; the per-byte part covers copies/checksums.
+  Duration cpu_fixed_recv = Micros(2);
+  Duration cpu_fixed_send = Micros(2);
+  double cpu_per_byte_recv_ns = 5.3;
+  double cpu_per_byte_send_ns = 5.3;
+  Duration cpu_timer_cost = Duration(500);  // 0.5 us per timer fire
+  // Multiplicative service-time noise (uniform in [1-j, 1+j]): cache
+  // misses, interrupts, scheduler preemption. Without it a deterministic
+  // closed loop can lock into convoy waves no real cluster exhibits.
+  double cpu_jitter = 0.05;
+
+  // Disk (used only by recoverable acceptors).
+  double disk_bw_bps = 57e6 * 8;       // ~57 MB/s sequential, buffered
+  Duration disk_op_latency = Micros(20);
+
+  // Per-packet wire overhead (Ethernet + IP + UDP headers).
+  std::size_t wire_overhead_bytes = 50;
+
+  // Infinitely fast CPU (used for load-generator client nodes so the
+  // workload source is never the bottleneck).
+  bool infinite_cpu = false;
+};
+
+}  // namespace mrp::sim

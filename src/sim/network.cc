@@ -1,0 +1,219 @@
+#include "sim/network.h"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace mrp::sim {
+
+// ---------------------------------------------------------------- SimNode
+
+SimNode::SimNode(SimNetwork& net, NodeId id, NodeSpec spec, std::uint64_t seed)
+    : net_(net), id_(id), spec_(spec), rng_(seed) {}
+
+TimePoint SimNode::now() const { return net_.now(); }
+
+Duration SimNode::Jittered(Duration cost) {
+  if (spec_.cpu_jitter <= 0) return cost;
+  const double factor = 1.0 + spec_.cpu_jitter * (2.0 * rng_.uniform() - 1.0);
+  return Duration(static_cast<std::int64_t>(static_cast<double>(cost.count()) * factor));
+}
+
+Duration SimNode::RecvCost(std::size_t bytes) {
+  if (spec_.infinite_cpu) return Duration{0};
+  return Jittered(spec_.cpu_fixed_recv +
+                  Duration(static_cast<std::int64_t>(
+                      spec_.cpu_per_byte_recv_ns * static_cast<double>(bytes))));
+}
+
+Duration SimNode::SendCost(std::size_t bytes) {
+  if (spec_.infinite_cpu) return Duration{0};
+  return Jittered(spec_.cpu_fixed_send +
+                  Duration(static_cast<std::int64_t>(
+                      spec_.cpu_per_byte_send_ns * static_cast<double>(bytes))));
+}
+
+void SimNode::ExecuteAt(TimePoint ready, Duration cost, std::function<void()> fn) {
+  const TimePoint start = std::max(ready, cpu_free_at_);
+  cpu_wait_.Record(start - ready);
+  cpu_free_at_ = start + cost;
+  busy_.AddBusy(cost);
+  net_.scheduler().At(cpu_free_at_, [this, fn = std::move(fn)] {
+    if (!down_) fn();
+  });
+}
+
+void SimNode::Send(NodeId to, MessagePtr m) {
+  if (down_) return;
+  const std::size_t wire = m->WireSize() + spec_.wire_overhead_bytes;
+  const Duration cost = SendCost(wire);
+  const TimePoint start = std::max(now(), cpu_free_at_);
+  cpu_free_at_ = start + cost;
+  busy_.AddBusy(cost);
+  tx_meter_.Add(1, wire);
+  net_.Unicast(*this, to, std::move(m), cpu_free_at_);
+}
+
+void SimNode::Multicast(ChannelId channel, MessagePtr m) {
+  if (down_) return;
+  const std::size_t wire = m->WireSize() + spec_.wire_overhead_bytes;
+  const Duration cost = SendCost(wire);
+  const TimePoint start = std::max(now(), cpu_free_at_);
+  cpu_free_at_ = start + cost;
+  busy_.AddBusy(cost);
+  tx_meter_.Add(1, wire);
+  net_.MulticastSend(*this, channel, std::move(m), cpu_free_at_);
+}
+
+TimerId SimNode::SetTimer(Duration delay, std::function<void()> callback) {
+  const TimerId id = ++next_timer_;
+  timers_.emplace(id, std::move(callback));
+  net_.scheduler().After(delay, [this, id] { FireTimer(id); });
+  return id;
+}
+
+void SimNode::CancelTimer(TimerId id) { timers_.erase(id); }
+
+void SimNode::FireTimer(TimerId id) {
+  auto it = timers_.find(id);
+  if (it == timers_.end()) return;  // cancelled
+  if (down_) {
+    deferred_timers_.push_back(id);
+    return;
+  }
+  auto cb = std::move(it->second);
+  timers_.erase(it);
+  ExecuteAt(now(), spec_.infinite_cpu ? Duration{0} : spec_.cpu_timer_cost,
+            std::move(cb));
+}
+
+void SimNode::BindProtocol(std::unique_ptr<Protocol> protocol) {
+  protocol_ = std::move(protocol);
+}
+
+void SimNode::Start() {
+  assert(protocol_ != nullptr);
+  ExecuteAt(now(), Duration{0}, [this] { protocol_->OnStart(*this); });
+}
+
+void SimNode::ReplaceProtocol(std::unique_ptr<Protocol> protocol) {
+  timers_.clear();
+  deferred_timers_.clear();
+  protocol_ = std::move(protocol);
+  if (!down_) Start();
+}
+
+void SimNode::SetDown(bool down) {
+  if (down_ == down) return;
+  down_ = down;
+  if (!down_) {
+    // A paused process resumes: its CPU was idle while down, and every
+    // timer that expired in the meantime fires now.
+    cpu_free_at_ = std::max(cpu_free_at_, now());
+    auto expired = std::move(deferred_timers_);
+    deferred_timers_.clear();
+    for (TimerId id : expired) FireTimer(id);
+  }
+}
+
+double SimNode::TakeCpuUtilisation() { return busy_.TakeUtilisation(now()); }
+
+void SimNode::DeliverPacket(NodeId from, MessagePtr m, std::size_t wire_bytes,
+                            TimePoint port_arrival) {
+  if (down_ || protocol_ == nullptr) return;
+  // NIC ingress serialization.
+  const Duration ser = Duration(static_cast<std::int64_t>(
+      static_cast<double>(wire_bytes) * 8.0 / spec_.link_bw_bps * 1e9));
+  rx_wait_.Record(std::max(Duration{0}, rx_link_free_at_ - port_arrival));
+  rx_link_free_at_ = std::max(port_arrival, rx_link_free_at_) + ser;
+  rx_meter_.Add(1, wire_bytes);
+  const Duration cost = RecvCost(wire_bytes);
+  ExecuteAt(rx_link_free_at_, cost, [this, from, m = std::move(m)] {
+    protocol_->OnMessage(*this, from, m);
+  });
+}
+
+TimePoint SimNode::TxLinkDepart(std::size_t wire_bytes, TimePoint ready) {
+  const Duration ser = Duration(static_cast<std::int64_t>(
+      static_cast<double>(wire_bytes) * 8.0 / spec_.link_bw_bps * 1e9));
+  tx_link_free_at_ = std::max(ready, tx_link_free_at_) + ser;
+  return tx_link_free_at_;
+}
+
+// ------------------------------------------------------------- SimNetwork
+
+SimNetwork::SimNetwork(NetConfig cfg) : cfg_(cfg), net_rng_(cfg.seed) {}
+
+SimNode& SimNetwork::AddNode(const NodeSpec& spec) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<SimNode>(
+      *this, id, spec, cfg_.seed * 0x9e3779b97f4a7c15ULL + id + 1));
+  return *nodes_.back();
+}
+
+void SimNetwork::Subscribe(NodeId n, ChannelId channel) {
+  auto& subs = channels_[channel];
+  for (NodeId s : subs) {
+    if (s == n) return;
+  }
+  subs.push_back(n);
+}
+
+void SimNetwork::Unsubscribe(NodeId n, ChannelId channel) {
+  auto it = channels_.find(channel);
+  if (it == channels_.end()) return;
+  std::erase(it->second, n);
+}
+
+void SimNetwork::StartAll() {
+  for (auto& node : nodes_) {
+    if (node->protocol() != nullptr) node->Start();
+  }
+}
+
+void SimNetwork::ScheduleArrival(NodeId from, NodeId to, MessagePtr m,
+                                 std::size_t wire_bytes, TimePoint depart) {
+  if (cfg_.loss_probability > 0 && net_rng_.chance(cfg_.loss_probability)) {
+    return;  // dropped in the network
+  }
+  SimNode& sender = *nodes_[from];
+  Duration jitter{0};
+  if (sender.spec().link_jitter.count() > 0) {
+    jitter = Duration(static_cast<std::int64_t>(
+        net_rng_.uniform() * static_cast<double>(sender.spec().link_jitter.count())));
+  }
+  TimePoint arrival = depart + sender.spec().link_latency + jitter;
+  // Per-directed-pair FIFO: switched Ethernet / TCP links do not reorder
+  // packets between the same two endpoints (LCR's correctness and Ring
+  // Paxos's ring traffic rely on this). Jitter still varies inter-packet
+  // gaps but never crosses packets on one link.
+  TimePoint& last = fifo_clamp_[(static_cast<std::uint64_t>(from) << 32) | to];
+  if (arrival < last) arrival = last;
+  last = arrival;
+  sched_.At(arrival, [this, from, to, m = std::move(m), wire_bytes, arrival] {
+    nodes_[to]->DeliverPacket(from, m, wire_bytes, arrival);
+  });
+}
+
+void SimNetwork::Unicast(SimNode& from, NodeId to, MessagePtr m, TimePoint ready) {
+  assert(to < nodes_.size());
+  const std::size_t wire = m->WireSize() + from.spec().wire_overhead_bytes;
+  const TimePoint depart = from.TxLinkDepart(wire, ready);
+  ScheduleArrival(from.self(), to, std::move(m), wire, depart);
+}
+
+void SimNetwork::MulticastSend(SimNode& from, ChannelId channel, MessagePtr m,
+                               TimePoint ready) {
+  auto it = channels_.find(channel);
+  if (it == channels_.end()) return;
+  const std::size_t wire = m->WireSize() + from.spec().wire_overhead_bytes;
+  // ip-multicast: the sender serializes the packet once; the switch
+  // replicates it to every subscribed port.
+  const TimePoint depart = from.TxLinkDepart(wire, ready);
+  for (NodeId to : it->second) {
+    if (to == from.self()) continue;
+    ScheduleArrival(from.self(), to, m, wire, depart);
+  }
+}
+
+}  // namespace mrp::sim

@@ -1,0 +1,159 @@
+// SimNetwork + SimNode: the deterministic cluster simulator that stands
+// in for the paper's 1 GbE testbed (see DESIGN.md §5). Nodes have a CPU
+// with finite capacity, full-duplex NIC links, and optionally a disk
+// (sim/disk_storage.h). Messages pay per-message and per-byte CPU costs
+// on both sides plus link serialization and propagation delay, so the
+// resource that binds (coordinator CPU, acceptor disk, learner NIC)
+// emerges from the model exactly as in the paper's figures.
+//
+// Execution model per node is single-threaded and run-to-completion:
+// protocol callbacks fire when the node's CPU finishes the associated
+// work; work is conserved (every charged cost delays later work on the
+// same node), so utilisation and saturation points are exact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/env.h"
+#include "common/stats.h"
+#include "sim/cost_model.h"
+#include "sim/scheduler.h"
+
+namespace mrp::sim {
+
+class SimNetwork;
+
+class SimNode final : public Env {
+ public:
+  SimNode(SimNetwork& net, NodeId id, NodeSpec spec, std::uint64_t seed);
+
+  // ---- Env ----
+  NodeId self() const override { return id_; }
+  TimePoint now() const override;
+  void Send(NodeId to, MessagePtr m) override;
+  void Multicast(ChannelId channel, MessagePtr m) override;
+  TimerId SetTimer(Duration delay, std::function<void()> callback) override;
+  void CancelTimer(TimerId id) override;
+  Rng& rng() override { return rng_; }
+
+  // ---- Wiring ----
+  void BindProtocol(std::unique_ptr<Protocol> protocol);
+  Protocol* protocol() { return protocol_.get(); }
+  template <typename T>
+  T* protocol_as() {
+    return dynamic_cast<T*>(protocol_.get());
+  }
+  // Runs OnStart through the node's CPU.
+  void Start();
+  // Crash-with-state-loss restart: cancels timers, installs the fresh
+  // protocol object and runs its OnStart.
+  void ReplaceProtocol(std::unique_ptr<Protocol> protocol);
+
+  // ---- Fault injection ----
+  // While down the node drops all incoming packets; timers that fire are
+  // deferred and run on resume (the "paused process" semantics used by
+  // the Figure 12 experiment). Messages sent while down are discarded.
+  void SetDown(bool down);
+  bool down() const { return down_; }
+
+  // ---- Metrics ----
+  // CPU utilisation in [0,1] since the previous call.
+  double TakeCpuUtilisation();
+  RateMeter& rx_meter() { return rx_meter_; }
+  RateMeter& tx_meter() { return tx_meter_; }
+  // Queueing diagnostics: time packets wait in the ingress link and
+  // tasks wait for the CPU.
+  Histogram& rx_wait() { return rx_wait_; }
+  Histogram& cpu_wait() { return cpu_wait_; }
+  const NodeSpec& spec() const { return spec_; }
+
+  // ---- Internal (SimNetwork / SimDiskStorage) ----
+  // Packet hits this node's NIC ingress at `port_arrival`.
+  void DeliverPacket(NodeId from, MessagePtr m, std::size_t wire_bytes,
+                     TimePoint port_arrival);
+  // Serializes `wire_bytes` through the egress link starting no earlier
+  // than `ready`; returns the departure time.
+  TimePoint TxLinkDepart(std::size_t wire_bytes, TimePoint ready);
+  // Charges CPU work and runs `fn` when it completes (skipped if the
+  // node is down at completion time).
+  void ExecuteAt(TimePoint ready, Duration cost, std::function<void()> fn);
+  SimNetwork& network() { return net_; }
+
+ private:
+  Duration Jittered(Duration cost);
+  Duration RecvCost(std::size_t bytes);
+  Duration SendCost(std::size_t bytes);
+  void FireTimer(TimerId id);
+
+  SimNetwork& net_;
+  NodeId id_;
+  NodeSpec spec_;
+  Rng rng_;
+  std::unique_ptr<Protocol> protocol_;
+
+  bool down_ = false;
+  TimePoint cpu_free_at_{0};
+  TimePoint tx_link_free_at_{0};
+  TimePoint rx_link_free_at_{0};
+  BusyMeter busy_;
+  RateMeter rx_meter_;
+  RateMeter tx_meter_;
+  Histogram rx_wait_;
+  Histogram cpu_wait_;
+
+  TimerId next_timer_ = 0;
+  std::unordered_map<TimerId, std::function<void()>> timers_;
+  std::vector<TimerId> deferred_timers_;
+};
+
+struct NetConfig {
+  std::uint64_t seed = 1;
+  // Independent per-receiver drop probability (applied to unicast and to
+  // each multicast leg).
+  double loss_probability = 0.0;
+  NodeSpec default_spec;
+};
+
+class SimNetwork {
+ public:
+  explicit SimNetwork(NetConfig cfg = {});
+
+  Scheduler& scheduler() { return sched_; }
+  TimePoint now() const { return sched_.now(); }
+
+  SimNode& AddNode() { return AddNode(cfg_.default_spec); }
+  SimNode& AddNode(const NodeSpec& spec);
+  SimNode& node(NodeId id) { return *nodes_.at(id); }
+  std::size_t node_count() const { return nodes_.size(); }
+
+  void Subscribe(NodeId n, ChannelId channel);
+  void Unsubscribe(NodeId n, ChannelId channel);
+
+  // Starts every node with a bound protocol.
+  void StartAll();
+  void RunFor(Duration d) { sched_.RunFor(d); }
+  void RunUntil(TimePoint t) { sched_.RunUntil(t); }
+
+  // Internal, called by SimNode.
+  void Unicast(SimNode& from, NodeId to, MessagePtr m, TimePoint ready);
+  void MulticastSend(SimNode& from, ChannelId channel, MessagePtr m,
+                     TimePoint ready);
+
+ private:
+  void ScheduleArrival(NodeId from, NodeId to, MessagePtr m,
+                       std::size_t wire_bytes, TimePoint depart);
+
+  NetConfig cfg_;
+  Scheduler sched_;
+  std::vector<std::unique_ptr<SimNode>> nodes_;
+  std::unordered_map<ChannelId, std::vector<NodeId>> channels_;
+  std::unordered_map<std::uint64_t, TimePoint> fifo_clamp_;  // (from<<32)|to
+  Rng net_rng_;
+};
+
+}  // namespace mrp::sim

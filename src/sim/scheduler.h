@@ -1,0 +1,98 @@
+// Deterministic discrete-event scheduler. Events fire in (time, insertion
+// sequence) order, so identical seeds give bit-identical runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mrp::sim {
+
+class Scheduler {
+ public:
+  using EventId = std::uint64_t;
+
+  TimePoint now() const { return now_; }
+
+  EventId At(TimePoint t, std::function<void()> fn) {
+    const EventId id = ++next_id_;
+    queue_.push(Event{t < now_ ? now_ : t, id, std::move(fn)});
+    return id;
+  }
+
+  EventId After(Duration d, std::function<void()> fn) {
+    return At(now_ + d, std::move(fn));
+  }
+
+  void Cancel(EventId id) { cancelled_.insert(id); }
+
+  bool empty() const { return queue_.size() == cancelled_live_; }
+
+  // Runs the next event; returns false if none remain.
+  bool RunOne() {
+    while (!queue_.empty()) {
+      Event ev = PopTop();
+      if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+        cancelled_.erase(it);
+        --cancelled_live_;
+        continue;
+      }
+      now_ = ev.at;
+      ev.fn();
+      return true;
+    }
+    return false;
+  }
+
+  // Runs all events with time <= t, then advances the clock to t.
+  void RunUntil(TimePoint t) {
+    while (!queue_.empty() && queue_.top().at <= t) {
+      if (!RunOne()) break;
+    }
+    if (now_ < t) now_ = t;
+  }
+
+  void RunFor(Duration d) { RunUntil(now_ + d); }
+
+  // Drains every pending event (tests only; unbounded if events respawn).
+  void RunAll() {
+    while (RunOne()) {
+    }
+  }
+
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    TimePoint at;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+
+  Event PopTop() {
+    // const_cast to move out of the priority_queue top; the element is
+    // removed immediately afterwards.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    return ev;
+  }
+
+  TimePoint now_{0};
+  EventId next_id_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+  std::size_t cancelled_live_ = 0;  // reserved; cancellation is lazy
+};
+
+}  // namespace mrp::sim

@@ -1,0 +1,121 @@
+#include "smr/client.h"
+
+#include <algorithm>
+
+namespace mrp::smr {
+
+using ringpaxos::Submit;
+
+void KvClient::OnStart(Env& env) {
+  Duration jitter{0};
+  if (cfg_.start_jitter.count() > 0) {
+    jitter = Duration(static_cast<std::int64_t>(
+        env.rng().uniform() * static_cast<double>(cfg_.start_jitter.count())));
+  }
+  env.SetTimer(jitter, [this, &env] {
+    for (std::size_t i = 0; i < cfg_.window; ++i) IssueNext(env);
+  });
+  env.SetTimer(cfg_.retry_timeout, [this, &env] { CheckRetries(env); });
+}
+
+Command KvClient::RandomCommand(Env& env) {
+  auto& rng = env.rng();
+  const Key space = cfg_.partitioning.space();
+  Command cmd;
+  if (rng.uniform() < cfg_.query_ratio) {
+    Key lo;
+    Key span;
+    if (cfg_.partitioning.partitions() > 1 &&
+        rng.uniform() < cfg_.multi_partition_ratio) {
+      // Range spanning at least two partitions.
+      const Key width = space / cfg_.partitioning.partitions();
+      lo = rng.below(space - width);
+      span = width + rng.below(width);
+    } else {
+      // Range within one partition.
+      const GroupId p =
+          static_cast<GroupId>(rng.below(cfg_.partitioning.partitions()));
+      const auto [plo, phi] = cfg_.partitioning.RangeOf(p);
+      lo = plo + rng.below(phi - plo);
+      span = std::min<Key>(64, phi - lo);
+    }
+    cmd = Command::Query(lo, std::min(lo + span, space - 1));
+  } else if (rng.uniform() < cfg_.delete_ratio) {
+    cmd = Command::Delete(rng.below(space));
+  } else {
+    cmd = Command::Insert(rng.below(space),
+                          std::string(cfg_.value_size, 'v'));
+  }
+  return cmd;
+}
+
+void KvClient::IssueNext(Env& env) {
+  if (cfg_.ops_limit > 0 && next_req_ >= cfg_.ops_limit) return;
+  Command cmd = RandomCommand(env);
+  cmd.req_id = ++next_req_;
+  cmd.client = env.self();
+  Dispatch(env, cmd);
+}
+
+void KvClient::Dispatch(Env& env, const Command& cmd) {
+  // Routing: single-partition ops to the owning group; cross-partition
+  // queries to g_all.
+  const std::uint32_t partitions = cfg_.partitioning.partitions();
+  std::set<GroupId> involved;
+  std::size_t ring_idx;
+  if (cmd.op == Command::Op::kQuery &&
+      !cfg_.partitioning.SinglePartition(cmd.kmin, cmd.kmax)) {
+    ring_idx = partitions;  // g_all
+    const GroupId first = cfg_.partitioning.PartitionOf(cmd.kmin);
+    const GroupId last = cfg_.partitioning.PartitionOf(cmd.kmax);
+    for (GroupId p = first; p <= last; ++p) involved.insert(p);
+  } else {
+    const Key k = cmd.op == Command::Op::kQuery ? cmd.kmin : cmd.key;
+    ring_idx = cfg_.partitioning.PartitionOf(k);
+    involved.insert(static_cast<GroupId>(ring_idx));
+  }
+
+  auto& pend = pending_[cmd.req_id];
+  pend.cmd = cmd;
+  pend.awaiting = std::move(involved);
+  pend.issued = env.now();
+
+  const auto& ring = cfg_.rings.at(ring_idx);
+  paxos::ClientMsg msg;
+  msg.group = ring.group;
+  msg.proposer = env.self();
+  msg.seq = ++proposer_seq_;
+  msg.sent_at = env.now();
+  msg.payload = cmd.Encode();
+  msg.payload_size = static_cast<std::uint32_t>(msg.payload.size());
+  env.Send(ring.ring_members[0], MakeMessage<Submit>(ring.ring, std::move(msg)));
+}
+
+void KvClient::CheckRetries(Env& env) {
+  for (auto& [id, pend] : pending_) {
+    if (env.now() - pend.issued >= cfg_.retry_timeout) {
+      Command cmd = pend.cmd;
+      pending_.erase(id);
+      Dispatch(env, cmd);  // re-dispatch with the same req_id
+      break;               // iterator invalidated; one retry per tick
+    }
+  }
+  env.SetTimer(cfg_.retry_timeout, [this, &env] { CheckRetries(env); });
+}
+
+void KvClient::OnMessage(Env& env, NodeId /*from*/, const MessagePtr& m) {
+  const auto* resp = Cast<Response>(m);
+  if (resp == nullptr) return;
+  auto it = pending_.find(resp->req_id);
+  if (it == pending_.end()) return;  // duplicate response from a sibling replica
+  auto& pend = it->second;
+  if (pend.awaiting.erase(resp->partition) == 0) return;
+  query_rows_ += resp->rows.size();
+  if (!pend.awaiting.empty()) return;
+  latency_.Record(env.now() - pend.issued);
+  pending_.erase(it);
+  ++completed_;
+  IssueNext(env);
+}
+
+}  // namespace mrp::smr

@@ -1,0 +1,69 @@
+// Closed-loop client of the partitioned key-value service. Routes each
+// command with atomic multicast: single-partition operations go to the
+// partition's group, range queries spanning partitions go to g_all
+// (paper Section II-C). Collects one response per involved partition
+// before completing a request; retries requests that stall.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/env.h"
+#include "common/stats.h"
+#include "ringpaxos/config.h"
+#include "ringpaxos/messages.h"
+#include "smr/command.h"
+#include "smr/kvstore.h"
+
+namespace mrp::smr {
+
+struct KvClientConfig {
+  Partitioning partitioning{1};
+  // rings[p] orders group p; rings[partitions()] orders g_all (optional:
+  // present when partitions() > 1).
+  std::vector<ringpaxos::RingConfig> rings;
+  std::size_t window = 1;          // outstanding requests
+  double query_ratio = 0.1;        // fraction of operations that are queries
+  double multi_partition_ratio = 0.3;  // fraction of queries spanning partitions
+  double delete_ratio = 0.1;
+  std::uint32_t value_size = 64;
+  std::uint64_t ops_limit = 0;     // stop after this many completions (0 = run on)
+  Duration retry_timeout = Millis(500);
+  Duration start_jitter = Millis(2);
+};
+
+class KvClient final : public Protocol {
+ public:
+  explicit KvClient(KvClientConfig cfg) : cfg_(std::move(cfg)) {}
+
+  void OnStart(Env& env) override;
+  void OnMessage(Env& env, NodeId from, const MessagePtr& m) override;
+
+  std::uint64_t completed() const { return completed_; }
+  Histogram& latency() { return latency_; }
+  std::uint64_t query_rows() const { return query_rows_; }
+
+ private:
+  struct PendingReq {
+    Command cmd;
+    std::set<GroupId> awaiting;  // partitions that still owe a response
+    TimePoint issued{0};
+  };
+
+  void IssueNext(Env& env);
+  void Dispatch(Env& env, const Command& cmd);
+  Command RandomCommand(Env& env);
+  void CheckRetries(Env& env);
+
+  KvClientConfig cfg_;
+  std::uint64_t next_req_ = 0;
+  std::uint64_t proposer_seq_ = 0;
+  std::map<std::uint64_t, PendingReq> pending_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t query_rows_ = 0;
+  Histogram latency_;
+};
+
+}  // namespace mrp::smr

@@ -1,0 +1,138 @@
+// Commands and responses of the replicated key-value service used to
+// illustrate atomic multicast (paper Section II-C): insert(k), delete(k)
+// and query(kmin, kmax). Commands are serialized into the payload of the
+// atomic-multicast client messages; responses travel directly from a
+// replica to the client.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/message.h"
+#include "common/types.h"
+
+namespace mrp::smr {
+
+using Key = std::uint64_t;
+
+struct Command {
+  enum class Op : std::uint8_t { kInsert = 0, kDelete = 1, kQuery = 2 };
+
+  Op op = Op::kInsert;
+  Key key = 0;           // insert/delete
+  std::string value;     // insert
+  Key kmin = 0, kmax = 0;  // query range (inclusive)
+  std::uint64_t req_id = 0;
+  NodeId client = kNoNode;
+
+  static Command Insert(Key k, std::string v) {
+    Command c;
+    c.op = Op::kInsert;
+    c.key = k;
+    c.value = std::move(v);
+    return c;
+  }
+  static Command Delete(Key k) {
+    Command c;
+    c.op = Op::kDelete;
+    c.key = k;
+    return c;
+  }
+  static Command Query(Key kmin, Key kmax) {
+    Command c;
+    c.op = Op::kQuery;
+    c.kmin = kmin;
+    c.kmax = kmax;
+    return c;
+  }
+
+  Bytes Encode() const {
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(op));
+    w.u64(key);
+    w.str(value);
+    w.u64(kmin);
+    w.u64(kmax);
+    w.u64(req_id);
+    w.u32(client);
+    return w.take();
+  }
+
+  static std::optional<Command> Decode(const Bytes& data) {
+    ByteReader r(data);
+    Command c;
+    auto op = r.u8();
+    auto key = r.u64();
+    auto value = r.str();
+    auto kmin = r.u64();
+    auto kmax = r.u64();
+    auto req = r.u64();
+    auto client = r.u32();
+    if (!op || !key || !value || !kmin || !kmax || !req || !client) {
+      return std::nullopt;
+    }
+    c.op = static_cast<Op>(*op);
+    c.key = *key;
+    c.value = std::move(*value);
+    c.kmin = *kmin;
+    c.kmax = *kmax;
+    c.req_id = *req;
+    c.client = *client;
+    return c;
+  }
+};
+
+// Replica -> client. For multi-partition queries the client collects one
+// response per involved partition.
+struct Response final : MessageBase {
+  std::uint64_t req_id;
+  GroupId partition;
+  bool ok;
+  std::vector<std::pair<Key, std::string>> rows;  // query results
+
+  Response(std::uint64_t id, GroupId p, bool okay,
+           std::vector<std::pair<Key, std::string>> r = {})
+      : req_id(id), partition(p), ok(okay), rows(std::move(r)) {}
+  std::size_t WireSize() const override {
+    std::size_t n = 8 + 4 + 1 + 4 + 8;
+    for (const auto& [k, v] : rows) n += 8 + 4 + v.size();
+    return n;
+  }
+  const char* TypeName() const override { return "smr.Response"; }
+};
+
+// New replica -> peer replica: request a full state snapshot of the
+// partition (bootstrap after a late join; the atomic-multicast log
+// below the acceptors' trim point is no longer replayable).
+struct SnapshotReq final : MessageBase {
+  GroupId partition;
+
+  explicit SnapshotReq(GroupId p) : partition(p) {}
+  std::size_t WireSize() const override { return 8 + 4; }
+  const char* TypeName() const override { return "smr.SnapshotReq"; }
+};
+
+// Peer replica -> new replica: the partition state. Replay of the tail
+// of the multicast stream on top of this converges because the service
+// commands are idempotent (insert/delete by key).
+struct SnapshotRep final : MessageBase {
+  GroupId partition;
+  std::uint64_t applied;  // commands applied when the snapshot was taken
+  std::vector<std::pair<Key, std::string>> rows;
+
+  SnapshotRep(GroupId p, std::uint64_t a, std::vector<std::pair<Key, std::string>> r)
+      : partition(p), applied(a), rows(std::move(r)) {}
+  std::size_t WireSize() const override {
+    std::size_t n = 8 + 4 + 8 + 4;
+    for (const auto& [k, v] : rows) n += 8 + 4 + v.size();
+    return n;
+  }
+  const char* TypeName() const override { return "smr.SnapshotRep"; }
+};
+
+}  // namespace mrp::smr

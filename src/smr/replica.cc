@@ -1,0 +1,133 @@
+#include "smr/replica.h"
+
+namespace mrp::smr {
+
+Replica::Replica(ReplicaConfig cfg) : cfg_(std::move(cfg)) {
+  multiring::MergeLearner::Options opts;
+  opts.m = cfg_.m;
+  opts.groups.push_back(cfg_.partition_ring);
+  if (cfg_.all_ring) opts.groups.push_back(*cfg_.all_ring);
+  opts.on_deliver = [this](GroupId g, const paxos::ClientMsg& msg) {
+    Apply(*env_, g, msg);
+  };
+  merge_ = std::make_unique<multiring::MergeLearner>(std::move(opts));
+}
+
+void Replica::OnStart(Env& env) {
+  env_ = &env;
+  bootstrapped_ = !cfg_.bootstrap_from_peer;
+  merge_->OnStart(env);
+  // The snapshot is requested lazily, on the first delivery: only then
+  // is the merge stream's start position fixed, which guarantees the
+  // peer's snapshot covers everything before it.
+}
+
+void Replica::RequestSnapshot(Env& env) {
+  if (bootstrapped_ || cfg_.peers.empty()) {
+    bootstrapped_ = true;
+    return;
+  }
+  const NodeId peer = cfg_.peers[static_cast<std::size_t>(
+      env.rng().below(cfg_.peers.size()))];
+  env.Send(peer, MakeMessage<SnapshotReq>(cfg_.partition));
+  env.SetTimer(cfg_.snapshot_retry, [this, &env] { RequestSnapshot(env); });
+}
+
+void Replica::OnMessage(Env& env, NodeId from, const MessagePtr& m) {
+  env_ = &env;
+  if (const auto* req = Cast<SnapshotReq>(m)) {
+    if (req->partition == cfg_.partition && bootstrapped_) {
+      const auto [lo, hi] = cfg_.range;
+      env.Send(from, MakeMessage<SnapshotRep>(cfg_.partition, applied_,
+                                              store_.Query(lo, hi)));
+    }
+    return;
+  }
+  if (const auto* rep = Cast<SnapshotRep>(m)) {
+    if (rep->partition == cfg_.partition && !bootstrapped_) {
+      for (const auto& [k, v] : rep->rows) store_.Insert(k, v);
+      bootstrapped_ = true;
+      // Replay the deliveries that arrived while the snapshot was in
+      // flight (idempotent overlap with the snapshot).
+      auto pending = std::move(pending_applies_);
+      pending_applies_.clear();
+      for (const auto& cmd : pending) Execute(env, cmd);
+    }
+    return;
+  }
+  merge_->OnMessage(env, from, m);
+}
+
+void Replica::Apply(Env& env, GroupId /*group*/, const paxos::ClientMsg& msg) {
+  if (!cfg_.execute) {
+    ++discarded_;  // dummy service: delivery only
+    return;
+  }
+  auto cmd = Command::Decode(msg.payload);
+  if (!cmd) {
+    ++discarded_;
+    return;
+  }
+  if (!bootstrapped_) {
+    // Stream is live but the bootstrap snapshot has not been installed
+    // yet: buffer, and kick off the snapshot request now that the
+    // stream's start position is fixed.
+    pending_applies_.push_back(std::move(*cmd));
+    if (!snapshot_requested_) {
+      snapshot_requested_ = true;
+      RequestSnapshot(env);
+    }
+    return;
+  }
+  Execute(env, *cmd);
+}
+
+void Replica::Execute(Env& env, const Command& cmd) {
+  const auto [lo, hi] = cfg_.range;
+  switch (cmd.op) {
+    case Command::Op::kInsert:
+      if (cmd.key < lo || cmd.key > hi) {
+        ++discarded_;
+        return;
+      }
+      store_.Insert(cmd.key, cmd.value);
+      ++applied_;
+      if (cfg_.respond && cmd.client != kNoNode) {
+        env.Send(cmd.client,
+                 MakeMessage<Response>(cmd.req_id, cfg_.partition, true));
+      }
+      break;
+    case Command::Op::kDelete: {
+      if (cmd.key < lo || cmd.key > hi) {
+        ++discarded_;
+        return;
+      }
+      const bool ok = store_.Delete(cmd.key);
+      ++applied_;
+      if (cfg_.respond && cmd.client != kNoNode) {
+        env.Send(cmd.client,
+                 MakeMessage<Response>(cmd.req_id, cfg_.partition, ok));
+      }
+      break;
+    }
+    case Command::Op::kQuery: {
+      // Answer the overlap of [kmin, kmax] with this partition's range;
+      // discard if disjoint (the paper's selective execution).
+      const Key qlo = std::max(cmd.kmin, lo);
+      const Key qhi = std::min(cmd.kmax, hi);
+      if (qlo > qhi) {
+        ++discarded_;
+        return;
+      }
+      ++applied_;
+      if (cfg_.respond && cmd.client != kNoNode) {
+        env.Send(cmd.client,
+                 MakeMessage<Response>(cmd.req_id, cfg_.partition, true,
+                                       store_.Query(qlo, qhi, cfg_.query_row_limit)));
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace mrp::smr

@@ -1,0 +1,76 @@
+// A state-machine replica of one partition (paper Section II-C). The
+// replica subscribes to its partition's group and to the all-partitions
+// group g_all via the Multi-Ring Paxos merge learner, applies decided
+// commands that concern its key range in delivery order, and answers
+// clients directly. Commands outside the replica's range (possible on
+// g_all) are discarded, exactly as the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "common/env.h"
+#include "multiring/merge_learner.h"
+#include "smr/command.h"
+#include "smr/kvstore.h"
+
+namespace mrp::smr {
+
+struct ReplicaConfig {
+  GroupId partition = 0;
+  // Peer replicas of the same partition. A replica started with
+  // bootstrap_from_peer fetches a state snapshot before serving (late
+  // join: the multicast history may already be trimmed).
+  std::vector<NodeId> peers;
+  bool bootstrap_from_peer = false;
+  Duration snapshot_retry = Millis(200);
+  std::pair<Key, Key> range{0, ~0ULL};
+  // Ring carrying this partition's group and (optionally) the ring
+  // carrying g_all (queries spanning partitions).
+  ringpaxos::LearnerOptions partition_ring;
+  std::optional<ringpaxos::LearnerOptions> all_ring;
+  std::uint32_t m = 1;
+  // False = dummy service (Figure 2): commands are discarded unexecuted.
+  bool execute = true;
+  bool respond = true;
+  std::size_t query_row_limit = 64;  // rows returned per partition
+};
+
+class Replica final : public Protocol {
+ public:
+  explicit Replica(ReplicaConfig cfg);
+
+  void OnStart(Env& env) override;
+  void OnMessage(Env& env, NodeId from, const MessagePtr& m) override;
+
+  const KvStore& store() const { return store_; }
+  std::uint64_t applied() const { return applied_; }
+  std::uint64_t discarded() const { return discarded_; }
+  bool bootstrapped() const { return bootstrapped_; }
+  multiring::MergeLearner& merge() { return *merge_; }
+
+ private:
+  void Apply(Env& env, GroupId group, const paxos::ClientMsg& msg);
+  void Execute(Env& env, const Command& cmd);
+  void RequestSnapshot(Env& env);
+
+  ReplicaConfig cfg_;
+  std::unique_ptr<multiring::MergeLearner> merge_;
+  KvStore store_;
+  // Deliveries buffered while the bootstrap snapshot is in flight. The
+  // snapshot is requested only after the merge stream is positioned and
+  // delivering, so snapshot position >= stream start: replaying the
+  // buffer over the snapshot converges (commands are idempotent per
+  // key) and can never leave a gap.
+  std::vector<Command> pending_applies_;
+  bool snapshot_requested_ = false;
+  std::uint64_t applied_ = 0;
+  std::uint64_t discarded_ = 0;
+  bool bootstrapped_ = false;
+  Env* env_ = nullptr;
+};
+
+}  // namespace mrp::smr

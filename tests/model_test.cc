@@ -1,0 +1,164 @@
+// Model-based randomized tests: drive InstanceWindow and the simulator
+// Env timer semantics with random operation sequences and compare
+// against simple reference models.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/instance_window.h"
+#include "common/rand.h"
+#include "sim/network.h"
+
+namespace mrp {
+namespace {
+
+// Reference model: a map plus a cursor.
+struct WindowModel {
+  std::map<InstanceId, int> slots;
+  InstanceId next = 0;
+
+  bool Insert(InstanceId id, int v) {
+    if (id < next || slots.count(id)) return false;
+    slots[id] = v;
+    return true;
+  }
+  std::optional<int> Pop() {
+    auto it = slots.find(next);
+    if (it == slots.end()) return std::nullopt;
+    const int v = it->second;
+    slots.erase(it);
+    ++next;
+    return v;
+  }
+  std::vector<int> Skip(InstanceId count) {
+    std::vector<int> dropped;
+    const InstanceId end = next + count;
+    for (auto it = slots.begin(); it != slots.end() && it->first < end;) {
+      dropped.push_back(it->second);
+      it = slots.erase(it);
+    }
+    next = end;
+    return dropped;
+  }
+  std::size_t buffered() const { return slots.size(); }
+  InstanceId FirstGap() const {
+    InstanceId g = next;
+    while (slots.count(g)) ++g;
+    return g;
+  }
+};
+
+class WindowModelProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(WindowModelProperty, RandomOpsMatchReferenceModel) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  InstanceWindow<int> real;
+  WindowModel model;
+
+  for (int step = 0; step < 20000; ++step) {
+    const auto op = rng.below(100);
+    if (op < 55) {
+      // Insert near the cursor (mix of stale, present, fresh ids).
+      const InstanceId id =
+          model.next + rng.below(20) - std::min<InstanceId>(model.next, 3);
+      const int v = static_cast<int>(step);
+      ASSERT_EQ(real.Insert(id, v), model.Insert(id, v)) << "step " << step;
+    } else if (op < 90) {
+      const int* peek = real.Peek();
+      auto expect = model.Pop();
+      if (expect.has_value()) {
+        ASSERT_NE(peek, nullptr) << "step " << step;
+        ASSERT_EQ(real.Pop(), *expect) << "step " << step;
+      } else {
+        ASSERT_EQ(peek, nullptr) << "step " << step;
+      }
+    } else {
+      const InstanceId count = rng.below(8);
+      auto dropped_real = real.Skip(count);
+      auto dropped_model = model.Skip(count);
+      ASSERT_EQ(dropped_real, dropped_model) << "step " << step;
+    }
+    ASSERT_EQ(real.next(), model.next) << "step " << step;
+    ASSERT_EQ(real.buffered(), model.buffered()) << "step " << step;
+    ASSERT_EQ(real.FirstGap(), model.FirstGap()) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WindowModelProperty, ::testing::Values(1, 2, 3, 4));
+
+// ---- Env timer semantics on the simulator ----
+
+class TimerHarness final : public Protocol {
+ public:
+  void OnStart(Env&) override {}
+  void OnMessage(Env&, NodeId, const MessagePtr&) override {}
+};
+
+TEST(SimTimers, CancelBeforeFireSuppresses) {
+  sim::SimNetwork net;
+  auto& node = net.AddNode();
+  node.BindProtocol(std::make_unique<TimerHarness>());
+  net.StartAll();
+
+  int fired = 0;
+  TimerId keep = 0, cancel = 0;
+  node.ExecuteAt(net.now(), Duration{0}, [&] {
+    keep = node.SetTimer(Millis(5), [&] { fired += 1; });
+    cancel = node.SetTimer(Millis(5), [&] { fired += 100; });
+    node.CancelTimer(cancel);
+  });
+  net.RunFor(Millis(20));
+  EXPECT_EQ(fired, 1);
+  (void)keep;
+}
+
+TEST(SimTimers, ManyTimersFireInOrder) {
+  sim::SimNetwork net;
+  sim::NodeSpec spec;
+  spec.infinite_cpu = true;  // zero processing cost: pure timer ordering
+  auto& node = net.AddNode(spec);
+  node.BindProtocol(std::make_unique<TimerHarness>());
+  net.StartAll();
+
+  std::vector<int> order;
+  node.ExecuteAt(net.now(), Duration{0}, [&] {
+    for (int i = 20; i >= 1; --i) {
+      node.SetTimer(Millis(i), [&order, i] { order.push_back(i); });
+    }
+  });
+  net.RunFor(Millis(50));
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i + 1);
+}
+
+TEST(SimTimers, TimerSurvivesAndDefersAcrossDowntime) {
+  sim::SimNetwork net;
+  auto& node = net.AddNode();
+  node.BindProtocol(std::make_unique<TimerHarness>());
+  net.StartAll();
+
+  std::vector<long long> fire_ms;
+  node.ExecuteAt(net.now(), Duration{0}, [&] {
+    for (int i = 1; i <= 3; ++i) {
+      node.SetTimer(Millis(i * 10), [&fire_ms, &net] {
+        fire_ms.push_back(net.now().count() / 1000000);
+      });
+    }
+  });
+  net.RunFor(Millis(15));  // first timer fired
+  node.SetDown(true);
+  net.RunFor(Millis(30));  // second and third expire while down
+  node.SetDown(false);
+  net.RunFor(Millis(5));
+  ASSERT_EQ(fire_ms.size(), 3u);
+  EXPECT_EQ(fire_ms[0], 10);
+  EXPECT_EQ(fire_ms[1], 45);  // deferred to the resume point
+  EXPECT_EQ(fire_ms[2], 45);
+}
+
+}  // namespace
+}  // namespace mrp

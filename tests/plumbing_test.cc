@@ -1,0 +1,210 @@
+// Remaining plumbing coverage: the in-process bus, NodeRuntime's
+// RunOnLoop, RingDispatch routing, merge-learner option details, and
+// value/message helpers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "multiring/merge_learner.h"
+#include "multiring/ring_dispatch.h"
+#include "multiring/sim_deployment.h"
+#include "paxos/value.h"
+#include "ringpaxos/messages.h"
+#include "runtime/node_runtime.h"
+
+namespace mrp {
+namespace {
+
+// ----------------------------------------------------------- paxos::Value
+
+TEST(Value, SpansAndSizes) {
+  EXPECT_EQ(paxos::Value::Skip(7).LogicalInstances(), 7u);
+  paxos::ClientMsg m;
+  m.payload_size = 100;
+  auto batch = paxos::Value::Batch({m, m});
+  EXPECT_EQ(batch.LogicalInstances(), 1u);
+  EXPECT_EQ(batch.PayloadBytes(), 200u);
+  EXPECT_FALSE(batch.is_skip());
+  EXPECT_TRUE(paxos::Value::Skip(1).is_skip());
+  EXPECT_GT(batch.WireSize(), 200u);
+}
+
+TEST(MessageCast, DowncastHelpers) {
+  MessagePtr m = MakeMessage<ringpaxos::P2B>(1, 2, 3, 4, 5);
+  EXPECT_NE(Cast<ringpaxos::P2B>(m), nullptr);
+  EXPECT_EQ(Cast<ringpaxos::P2A>(m), nullptr);
+  EXPECT_NE(dynamic_cast<const ringpaxos::RingMessage*>(m.get()), nullptr);
+}
+
+// ------------------------------------------------------------- InProcBus
+
+struct EchoMsg final : MessageBase {
+  int tag;
+  explicit EchoMsg(int t) : tag(t) {}
+  std::size_t WireSize() const override { return 16; }
+  const char* TypeName() const override { return "test.Echo"; }
+};
+
+class Collector final : public Protocol {
+ public:
+  void OnStart(Env&) override {}
+  void OnMessage(Env&, NodeId from, const MessagePtr& m) override {
+    if (const auto* e = Cast<EchoMsg>(m)) {
+      tags.push_back({from, e->tag});
+      ++count;
+    }
+  }
+  std::vector<std::pair<NodeId, int>> tags;
+  std::atomic<int> count{0};
+};
+
+TEST(InProcBus, ChannelsIsolateSubscribers) {
+  runtime::LocalCluster cluster(runtime::LocalCluster::Kind::kInProc);
+  auto c0 = std::make_unique<Collector>();
+  auto c1 = std::make_unique<Collector>();
+  auto c2 = std::make_unique<Collector>();
+  auto* r0 = c0.get();
+  auto* r1 = c1.get();
+  auto* r2 = c2.get();
+  cluster.AddNode(std::move(c0), {10});        // node 0 on channel 10
+  cluster.AddNode(std::move(c1), {10, 11});    // node 1 on both
+  cluster.AddNode(std::move(c2), {11});        // node 2 on channel 11
+  cluster.Start();
+
+  auto& sender = cluster.node(0);
+  sender.loop().Post([&sender] {
+    sender.Multicast(10, MakeMessage<EchoMsg>(100));
+    sender.Multicast(11, MakeMessage<EchoMsg>(200));
+    sender.Send(2, MakeMessage<EchoMsg>(300));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  cluster.Stop();
+
+  // Node 0 never self-delivers its channel-10 multicast.
+  EXPECT_EQ(r0->count.load(), 0);
+  ASSERT_EQ(r1->count.load(), 2);  // both multicasts
+  ASSERT_EQ(r2->count.load(), 2);  // channel 11 multicast + unicast
+  EXPECT_EQ(r2->tags[0].second + r2->tags[1].second, 500);
+}
+
+TEST(NodeRuntime, RunOnLoopExecutesOnLoopThreadAndBlocks) {
+  runtime::LocalCluster cluster(runtime::LocalCluster::Kind::kInProc);
+  cluster.AddNode(std::make_unique<Collector>(), {});
+  cluster.Start();
+  auto& node = cluster.node(0);
+  std::atomic<bool> ran{false};
+  std::atomic<bool> on_loop{false};
+  node.RunOnLoop([&] {
+    ran = true;
+    on_loop = node.loop().on_loop_thread();
+  });
+  EXPECT_TRUE(ran.load());
+  EXPECT_TRUE(on_loop.load());
+  cluster.Stop();
+}
+
+// ----------------------------------------------------------- RingDispatch
+
+TEST(RingDispatch, RoutesByRingAndBroadcastsOthers) {
+  class RingCounter final : public Protocol {
+   public:
+    void OnStart(Env&) override { ++starts; }
+    void OnMessage(Env&, NodeId, const MessagePtr& m) override {
+      if (Cast<ringpaxos::Heartbeat>(m)) ++ring_msgs;
+      if (Cast<EchoMsg>(m)) ++other_msgs;
+    }
+    int starts = 0;
+    int ring_msgs = 0;
+    int other_msgs = 0;
+  };
+
+  sim::SimNetwork net;
+  auto& node = net.AddNode();
+  auto dispatch = std::make_unique<multiring::RingDispatch>();
+  auto p0 = std::make_unique<RingCounter>();
+  auto p1 = std::make_unique<RingCounter>();
+  auto* r0 = p0.get();
+  auto* r1 = p1.get();
+  dispatch->AddRing(0, std::move(p0));
+  dispatch->AddRing(1, std::move(p1));
+  node.BindProtocol(std::move(dispatch));
+  auto& sender = net.AddNode();
+  sender.BindProtocol(std::make_unique<Collector>());
+  net.StartAll();
+
+  sender.ExecuteAt(net.now(), Duration{0}, [&] {
+    sender.Send(node.self(), MakeMessage<ringpaxos::Heartbeat>(0, 1, 9));
+    sender.Send(node.self(), MakeMessage<ringpaxos::Heartbeat>(1, 1, 9));
+    sender.Send(node.self(), MakeMessage<ringpaxos::Heartbeat>(7, 1, 9));  // unknown ring
+    sender.Send(node.self(), MakeMessage<EchoMsg>(1));  // non-ring: both
+  });
+  net.RunFor(Millis(10));
+
+  EXPECT_EQ(r0->starts, 1);
+  EXPECT_EQ(r1->starts, 1);
+  EXPECT_EQ(r0->ring_msgs, 1);
+  EXPECT_EQ(r1->ring_msgs, 1);
+  EXPECT_EQ(r0->other_msgs, 1);
+  EXPECT_EQ(r1->other_msgs, 1);
+}
+
+// ----------------------------------------- merge learner option details
+
+TEST(MergeLearner, TickIntervalDrivesRecoveryCadence) {
+  // A merge learner with a long tick interval recovers slower than one
+  // with a short interval under loss (same seed, same topology).
+  auto run = [](Duration tick) {
+    multiring::DeploymentOptions opts;
+    opts.n_rings = 1;
+    opts.lambda_per_sec = 0;
+    opts.net.loss_probability = 0.05;
+    opts.net.seed = 77;
+    multiring::SimDeployment d(opts);
+    auto& node = d.net().AddNode();
+    multiring::MergeLearner::Options mo;
+    mo.tick_interval = tick;
+    mo.send_delivery_acks = true;
+    ringpaxos::LearnerOptions lo;
+    lo.ring = d.ring(0);
+    mo.groups.push_back(lo);
+    auto learner = std::make_unique<multiring::MergeLearner>(std::move(mo));
+    auto* raw = learner.get();
+    node.BindProtocol(std::move(learner));
+    d.net().Subscribe(node.self(), d.ring(0).data_channel);
+    d.net().Subscribe(node.self(), d.ring(0).control_channel);
+    ringpaxos::ProposerConfig pc;
+    pc.max_outstanding = 4;
+    pc.payload_size = 1000;
+    d.AddProposer(0, pc);
+    d.Start();
+    d.RunFor(Seconds(2));
+    return raw->total_delivered();
+  };
+  const auto fast = run(Millis(5));
+  const auto slow = run(Millis(200));
+  EXPECT_GT(fast, slow) << "recovery cadence had no effect";
+  EXPECT_GT(slow, 50u) << "even slow ticks must make progress";
+}
+
+TEST(MergeLearner, GroupsSortedByGroupId) {
+  multiring::MergeLearner::Options mo;
+  for (GroupId g : {GroupId{5}, GroupId{1}, GroupId{3}}) {
+    ringpaxos::LearnerOptions lo;
+    lo.ring.ring = g;
+    lo.ring.group = g;
+    lo.ring.ring_members = {0};
+    mo.groups.push_back(lo);
+  }
+  multiring::MergeLearner learner(std::move(mo));
+  ASSERT_EQ(learner.group_count(), 3u);
+  EXPECT_EQ(learner.stats(0).group, 1u);
+  EXPECT_EQ(learner.stats(1).group, 3u);
+  EXPECT_EQ(learner.stats(2).group, 5u);
+}
+
+}  // namespace
+}  // namespace mrp

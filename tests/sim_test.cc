@@ -1,0 +1,280 @@
+// Tests for the discrete-event simulator: scheduler determinism, CPU
+// cost accounting, link serialization/latency, multicast fan-out, loss,
+// fault injection and the simulated disk.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "paxos/storage.h"
+#include "sim/disk_storage.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+
+namespace mrp::sim {
+namespace {
+
+TEST(Scheduler, FiresInTimeThenInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.At(Millis(2), [&] { order.push_back(2); });
+  s.At(Millis(1), [&] { order.push_back(1); });
+  s.At(Millis(1), [&] { order.push_back(3); });  // same time, later insertion
+  s.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+  EXPECT_EQ(s.now(), Millis(2));
+}
+
+TEST(Scheduler, CancelSuppressesEvent) {
+  Scheduler s;
+  int fired = 0;
+  auto id = s.At(Millis(1), [&] { ++fired; });
+  s.At(Millis(2), [&] { ++fired; });
+  s.Cancel(id);
+  s.RunAll();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, RunUntilAdvancesClock) {
+  Scheduler s;
+  int fired = 0;
+  s.At(Millis(5), [&] { ++fired; });
+  s.RunUntil(Millis(3));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(s.now(), Millis(3));
+  s.RunUntil(Millis(10));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, EventsScheduledInPastFireNow) {
+  Scheduler s;
+  s.RunUntil(Millis(10));
+  bool fired = false;
+  s.At(Millis(1), [&] { fired = true; });
+  s.RunOne();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(s.now(), Millis(10));
+}
+
+// ---- Test protocol plumbing ----
+
+struct TestMsg final : MessageBase {
+  std::size_t size;
+  int tag;
+  explicit TestMsg(std::size_t s, int t = 0) : size(s), tag(t) {}
+  std::size_t WireSize() const override { return size; }
+  const char* TypeName() const override { return "test.Msg"; }
+};
+
+class Recorder final : public Protocol {
+ public:
+  void OnStart(Env&) override { started = true; }
+  void OnMessage(Env& env, NodeId from, const MessagePtr& m) override {
+    received.push_back({from, env.now(), Cast<TestMsg>(m)->tag});
+  }
+  struct Rx {
+    NodeId from;
+    TimePoint at;
+    int tag;
+  };
+  bool started = false;
+  std::vector<Rx> received;
+};
+
+NodeSpec FastSpec() {
+  NodeSpec s;
+  s.link_jitter = Duration{0};
+  return s;
+}
+
+TEST(SimNetwork, UnicastDeliversWithLatencyAndCosts) {
+  SimNetwork net;
+  auto& a = net.AddNode(FastSpec());
+  auto& b = net.AddNode(FastSpec());
+  auto* rec = new Recorder();
+  b.BindProtocol(std::unique_ptr<Protocol>(rec));
+  net.StartAll();
+
+  a.ExecuteAt(net.now(), Duration{0},
+              [&] { a.Send(b.self(), MakeMessage<TestMsg>(1000, 7)); });
+  net.RunFor(Millis(10));
+
+  ASSERT_EQ(rec->received.size(), 1u);
+  EXPECT_EQ(rec->received[0].from, a.self());
+  EXPECT_EQ(rec->received[0].tag, 7);
+  // Lower bound: send CPU (2us + ~5.5us) + 2x link serialization
+  // (~8.4us each at 1 Gbps for 1050B) + 50us latency + recv CPU.
+  EXPECT_GT(rec->received[0].at, Micros(70));
+  EXPECT_LT(rec->received[0].at, Micros(200));
+}
+
+TEST(SimNetwork, MulticastFansOutToSubscribersExceptSender) {
+  SimNetwork net;
+  auto& a = net.AddNode(FastSpec());
+  std::vector<Recorder*> recs;
+  for (int i = 0; i < 3; ++i) {
+    auto& n = net.AddNode(FastSpec());
+    auto* r = new Recorder();
+    n.BindProtocol(std::unique_ptr<Protocol>(r));
+    recs.push_back(r);
+    net.Subscribe(n.self(), /*channel=*/5);
+  }
+  net.Subscribe(a.self(), 5);  // sender subscribed: must not self-deliver
+  auto* arec = new Recorder();
+  a.BindProtocol(std::unique_ptr<Protocol>(arec));
+  net.StartAll();
+
+  a.ExecuteAt(net.now(), Duration{0},
+              [&] { a.Multicast(5, MakeMessage<TestMsg>(100, 1)); });
+  net.RunFor(Millis(10));
+
+  for (auto* r : recs) EXPECT_EQ(r->received.size(), 1u);
+  EXPECT_TRUE(arec->received.empty());
+}
+
+TEST(SimNetwork, CpuSaturationQueuesWork) {
+  // Offer ~2x the CPU capacity of the receiver and verify the delivery
+  // times stretch out (the work is conserved, not dropped).
+  SimNetwork net;
+  NodeSpec sender = FastSpec();
+  sender.infinite_cpu = true;
+  auto& a = net.AddNode(sender);
+  auto& b = net.AddNode(FastSpec());
+  auto* rec = new Recorder();
+  b.BindProtocol(std::unique_ptr<Protocol>(rec));
+  net.StartAll();
+
+  // Each 8kB message costs b ~2us + 8050*5.3ns = ~45us of CPU. Sending
+  // 1000 of them back-to-back takes ~45ms of CPU; the link can carry
+  // them in ~8ms. CPU binds.
+  a.ExecuteAt(net.now(), Duration{0}, [&] {
+    for (int i = 0; i < 1000; ++i) a.Send(b.self(), MakeMessage<TestMsg>(8000, i));
+  });
+  net.RunFor(Seconds(2));
+
+  ASSERT_EQ(rec->received.size(), 1000u);
+  EXPECT_GT(rec->received.back().at, Millis(40));
+  const double util = b.TakeCpuUtilisation();
+  (void)util;  // utilisation window spans the whole run; just ensure sane
+  EXPECT_GT(b.rx_meter().total_bytes(), 8000u * 1000u);
+}
+
+TEST(SimNetwork, LossDropsApproximatelyAtConfiguredRate) {
+  NetConfig cfg;
+  cfg.loss_probability = 0.2;
+  cfg.seed = 99;
+  SimNetwork net(cfg);
+  NodeSpec spec = FastSpec();
+  spec.infinite_cpu = true;
+  auto& a = net.AddNode(spec);
+  auto& b = net.AddNode(spec);
+  auto* rec = new Recorder();
+  b.BindProtocol(std::unique_ptr<Protocol>(rec));
+  net.StartAll();
+
+  const int kN = 5000;
+  a.ExecuteAt(net.now(), Duration{0}, [&] {
+    for (int i = 0; i < kN; ++i) a.Send(b.self(), MakeMessage<TestMsg>(100, i));
+  });
+  net.RunFor(Seconds(5));
+
+  const double rate = 1.0 - static_cast<double>(rec->received.size()) / kN;
+  EXPECT_NEAR(rate, 0.2, 0.03);
+}
+
+TEST(SimNetwork, DownNodeDropsMessagesAndDefersTimers) {
+  SimNetwork net;
+  auto& a = net.AddNode(FastSpec());
+  auto& b = net.AddNode(FastSpec());
+  auto* rec = new Recorder();
+  b.BindProtocol(std::unique_ptr<Protocol>(rec));
+  net.StartAll();
+
+  int timer_fired_at_ms = -1;
+  b.ExecuteAt(net.now(), Duration{0}, [&] {
+    b.SetTimer(Millis(5), [&] {
+      timer_fired_at_ms = static_cast<int>(net.now().count() / 1000000);
+    });
+  });
+  net.RunFor(Millis(1));
+  b.SetDown(true);
+
+  a.ExecuteAt(net.now(), Duration{0},
+              [&] { a.Send(b.self(), MakeMessage<TestMsg>(100, 1)); });
+  net.RunFor(Millis(20));  // timer expires while down -> deferred
+  EXPECT_TRUE(rec->received.empty());
+  EXPECT_EQ(timer_fired_at_ms, -1);
+
+  b.SetDown(false);
+  net.RunFor(Millis(5));
+  EXPECT_EQ(timer_fired_at_ms, 21);  // fires on resume
+
+  a.ExecuteAt(net.now(), Duration{0},
+              [&] { a.Send(b.self(), MakeMessage<TestMsg>(100, 2)); });
+  net.RunFor(Millis(10));
+  ASSERT_EQ(rec->received.size(), 1u);
+  EXPECT_EQ(rec->received[0].tag, 2);
+}
+
+TEST(SimNetwork, DeterministicAcrossRuns) {
+  auto run = [] {
+    NetConfig cfg;
+    cfg.seed = 1234;
+    cfg.loss_probability = 0.1;
+    SimNetwork net(cfg);
+    auto& a = net.AddNode();
+    auto& b = net.AddNode();
+    auto* rec = new Recorder();
+    b.BindProtocol(std::unique_ptr<Protocol>(rec));
+    net.StartAll();
+    a.ExecuteAt(net.now(), Duration{0}, [&] {
+      for (int i = 0; i < 200; ++i) a.Send(b.self(), MakeMessage<TestMsg>(500, i));
+    });
+    net.RunFor(Seconds(1));
+    std::string trace;
+    for (const auto& rx : rec->received) {
+      trace += std::to_string(rx.tag) + "@" + std::to_string(rx.at.count()) + ";";
+    }
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SimDiskStorage, WritesDrainAtDiskBandwidth) {
+  SimNetwork net;
+  NodeSpec spec = FastSpec();
+  spec.disk_bw_bps = 8e6;  // 1 MB/s to make the math visible
+  spec.disk_op_latency = Duration{0};
+  auto& n = net.AddNode(spec);
+  SimDiskStorage disk(n);
+
+  int completed = 0;
+  for (int i = 0; i < 10; ++i) {
+    disk.Put(static_cast<InstanceId>(i), paxos::AcceptorRecord{}, 100 * 1000,
+             [&] { ++completed; });
+  }
+  // 10 writes x 100 kB at 1 MB/s = 1 s total, 100 ms each.
+  net.RunFor(Millis(501));
+  EXPECT_EQ(completed, 5);
+  net.RunFor(Millis(600));
+  EXPECT_EQ(completed, 10);
+  EXPECT_EQ(disk.size(), 10u);
+  disk.Trim(5);
+  EXPECT_EQ(disk.size(), 5u);
+}
+
+TEST(SimDiskStorage, RecordsReadableImmediately) {
+  SimNetwork net;
+  auto& n = net.AddNode(FastSpec());
+  SimDiskStorage disk(n);
+  paxos::AcceptorRecord rec;
+  rec.promised = 3;
+  disk.Put(7, rec, 100, nullptr);
+  ASSERT_NE(disk.Get(7), nullptr);
+  EXPECT_EQ(disk.Get(7)->promised, 3u);
+  EXPECT_EQ(disk.Get(8), nullptr);
+}
+
+}  // namespace
+}  // namespace mrp::sim

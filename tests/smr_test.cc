@@ -1,0 +1,201 @@
+// Partitioned key-value service tests (paper Section II-C): replica
+// determinism, routing of single- vs multi-partition operations,
+// selective execution and client response collection.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "multiring/sim_deployment.h"
+#include "smr/client.h"
+#include "smr/kvstore.h"
+#include "smr/replica.h"
+
+namespace mrp::smr {
+namespace {
+
+using multiring::DeploymentOptions;
+using multiring::SimDeployment;
+
+TEST(KvStore, BasicOperations) {
+  KvStore s;
+  s.Insert(5, "five");
+  s.Insert(10, "ten");
+  s.Insert(7, "seven");
+  EXPECT_EQ(s.size(), 3u);
+  auto rows = s.Query(5, 8);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].first, 5u);
+  EXPECT_EQ(rows[1].first, 7u);
+  EXPECT_TRUE(s.Delete(7));
+  EXPECT_FALSE(s.Delete(7));
+  EXPECT_EQ(s.Query(0, 100).size(), 2u);
+}
+
+TEST(KvStore, FingerprintDetectsDivergence) {
+  KvStore a, b;
+  a.Insert(1, "x");
+  b.Insert(1, "x");
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  b.Insert(2, "y");
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(Partitioning, RangesCoverSpaceWithoutOverlap) {
+  Partitioning p(4, 1000);
+  EXPECT_EQ(p.PartitionOf(0), 0u);
+  EXPECT_EQ(p.PartitionOf(249), 0u);
+  EXPECT_EQ(p.PartitionOf(250), 1u);
+  EXPECT_EQ(p.PartitionOf(999), 3u);
+  Key covered = 0;
+  for (GroupId g = 0; g < 4; ++g) {
+    auto [lo, hi] = p.RangeOf(g);
+    EXPECT_EQ(lo, covered);
+    covered = hi + 1;
+  }
+  EXPECT_EQ(covered, 1000u);
+  EXPECT_TRUE(p.SinglePartition(10, 20));
+  EXPECT_FALSE(p.SinglePartition(240, 260));
+}
+
+TEST(Command, EncodeDecodeRoundtrip) {
+  Command c = Command::Insert(42, "value!");
+  c.req_id = 7;
+  c.client = 3;
+  auto decoded = Command::Decode(c.Encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->op, Command::Op::kInsert);
+  EXPECT_EQ(decoded->key, 42u);
+  EXPECT_EQ(decoded->value, "value!");
+  EXPECT_EQ(decoded->req_id, 7u);
+  EXPECT_EQ(decoded->client, 3u);
+
+  Command q = Command::Query(10, 99);
+  auto dq = Command::Decode(q.Encode());
+  ASSERT_TRUE(dq.has_value());
+  EXPECT_EQ(dq->op, Command::Op::kQuery);
+  EXPECT_EQ(dq->kmin, 10u);
+  EXPECT_EQ(dq->kmax, 99u);
+
+  EXPECT_FALSE(Command::Decode(Bytes{1, 2}).has_value());
+}
+
+// Full service: P partitions (one ring each) + a g_all ring, two
+// replicas per partition, closed-loop clients with mixed operations.
+struct Service {
+  explicit Service(int partitions, int clients, double multi_ratio = 0.3)
+      : part(static_cast<std::uint32_t>(partitions), 100000) {
+    DeploymentOptions opts;
+    opts.n_rings = partitions + (partitions > 1 ? 1 : 0);  // + g_all
+    opts.lambda_per_sec = 9000;
+    opts.batch_timeout = Millis(1);
+    d = std::make_unique<SimDeployment>(opts);
+
+    for (int p = 0; p < partitions; ++p) {
+      for (int r = 0; r < 2; ++r) {
+        auto& node = d->net().AddNode();
+        ReplicaConfig rc;
+        rc.partition = static_cast<GroupId>(p);
+        rc.range = part.RangeOf(rc.partition);
+        rc.partition_ring.ring = d->ring(p);
+        if (partitions > 1) {
+          ringpaxos::LearnerOptions all;
+          all.ring = d->ring(partitions);
+          rc.all_ring = all;
+        }
+        // Only the first replica answers (avoids duplicate-response load).
+        rc.respond = (r == 0);
+        auto rep = std::make_unique<Replica>(rc);
+        replicas.push_back(rep.get());
+        node.BindProtocol(std::move(rep));
+        d->net().Subscribe(node.self(), d->ring(p).data_channel);
+        d->net().Subscribe(node.self(), d->ring(p).control_channel);
+        if (partitions > 1) {
+          d->net().Subscribe(node.self(), d->ring(partitions).data_channel);
+          d->net().Subscribe(node.self(), d->ring(partitions).control_channel);
+        }
+      }
+    }
+    for (int c = 0; c < clients; ++c) {
+      sim::NodeSpec spec;
+      spec.infinite_cpu = true;
+      auto& node = d->net().AddNode(spec);
+      KvClientConfig cc;
+      cc.partitioning = part;
+      for (int r = 0; r < d->n_rings(); ++r) cc.rings.push_back(d->ring(r));
+      cc.window = 2;
+      cc.multi_partition_ratio = multi_ratio;
+      auto client = std::make_unique<KvClient>(cc);
+      this->clients.push_back(client.get());
+      node.BindProtocol(std::move(client));
+    }
+    d->Start();
+  }
+
+  Partitioning part;
+  std::unique_ptr<SimDeployment> d;
+  std::vector<Replica*> replicas;
+  std::vector<KvClient*> clients;
+};
+
+TEST(KvService, SinglePartitionServiceCompletesOps) {
+  Service s(1, 2);
+  s.d->RunFor(Seconds(1));
+  std::uint64_t total = 0;
+  for (auto* c : s.clients) total += c->completed();
+  EXPECT_GT(total, 200u);
+}
+
+TEST(KvService, ReplicasOfAPartitionConverge) {
+  Service s(2, 4);
+  s.d->RunFor(Seconds(2));
+  // Same partition, same state.
+  EXPECT_EQ(s.replicas[0]->store().Fingerprint(),
+            s.replicas[1]->store().Fingerprint());
+  EXPECT_EQ(s.replicas[2]->store().Fingerprint(),
+            s.replicas[3]->store().Fingerprint());
+  // Different partitions hold different keys.
+  EXPECT_GT(s.replicas[0]->applied(), 50u);
+  EXPECT_GT(s.replicas[2]->applied(), 50u);
+}
+
+TEST(KvService, MultiPartitionQueriesCollectAllPartitions) {
+  Service s(4, 4, /*multi_ratio=*/1.0);
+  s.d->RunFor(Seconds(2));
+  std::uint64_t total = 0;
+  for (auto* c : s.clients) total += c->completed();
+  EXPECT_GT(total, 100u);
+  // Cross-partition queries reached replicas of several partitions: the
+  // g_all ring delivered to everyone, and out-of-range parts discarded.
+  std::uint64_t discarded = 0;
+  for (auto* r : s.replicas) discarded += r->discarded();
+  EXPECT_GT(discarded, 0u);
+}
+
+TEST(KvService, DummyModeDiscardsEverything) {
+  DeploymentOptions opts;
+  opts.n_rings = 1;
+  opts.lambda_per_sec = 0;
+  SimDeployment d(opts);
+  auto& node = d.net().AddNode();
+  ReplicaConfig rc;
+  rc.partition_ring.ring = d.ring(0);
+  rc.execute = false;  // Figure 2's dummy service
+  auto rep = std::make_unique<Replica>(rc);
+  auto* replica = rep.get();
+  node.BindProtocol(std::move(rep));
+  d.net().Subscribe(node.self(), d.ring(0).data_channel);
+
+  ringpaxos::ProposerConfig pc;
+  pc.schedule = {{Seconds(0), 1000.0}};  // open loop: no acks needed
+  pc.payload_size = 1024;
+  d.AddProposer(0, pc);
+  d.Start();
+  d.RunFor(Seconds(1));
+  EXPECT_GT(replica->discarded(), 100u);
+  EXPECT_EQ(replica->applied(), 0u);
+  EXPECT_EQ(replica->store().size(), 0u);
+}
+
+}  // namespace
+}  // namespace mrp::smr
