@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_scalability.dir/ext_scalability.cc.o"
+  "CMakeFiles/ext_scalability.dir/ext_scalability.cc.o.d"
+  "ext_scalability"
+  "ext_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

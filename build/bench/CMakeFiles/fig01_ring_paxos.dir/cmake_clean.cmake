@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_ring_paxos.dir/fig01_ring_paxos.cc.o"
+  "CMakeFiles/fig01_ring_paxos.dir/fig01_ring_paxos.cc.o.d"
+  "fig01_ring_paxos"
+  "fig01_ring_paxos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_ring_paxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

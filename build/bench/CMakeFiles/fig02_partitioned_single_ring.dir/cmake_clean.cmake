@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_partitioned_single_ring.dir/fig02_partitioned_single_ring.cc.o"
+  "CMakeFiles/fig02_partitioned_single_ring.dir/fig02_partitioned_single_ring.cc.o.d"
+  "fig02_partitioned_single_ring"
+  "fig02_partitioned_single_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_partitioned_single_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02_partitioned_single_ring.
+# This may be replaced when dependencies are built.

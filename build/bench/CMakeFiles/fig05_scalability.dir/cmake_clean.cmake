@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_scalability.dir/fig05_scalability.cc.o"
+  "CMakeFiles/fig05_scalability.dir/fig05_scalability.cc.o.d"
+  "fig05_scalability"
+  "fig05_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_subscribe_all.dir/fig06_subscribe_all.cc.o"
+  "CMakeFiles/fig06_subscribe_all.dir/fig06_subscribe_all.cc.o.d"
+  "fig06_subscribe_all"
+  "fig06_subscribe_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_subscribe_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

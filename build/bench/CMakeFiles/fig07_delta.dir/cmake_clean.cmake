@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_delta.dir/fig07_delta.cc.o"
+  "CMakeFiles/fig07_delta.dir/fig07_delta.cc.o.d"
+  "fig07_delta"
+  "fig07_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

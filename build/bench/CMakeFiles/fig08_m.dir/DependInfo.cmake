@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig08_m.cc" "bench/CMakeFiles/fig08_m.dir/fig08_m.cc.o" "gcc" "bench/CMakeFiles/fig08_m.dir/fig08_m.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/multiring/CMakeFiles/mrp_multiring.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mrp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ringpaxos/CMakeFiles/mrp_ringpaxos.dir/DependInfo.cmake"
+  "/root/repo/build/src/paxos/CMakeFiles/mrp_paxos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_m.dir/fig08_m.cc.o"
+  "CMakeFiles/fig08_m.dir/fig08_m.cc.o.d"
+  "fig08_m"
+  "fig08_m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_lambda_equal.dir/fig09_lambda_equal.cc.o"
+  "CMakeFiles/fig09_lambda_equal.dir/fig09_lambda_equal.cc.o.d"
+  "fig09_lambda_equal"
+  "fig09_lambda_equal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_lambda_equal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

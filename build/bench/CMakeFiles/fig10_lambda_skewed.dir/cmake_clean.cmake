@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_lambda_skewed.dir/fig10_lambda_skewed.cc.o"
+  "CMakeFiles/fig10_lambda_skewed.dir/fig10_lambda_skewed.cc.o.d"
+  "fig10_lambda_skewed"
+  "fig10_lambda_skewed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_lambda_skewed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_lambda_oscillating.dir/fig11_lambda_oscillating.cc.o"
+  "CMakeFiles/fig11_lambda_oscillating.dir/fig11_lambda_oscillating.cc.o.d"
+  "fig11_lambda_oscillating"
+  "fig11_lambda_oscillating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_lambda_oscillating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_coordinator_failure.dir/fig12_coordinator_failure.cc.o"
+  "CMakeFiles/fig12_coordinator_failure.dir/fig12_coordinator_failure.cc.o.d"
+  "fig12_coordinator_failure"
+  "fig12_coordinator_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_coordinator_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

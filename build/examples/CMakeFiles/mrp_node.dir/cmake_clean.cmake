@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrp_node.dir/mrp_node.cpp.o"
+  "CMakeFiles/mrp_node.dir/mrp_node.cpp.o.d"
+  "mrp_node"
+  "mrp_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrp_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/lcr.cc" "src/baselines/CMakeFiles/mrp_baselines.dir/lcr.cc.o" "gcc" "src/baselines/CMakeFiles/mrp_baselines.dir/lcr.cc.o.d"
+  "/root/repo/src/baselines/mencius.cc" "src/baselines/CMakeFiles/mrp_baselines.dir/mencius.cc.o" "gcc" "src/baselines/CMakeFiles/mrp_baselines.dir/mencius.cc.o.d"
+  "/root/repo/src/baselines/totem.cc" "src/baselines/CMakeFiles/mrp_baselines.dir/totem.cc.o" "gcc" "src/baselines/CMakeFiles/mrp_baselines.dir/totem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/paxos/CMakeFiles/mrp_paxos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrp_baselines.dir/lcr.cc.o"
+  "CMakeFiles/mrp_baselines.dir/lcr.cc.o.d"
+  "CMakeFiles/mrp_baselines.dir/mencius.cc.o"
+  "CMakeFiles/mrp_baselines.dir/mencius.cc.o.d"
+  "CMakeFiles/mrp_baselines.dir/totem.cc.o"
+  "CMakeFiles/mrp_baselines.dir/totem.cc.o.d"
+  "libmrp_baselines.a"
+  "libmrp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

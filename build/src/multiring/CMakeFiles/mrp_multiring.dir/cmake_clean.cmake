@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrp_multiring.dir/merge_learner.cc.o"
+  "CMakeFiles/mrp_multiring.dir/merge_learner.cc.o.d"
+  "libmrp_multiring.a"
+  "libmrp_multiring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrp_multiring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

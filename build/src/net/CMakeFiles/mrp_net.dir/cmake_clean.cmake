@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrp_net.dir/codec.cc.o"
+  "CMakeFiles/mrp_net.dir/codec.cc.o.d"
+  "libmrp_net.a"
+  "libmrp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

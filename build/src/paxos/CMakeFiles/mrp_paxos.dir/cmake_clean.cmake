@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrp_paxos.dir/roles.cc.o"
+  "CMakeFiles/mrp_paxos.dir/roles.cc.o.d"
+  "libmrp_paxos.a"
+  "libmrp_paxos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrp_paxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

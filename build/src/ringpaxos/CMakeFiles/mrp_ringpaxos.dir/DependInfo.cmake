@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ringpaxos/learner.cc" "src/ringpaxos/CMakeFiles/mrp_ringpaxos.dir/learner.cc.o" "gcc" "src/ringpaxos/CMakeFiles/mrp_ringpaxos.dir/learner.cc.o.d"
+  "/root/repo/src/ringpaxos/proposer.cc" "src/ringpaxos/CMakeFiles/mrp_ringpaxos.dir/proposer.cc.o" "gcc" "src/ringpaxos/CMakeFiles/mrp_ringpaxos.dir/proposer.cc.o.d"
+  "/root/repo/src/ringpaxos/ring_node.cc" "src/ringpaxos/CMakeFiles/mrp_ringpaxos.dir/ring_node.cc.o" "gcc" "src/ringpaxos/CMakeFiles/mrp_ringpaxos.dir/ring_node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/paxos/CMakeFiles/mrp_paxos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrp_ringpaxos.dir/learner.cc.o"
+  "CMakeFiles/mrp_ringpaxos.dir/learner.cc.o.d"
+  "CMakeFiles/mrp_ringpaxos.dir/proposer.cc.o"
+  "CMakeFiles/mrp_ringpaxos.dir/proposer.cc.o.d"
+  "CMakeFiles/mrp_ringpaxos.dir/ring_node.cc.o"
+  "CMakeFiles/mrp_ringpaxos.dir/ring_node.cc.o.d"
+  "libmrp_ringpaxos.a"
+  "libmrp_ringpaxos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrp_ringpaxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/cluster_config.cc" "src/runtime/CMakeFiles/mrp_runtime.dir/cluster_config.cc.o" "gcc" "src/runtime/CMakeFiles/mrp_runtime.dir/cluster_config.cc.o.d"
+  "/root/repo/src/runtime/file_storage.cc" "src/runtime/CMakeFiles/mrp_runtime.dir/file_storage.cc.o" "gcc" "src/runtime/CMakeFiles/mrp_runtime.dir/file_storage.cc.o.d"
+  "/root/repo/src/runtime/node_runtime.cc" "src/runtime/CMakeFiles/mrp_runtime.dir/node_runtime.cc.o" "gcc" "src/runtime/CMakeFiles/mrp_runtime.dir/node_runtime.cc.o.d"
+  "/root/repo/src/runtime/udp.cc" "src/runtime/CMakeFiles/mrp_runtime.dir/udp.cc.o" "gcc" "src/runtime/CMakeFiles/mrp_runtime.dir/udp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mrp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/smr/CMakeFiles/mrp_smr.dir/DependInfo.cmake"
+  "/root/repo/build/src/multiring/CMakeFiles/mrp_multiring.dir/DependInfo.cmake"
+  "/root/repo/build/src/ringpaxos/CMakeFiles/mrp_ringpaxos.dir/DependInfo.cmake"
+  "/root/repo/build/src/paxos/CMakeFiles/mrp_paxos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrp_runtime.dir/cluster_config.cc.o"
+  "CMakeFiles/mrp_runtime.dir/cluster_config.cc.o.d"
+  "CMakeFiles/mrp_runtime.dir/file_storage.cc.o"
+  "CMakeFiles/mrp_runtime.dir/file_storage.cc.o.d"
+  "CMakeFiles/mrp_runtime.dir/node_runtime.cc.o"
+  "CMakeFiles/mrp_runtime.dir/node_runtime.cc.o.d"
+  "CMakeFiles/mrp_runtime.dir/udp.cc.o"
+  "CMakeFiles/mrp_runtime.dir/udp.cc.o.d"
+  "libmrp_runtime.a"
+  "libmrp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

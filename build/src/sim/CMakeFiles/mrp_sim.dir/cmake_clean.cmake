@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrp_sim.dir/network.cc.o"
+  "CMakeFiles/mrp_sim.dir/network.cc.o.d"
+  "libmrp_sim.a"
+  "libmrp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

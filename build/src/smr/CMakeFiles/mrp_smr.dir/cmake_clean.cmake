@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrp_smr.dir/client.cc.o"
+  "CMakeFiles/mrp_smr.dir/client.cc.o.d"
+  "CMakeFiles/mrp_smr.dir/replica.cc.o"
+  "CMakeFiles/mrp_smr.dir/replica.cc.o.d"
+  "libmrp_smr.a"
+  "libmrp_smr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrp_smr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

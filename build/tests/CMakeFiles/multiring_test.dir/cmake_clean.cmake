@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiring_test.dir/multiring_test.cc.o"
+  "CMakeFiles/multiring_test.dir/multiring_test.cc.o.d"
+  "multiring_test"
+  "multiring_test.pdb"
+  "multiring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plumbing_test.dir/plumbing_test.cc.o"
+  "CMakeFiles/plumbing_test.dir/plumbing_test.cc.o.d"
+  "plumbing_test"
+  "plumbing_test.pdb"
+  "plumbing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plumbing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

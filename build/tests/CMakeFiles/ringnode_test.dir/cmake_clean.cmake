@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringnode_test.dir/ringnode_test.cc.o"
+  "CMakeFiles/ringnode_test.dir/ringnode_test.cc.o.d"
+  "ringnode_test"
+  "ringnode_test.pdb"
+  "ringnode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringnode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringpaxos_test.dir/ringpaxos_test.cc.o"
+  "CMakeFiles/ringpaxos_test.dir/ringpaxos_test.cc.o.d"
+  "ringpaxos_test"
+  "ringpaxos_test.pdb"
+  "ringpaxos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringpaxos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

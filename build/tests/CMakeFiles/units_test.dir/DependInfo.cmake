@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/units_test.cc" "tests/CMakeFiles/units_test.dir/units_test.cc.o" "gcc" "tests/CMakeFiles/units_test.dir/units_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/multiring/CMakeFiles/mrp_multiring.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mrp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mrp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mrp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/smr/CMakeFiles/mrp_smr.dir/DependInfo.cmake"
+  "/root/repo/build/src/ringpaxos/CMakeFiles/mrp_ringpaxos.dir/DependInfo.cmake"
+  "/root/repo/build/src/paxos/CMakeFiles/mrp_paxos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
