@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.h"
 #include "multiring/merge_learner.h"
 #include "multiring/sim_deployment.h"
 #include "ringpaxos/learner.h"
@@ -32,6 +33,81 @@ inline const char* CsvDir(int argc, char** argv) {
     if (std::strcmp(argv[i], "--csv") == 0) return argv[i + 1];
   }
   return nullptr;
+}
+
+inline const char* FlagValue(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+// Observability wiring shared by every bench binary (docs/OBSERVABILITY.md):
+//   --trace <file>   (or MRP_TRACE=<file>)    enable the structured tracer;
+//     <file> gets the JSONL stream, <file>.chrome.json the chrome://tracing
+//     view of the same events.
+//   --metrics <file> (or MRP_METRICS=<file>)  dump a metrics-registry
+//     snapshot of the whole deployment (network + every node) as JSON.
+// Traces are driven off sim time, so a given seed yields an identical file.
+struct Observability {
+  std::string trace_path;    // empty = tracing disabled
+  std::string metrics_path;  // empty = no metrics dump
+};
+
+inline Observability SetupObservability(int argc, char** argv) {
+  Observability obs;
+  if (const char* p = FlagValue(argc, argv, "--trace")) {
+    obs.trace_path = p;
+  } else if (const char* e = std::getenv("MRP_TRACE")) {
+    obs.trace_path = e;
+  }
+  if (const char* p = FlagValue(argc, argv, "--metrics")) {
+    obs.metrics_path = p;
+  } else if (const char* e = std::getenv("MRP_METRICS")) {
+    obs.metrics_path = e;
+  }
+  if (!obs.trace_path.empty()) {
+    Tracer::Instance().Clear();
+    Tracer::Instance().Enable();
+  }
+  return obs;
+}
+
+// Flush the accumulated trace; call once, at the end of main.
+inline void DumpTrace(const Observability& obs) {
+  if (obs.trace_path.empty()) return;
+  Tracer& tracer = Tracer::Instance();
+  if (tracer.WriteJsonlFile(obs.trace_path)) {
+    std::printf("trace: %zu events -> %s\n", tracer.size(),
+                obs.trace_path.c_str());
+  } else {
+    std::fprintf(stderr, "trace: cannot write %s\n", obs.trace_path.c_str());
+  }
+  const std::string chrome = obs.trace_path + ".chrome.json";
+  if (tracer.WriteChromeTraceFile(chrome)) {
+    std::printf("trace: chrome://tracing view -> %s\n", chrome.c_str());
+  }
+}
+
+// Dump a whole-deployment metrics snapshot; call while `d` is still
+// alive (per-node registries die with their SimNodes).
+inline void DumpMetrics(const Observability& obs,
+                        multiring::SimDeployment& d) {
+  if (obs.metrics_path.empty()) return;
+  std::ofstream out(obs.metrics_path);
+  if (out) {
+    d.net().WriteMetricsJson(out);
+    std::printf("metrics: snapshot -> %s\n", obs.metrics_path.c_str());
+  } else {
+    std::fprintf(stderr, "metrics: cannot write %s\n",
+                 obs.metrics_path.c_str());
+  }
+}
+
+inline void DumpObservability(const Observability& obs,
+                              multiring::SimDeployment* d) {
+  if (d != nullptr) DumpMetrics(obs, *d);
+  DumpTrace(obs);
 }
 
 inline void PrintHeader(const std::string& title, const std::string& what) {

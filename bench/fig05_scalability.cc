@@ -37,8 +37,11 @@ void Print(const Row& r) {
 }
 
 // ---- Multi-Ring Paxos, one single-group learner per ring ----
+// When `obs` is non-null this run additionally dumps its metrics
+// snapshot (the registry dies with the deployment, so dump here).
 Measurement RunMultiRing(int partitions, bool disk, int clients_per_ring,
-                         Duration warm, Duration measure) {
+                         Duration warm, Duration measure,
+                         const Observability* obs = nullptr) {
   DeploymentOptions opts;
   opts.n_rings = partitions;
   opts.disk = disk;
@@ -71,11 +74,12 @@ Measurement RunMultiRing(int partitions, bool disk, int clients_per_ring,
   for (int r = 0; r < partitions; ++r) {
     m.max_cpu = std::max(m.max_cpu, d.coordinator_node(r)->TakeCpuUtilisation());
   }
+  if (obs != nullptr) DumpMetrics(*obs, d);
   return m;
 }
 
 // ---- Single Ring Paxos ordering all P groups (as in Figure 2) ----
-Measurement RunSingleRing(int partitions, Duration warm, Duration measure) {
+Measurement RunSingleRing(int /*partitions*/, Duration warm, Duration measure) {
   DeploymentOptions opts;
   opts.lambda_per_sec = 0;
   SimDeployment d(opts);
@@ -208,6 +212,7 @@ Measurement RunLcr(int nodes, Duration warm, Duration measure) {
 
 int main(int argc, char** argv) {
   const bool quick = QuickMode(argc, argv);
+  const Observability obs = SetupObservability(argc, argv);
   const Duration warm = quick ? Seconds(1) : Seconds(2);
   const Duration measure = quick ? Seconds(2) : Seconds(4);
   const std::vector<int> parts = quick ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
@@ -219,7 +224,11 @@ int main(int argc, char** argv) {
   std::printf("%-12s %6s %10s %10s %12s %10s\n", "system", "x", "Gbps", "msg/s",
               "latency(ms)", "maxCPU%");
 
-  for (int p : parts) Print({"RAM M-RP", p, RunMultiRing(p, false, 48, warm, measure)});
+  for (int p : parts) {
+    // The largest RAM run also serves the --trace/--metrics dump.
+    const Observability* o = (p == parts.back()) ? &obs : nullptr;
+    Print({"RAM M-RP", p, RunMultiRing(p, false, 48, warm, measure, o)});
+  }
   std::printf("\n");
   for (int p : parts) Print({"DISK M-RP", p, RunMultiRing(p, true, 24, warm, measure)});
   std::printf("\n");
@@ -231,5 +240,6 @@ int main(int argc, char** argv) {
 
   std::printf("\nExpected shape: RAM M-RP ~0.7 Gbps x rings (>5 Gbps at 8); DISK\n"
               "M-RP ~0.4 Gbps x rings (~3 Gbps at 8); the other systems flat.\n");
+  DumpTrace(obs);
   return 0;
 }

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Tier-1 verification, exactly as CI runs it (see .github/workflows/ci.yml):
+#   scripts/check.sh              plain build + ctest (the tier-1 gate)
+#   scripts/check.sh --sanitize   ASan/UBSan build + ctest
+#   scripts/check.sh --werror     warnings-as-errors build (no tests)
+# Each mode uses its own build directory so they never poison each other.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+mode=plain
+case "${1:-}" in
+  --sanitize) mode=sanitize ;;
+  --werror) mode=werror ;;
+  "") ;;
+  *)
+    echo "usage: $0 [--sanitize|--werror]" >&2
+    exit 2
+    ;;
+esac
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+case "$mode" in
+  plain)
+    cmake -B build -S .
+    cmake --build build -j "$jobs"
+    ctest --test-dir build --output-on-failure -j "$jobs"
+    ;;
+  sanitize)
+    cmake -B build-asan -S . -DMRP_SANITIZE=ON
+    cmake --build build-asan -j "$jobs"
+    ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+      ctest --test-dir build-asan --output-on-failure -j "$jobs"
+    ;;
+  werror)
+    cmake -B build-werror -S . -DMRP_WERROR=ON
+    cmake --build build-werror -j "$jobs"
+    ;;
+esac
+
+echo "check.sh: $mode OK"

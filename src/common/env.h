@@ -8,6 +8,7 @@
 #include <functional>
 
 #include "common/message.h"
+#include "common/metrics.h"
 #include "common/rand.h"
 #include "common/types.h"
 
@@ -38,6 +39,11 @@ class Env {
 
   // Deterministic per-node randomness.
   virtual Rng& rng() = 0;
+
+  // Instrument registry for this node. Environments that model distinct
+  // machines (the simulator) override this with a per-node registry;
+  // the default shares one process-wide registry.
+  virtual MetricsRegistry& metrics() { return MetricsRegistry::Global(); }
 };
 
 // A protocol role hosted on a node. Single-threaded: OnStart, OnMessage

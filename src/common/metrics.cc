@@ -1,0 +1,121 @@
+#include "common/metrics.h"
+
+#include <sstream>
+
+namespace mrp {
+
+namespace {
+
+template <typename Map, typename Make>
+auto& FindOrCreate(Map& map, std::string_view name, Make make) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), make()).first;
+  }
+  return *it->second;
+}
+
+void WriteJsonKey(std::ostream& os, const std::string& key) {
+  // Instrument names are plain identifiers (letters, digits, dots,
+  // underscores); no escaping needed beyond quoting.
+  os << '"' << key << '"';
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return FindOrCreate(counters_, name, [] { return std::make_unique<Counter>(); });
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return FindOrCreate(gauges_, name, [] { return std::make_unique<Gauge>(); });
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return FindOrCreate(histograms_, name, [] { return std::make_unique<Histogram>(); });
+}
+
+std::uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+std::int64_t MetricsRegistry::GaugeValue(std::string_view name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->value();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
+  Snapshot s;
+  for (const auto& [name, c] : counters_) s.counters.emplace(name, c->value());
+  for (const auto& [name, g] : gauges_) s.gauges.emplace(name, g->value());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSummary sum;
+    sum.count = h->count();
+    sum.mean = h->mean();
+    sum.p50 = h->Quantile(0.5);
+    sum.p99 = h->Quantile(0.99);
+    sum.max = h->max();
+    s.histograms.emplace(name, sum);
+  }
+  return s;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::Delta(const Snapshot& later,
+                                                 const Snapshot& earlier) {
+  Snapshot d = later;
+  for (auto& [name, v] : d.counters) {
+    auto it = earlier.counters.find(name);
+    if (it != earlier.counters.end()) v = v >= it->second ? v - it->second : 0;
+  }
+  return d;
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void MetricsRegistry::Snapshot::WriteJson(std::ostream& os) const {
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) os << ',';
+    first = false;
+    WriteJsonKey(os, name);
+    os << ':' << v;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) os << ',';
+    first = false;
+    WriteJsonKey(os, name);
+    os << ':' << v;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) os << ',';
+    first = false;
+    WriteJsonKey(os, name);
+    os << ":{\"count\":" << h.count << ",\"mean\":" << h.mean
+       << ",\"p50\":" << h.p50 << ",\"p99\":" << h.p99 << ",\"max\":" << h.max
+       << '}';
+  }
+  os << "}}";
+}
+
+std::string MetricsRegistry::Snapshot::ToJson() const {
+  std::ostringstream os;
+  WriteJson(os);
+  return os.str();
+}
+
+}  // namespace mrp

@@ -1,0 +1,102 @@
+// MetricsRegistry: a per-node registry of named counters, gauges and
+// histograms (common/stats.h). Protocol roles resolve their instruments
+// once (OnStart or first use) and bump plain integers on the hot path;
+// the registry is only walked when a snapshot is exported.
+//
+// Snapshots are value types: subtract two of them (Delta) to get the
+// activity of a measurement window, or serialize one to JSON for the
+// bench output files (docs/OBSERVABILITY.md describes the schema).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "common/stats.h"
+
+namespace mrp {
+
+// Monotonically increasing event count. Stable address once created.
+class Counter {
+ public:
+  void Inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// Point-in-time level (queue depth, buffered messages, ...).
+class Gauge {
+ public:
+  void Set(std::int64_t v) { value_ = v; }
+  void Add(std::int64_t d) { value_ += d; }
+  std::int64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create. References stay valid for the registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  // Read-only lookup: value of a counter/gauge, 0 if never created.
+  std::uint64_t CounterValue(std::string_view name) const;
+  std::int64_t GaugeValue(std::string_view name) const;
+
+  struct HistogramSummary {
+    std::uint64_t count = 0;
+    double mean = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p99 = 0;
+    std::uint64_t max = 0;
+  };
+
+  // Point-in-time copy of every instrument.
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, std::int64_t> gauges;
+    std::map<std::string, HistogramSummary> histograms;
+
+    // One JSON object, deterministic key order.
+    void WriteJson(std::ostream& os) const;
+    std::string ToJson() const;
+  };
+
+  Snapshot TakeSnapshot() const;
+
+  // Window between two snapshots: counters are subtracted (later -
+  // earlier, clamped at 0), gauges and histogram summaries are taken
+  // from `later` (levels, not flows).
+  static Snapshot Delta(const Snapshot& later, const Snapshot& earlier);
+
+  // Zeroes every counter/gauge and clears every histogram; instruments
+  // (and the references handed out) survive.
+  void Reset();
+
+  // Process-wide fallback registry, used by Envs that do not carry a
+  // per-node one (the real runtime's event loops).
+  static MetricsRegistry& Global();
+
+ private:
+  // std::map: deterministic iteration for export; unique_ptr: stable
+  // addresses across rehash-free inserts.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace mrp

@@ -52,6 +52,9 @@ class Histogram {
     std::uint64_t seen = 0;
     long double sum = 0;
     for (std::size_t i = 0; i < buckets_.size() && seen < keep; ++i) {
+      // Skip empty buckets: indices 16..31 are never produced by
+      // BucketIndex and BucketLowerBound's shift is undefined for them.
+      if (buckets_[i] == 0) continue;
       const std::uint64_t take = std::min<std::uint64_t>(buckets_[i], keep - seen);
       sum += static_cast<long double>(take) * static_cast<long double>(BucketMidpoint(i));
       seen += take;

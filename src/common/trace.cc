@@ -1,0 +1,72 @@
+#include "common/trace.h"
+
+#include <fstream>
+
+namespace mrp {
+
+Tracer& Tracer::Instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::vector<TraceEvent> Tracer::TakeSnapshot() const {
+  std::scoped_lock lock(mu_);
+  return events_;
+}
+
+std::size_t Tracer::size() const {
+  std::scoped_lock lock(mu_);
+  return events_.size();
+}
+
+void Tracer::Clear() {
+  std::scoped_lock lock(mu_);
+  events_.clear();
+}
+
+void Tracer::WriteJsonl(std::ostream& os) const {
+  std::scoped_lock lock(mu_);
+  for (const TraceEvent& ev : events_) {
+    os << "{\"ts\":" << ev.ts.count() << ",\"node\":" << ev.node;
+    if (ev.ring != kNoRing) os << ",\"ring\":" << ev.ring;
+    if (ev.instance != kNoInstance) os << ",\"instance\":" << ev.instance;
+    os << ",\"role\":\"" << ev.role << "\",\"kind\":\"" << ev.kind
+       << "\",\"arg\":" << ev.arg << "}\n";
+  }
+}
+
+bool Tracer::WriteJsonlFile(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  WriteJsonl(os);
+  return static_cast<bool>(os);
+}
+
+void Tracer::WriteChromeTrace(std::ostream& os) const {
+  std::scoped_lock lock(mu_);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events_) {
+    if (!first) os << ',';
+    first = false;
+    // Complete events with a nominal 1 us duration render as visible
+    // slices; ts is microseconds (fractional ns allowed by the format).
+    const double ts_us = static_cast<double>(ev.ts.count()) / 1000.0;
+    const std::uint32_t pid = ev.ring == kNoRing ? 0 : ev.ring + 1;
+    os << "{\"name\":\"" << ev.kind << "\",\"cat\":\"" << ev.role
+       << "\",\"ph\":\"X\",\"ts\":" << ts_us << ",\"dur\":1,\"pid\":" << pid
+       << ",\"tid\":" << ev.node << ",\"args\":{";
+    if (ev.instance != kNoInstance) os << "\"instance\":" << ev.instance << ',';
+    os << "\"arg\":" << ev.arg << "}}";
+  }
+  os << "]}";
+}
+
+bool Tracer::WriteChromeTraceFile(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  WriteChromeTrace(os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace mrp

@@ -1,0 +1,87 @@
+// Structured event tracer. Protocol layers record compact events (sim
+// timestamp, node, ring, instance, role, kind) into a process-wide
+// buffer; a run can then be exported as JSONL (one event per line, for
+// scripted analysis) or as a chrome://tracing / Perfetto JSON file
+// (rings become processes, nodes become threads). Timestamps are sim
+// time, so a trace is bit-identical for a given seed.
+//
+// Tracing is off by default: the hot-path cost is one relaxed boolean
+// load (see MRP_TRACE_ENABLED / Tracer::Record).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mrp {
+
+inline constexpr RingId kNoRing = std::numeric_limits<RingId>::max();
+inline constexpr InstanceId kNoInstance = std::numeric_limits<InstanceId>::max();
+
+struct TraceEvent {
+  TimePoint ts{0};
+  NodeId node = kNoNode;
+  RingId ring = kNoRing;
+  InstanceId instance = kNoInstance;
+  // Role and kind are string literals (static storage) so events stay
+  // POD-sized; never pass a dynamically built string.
+  const char* role = "";
+  const char* kind = "";
+  std::uint64_t arg = 0;
+};
+
+class Tracer {
+ public:
+  static Tracer& Instance();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void Record(const TraceEvent& ev) {
+    if (!enabled()) return;
+    std::scoped_lock lock(mu_);
+    events_.push_back(ev);
+  }
+
+  // Copy of the buffer (tests, exporters).
+  std::vector<TraceEvent> TakeSnapshot() const;
+  std::size_t size() const;
+  void Clear();
+
+  // One JSON object per line:
+  //   {"ts":..,"node":..,"ring":..,"instance":..,"role":"..","kind":"..","arg":..}
+  // ring/instance are omitted when not applicable.
+  void WriteJsonl(std::ostream& os) const;
+  bool WriteJsonlFile(const std::string& path) const;
+
+  // chrome://tracing "traceEvents" JSON: complete events (ph "X"), ts in
+  // microseconds, pid = ring + 1 (0 = no ring), tid = node.
+  void WriteChromeTrace(std::ostream& os) const;
+  bool WriteChromeTraceFile(const std::string& path) const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+// Cheapest possible guard for call sites that would otherwise build the
+// event struct needlessly.
+#define MRP_TRACE_ENABLED() (::mrp::Tracer::Instance().enabled())
+
+// Convenience for the common shape: an Env-driven protocol event.
+inline void TraceProtocolEvent(TimePoint ts, NodeId node, RingId ring,
+                               InstanceId instance, const char* role,
+                               const char* kind, std::uint64_t arg = 0) {
+  Tracer& t = Tracer::Instance();
+  if (!t.enabled()) return;
+  t.Record(TraceEvent{ts, node, ring, instance, role, kind, arg});
+}
+
+}  // namespace mrp

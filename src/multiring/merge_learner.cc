@@ -1,6 +1,9 @@
 #include "multiring/merge_learner.h"
 
 #include <algorithm>
+#include <string>
+
+#include "common/trace.h"
 
 namespace mrp::multiring {
 
@@ -26,8 +29,33 @@ MergeLearner::MergeLearner(Options opts) : opts_(std::move(opts)) {
 }
 
 void MergeLearner::OnStart(Env& env) {
+  MetricsRegistry& reg = env.metrics();
+  instruments_.resize(groups_.size());
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    const std::string prefix =
+        "merge.g" + std::to_string(stats_[i]->group) + ".";
+    instruments_[i].consumed = &reg.counter(prefix + "consumed");
+    instruments_[i].turns = &reg.counter(prefix + "turns");
+    instruments_[i].skip_consumed = &reg.counter(prefix + "skip_consumed");
+    instruments_[i].delivered = &reg.counter(prefix + "delivered");
+    instruments_[i].discarded = &reg.counter(prefix + "discarded");
+  }
+  ctr_stalls_ = &reg.counter("merge.stalls");
+  ctr_halts_ = &reg.counter("merge.halts");
+  gauge_partial_consumed_ = &reg.gauge("merge.partial_consumed");
+  gauge_current_group_ = &reg.gauge("merge.current_group");
+  SyncMergeGauges();
   for (auto& g : groups_) g->source->OnStart(env);
   ArmTick(env);
+}
+
+void MergeLearner::SyncMergeGauges() {
+  if (gauge_partial_consumed_ == nullptr) return;
+  gauge_partial_consumed_->Set(static_cast<std::int64_t>(consumed_));
+  if (!groups_.empty()) {
+    gauge_current_group_->Set(
+        static_cast<std::int64_t>(stats_[current_]->group));
+  }
 }
 
 void MergeLearner::ArmTick(Env& env) {
@@ -61,15 +89,19 @@ std::size_t MergeLearner::buffered_msgs() const {
 
 void MergeLearner::Deliver(Env& env, std::size_t idx, const paxos::Value& value) {
   GroupStats& st = *stats_[idx];
+  GroupInstruments* ins =
+      idx < instruments_.size() ? &instruments_[idx] : nullptr;
   const auto& only = groups_[idx]->source->subscribe_only();
   for (const auto& msg : value.msgs) {
     if (!only.empty() &&
         std::find(only.begin(), only.end(), msg.group) == only.end()) {
       ++st.discarded;
+      if (ins) ins->discarded->Inc();
       continue;
     }
     st.latency.Record(env.now() - msg.sent_at);
     st.delivered.Add(1, msg.payload_size);
+    if (ins) ins->delivered->Inc();
     ++total_delivered_;
     if (opts_.on_deliver) opts_.on_deliver(st.group, msg);
     if (opts_.send_delivery_acks) {
@@ -85,11 +117,17 @@ void MergeLearner::PumpMerge(Env& env) {
   // Buffer overflow => permanent halt (paper, Section VI-E / Figure 10).
   if (opts_.max_buffer_msgs > 0 && buffered_msgs() > opts_.max_buffer_msgs) {
     halted_ = true;
+    if (ctr_halts_) ctr_halts_->Inc();
+    TraceProtocolEvent(env.now(), env.self(), kNoRing, kNoInstance, "merge",
+                       "halt", buffered_msgs());
+    SyncMergeGauges();
     return;
   }
 
   while (true) {
     GroupState& g = *groups_[current_];
+    GroupInstruments* ins =
+        current_ < instruments_.size() ? &instruments_[current_] : nullptr;
     // Consume up to M logical instances from the current group.
     while (consumed_ < opts_.m) {
       if (g.pending_skip > 0) {
@@ -97,18 +135,38 @@ void MergeLearner::PumpMerge(Env& env) {
             std::min<std::uint64_t>(g.pending_skip, opts_.m - consumed_);
         g.pending_skip -= take;
         consumed_ += static_cast<std::uint32_t>(take);
+        if (ins) {
+          ins->consumed->Inc(take);
+          ins->skip_consumed->Inc(take);
+        }
         continue;
       }
       auto ready = g.source->Pop();
-      if (!ready) return;  // blocked: wait for this group's next instance
+      if (!ready) {
+        // Blocked: wait for this group's next instance. Mid-turn blocks
+        // are merge stalls — the current group lags the others.
+        if (consumed_ > 0 && ctr_stalls_) {
+          ctr_stalls_->Inc();
+          TraceProtocolEvent(env.now(), env.self(), kNoRing, kNoInstance,
+                             "merge", "stall", stats_[current_]->group);
+        }
+        SyncMergeGauges();
+        return;
+      }
       ++consumed_;
       if (ready->value.is_skip()) {
         stats_[current_]->skipped_logical += ready->value.skip_count;
         g.pending_skip += ready->value.skip_count - 1;  // one consumed now
+        if (ins) {
+          ins->consumed->Inc();
+          ins->skip_consumed->Inc();
+        }
       } else {
+        if (ins) ins->consumed->Inc();
         Deliver(env, current_, ready->value);
       }
     }
+    if (ins) ins->turns->Inc();
     current_ = (current_ + 1) % groups_.size();
     consumed_ = 0;
   }

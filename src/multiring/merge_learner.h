@@ -116,6 +116,7 @@ class MergeLearner final : public Protocol {
   void PumpMerge(Env& env);
   void Deliver(Env& env, std::size_t idx, const paxos::Value& value);
   void ArmTick(Env& env);
+  void SyncMergeGauges();
 
   Options opts_;
   std::vector<std::unique_ptr<GroupState>> groups_;
@@ -125,6 +126,24 @@ class MergeLearner final : public Protocol {
   bool halted_ = false;
   std::uint64_t total_delivered_ = 0;
   RateMeter received_;  // every consumed message (ingress accounting)
+
+  // Registry instruments (resolved in OnStart; one set per group, in
+  // merge order). "consumed" counts logical instances taken by merge
+  // turns, so consumed == m * turns + partial_consumed (when the group
+  // is current) holds at every quiescent point — the invariant the
+  // observability test asserts. See docs/OBSERVABILITY.md.
+  struct GroupInstruments {
+    Counter* consumed = nullptr;       // logical instances taken by turns
+    Counter* turns = nullptr;          // completed M-instance turns
+    Counter* skip_consumed = nullptr;  // subset of consumed that were skips
+    Counter* delivered = nullptr;      // client msgs delivered
+    Counter* discarded = nullptr;      // ordered but unsubscribed msgs
+  };
+  std::vector<GroupInstruments> instruments_;
+  Counter* ctr_stalls_ = nullptr;  // blocked mid-turn on a lagging group
+  Counter* ctr_halts_ = nullptr;
+  Gauge* gauge_partial_consumed_ = nullptr;
+  Gauge* gauge_current_group_ = nullptr;
 };
 
 }  // namespace mrp::multiring

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace mrp::paxos {
 
@@ -15,25 +16,44 @@ PaxosAcceptor::PaxosAcceptor()
 
 PaxosAcceptor::PaxosAcceptor(Storage& storage) : core_(storage) {}
 
-void PaxosAcceptor::OnStart(Env&) {}
+void PaxosAcceptor::OnStart(Env& env) {
+  MetricsRegistry& reg = env.metrics();
+  ctr_p1a_ = &reg.counter("paxos.acceptor.p1a_rx");
+  ctr_p2a_ = &reg.counter("paxos.acceptor.p2a_rx");
+  ctr_promises_ = &reg.counter("paxos.acceptor.promises");
+  ctr_nacks_ = &reg.counter("paxos.acceptor.p1_nacks");
+  ctr_accepts_ = &reg.counter("paxos.acceptor.accepts");
+  ctr_rejects_ = &reg.counter("paxos.acceptor.p2_rejects");
+}
 
 void PaxosAcceptor::OnMessage(Env& env, NodeId from, const MessagePtr& m) {
   if (const auto* p1a = Cast<Phase1A>(m)) {
+    if (ctr_p1a_) ctr_p1a_->Inc();
     const InstanceId instance = p1a->instance;
     const Round round = p1a->round;
     core_.HandlePhase1(instance, round,
-                       [&env, from, instance, round](AcceptorCore::PromiseResult r) {
-                         if (!r.promised) return;  // reject silently; proposer times out
+                       [this, &env, from, instance, round](AcceptorCore::PromiseResult r) {
+                         if (!r.promised) {
+                           // Reject silently; the proposer times out.
+                           if (ctr_nacks_) ctr_nacks_->Inc();
+                           return;
+                         }
+                         if (ctr_promises_) ctr_promises_->Inc();
                          env.Send(from, MakeMessage<Phase1B>(instance, round, r.accepted_round,
                                                              std::move(r.accepted)));
                        });
     return;
   }
   if (const auto* p2a = Cast<Phase2A>(m)) {
+    if (ctr_p2a_) ctr_p2a_->Inc();
     const InstanceId instance = p2a->instance;
     const Round round = p2a->round;
-    core_.HandlePhase2(instance, round, p2a->value, [&env, from, instance, round](bool ok) {
-      if (!ok) return;
+    core_.HandlePhase2(instance, round, p2a->value, [this, &env, from, instance, round](bool ok) {
+      if (!ok) {
+        if (ctr_rejects_) ctr_rejects_->Inc();
+        return;
+      }
+      if (ctr_accepts_) ctr_accepts_->Inc();
       env.Send(from, MakeMessage<Phase2B>(instance, round));
     });
     return;
@@ -51,6 +71,12 @@ Round PaxosProposer::OwnedRound(std::uint32_t attempt) const {
 }
 
 void PaxosProposer::OnStart(Env& env) {
+  MetricsRegistry& reg = env.metrics();
+  ctr_phase1_started_ = &reg.counter("paxos.proposer.phase1_started");
+  ctr_phase2_started_ = &reg.counter("paxos.proposer.phase2_started");
+  ctr_timeouts_ = &reg.counter("paxos.proposer.timeouts");
+  ctr_decided_ = &reg.counter("paxos.proposer.decided");
+  ctr_preempted_ = &reg.counter("paxos.proposer.preempted");
   last_sample_ = env.now();
   if (cfg_.lambda_per_sec > 0 && my_index_ == 0) {
     env.SetTimer(cfg_.delta, [this, &env] { OnDeltaTimer(env); });
@@ -109,6 +135,7 @@ void PaxosProposer::StartPhase1(Env& env, InstanceId instance) {
   run.phase2 = false;
   run.accepts = 0;
   run.decided = false;
+  if (ctr_phase1_started_) ctr_phase1_started_->Inc();
   for (NodeId a : cfg_.acceptors) {
     env.Send(a, MakeMessage<Phase1A>(instance, run.round));
   }
@@ -124,6 +151,7 @@ void PaxosProposer::StartPhase2(Env& env, InstanceId instance) {
   // Paxos value-selection rule: adopt the value with the highest vrnd
   // reported by the promise quorum, else propose our own.
   run.proposing = run.adopted ? *run.adopted : run.own;
+  if (ctr_phase2_started_) ctr_phase2_started_->Inc();
   for (NodeId a : cfg_.acceptors) {
     env.Send(a, MakeMessage<Phase2A>(instance, run.round, run.proposing));
   }
@@ -134,6 +162,7 @@ void PaxosProposer::OnTimeout(Env& env, InstanceId instance) {
   if (it == running_.end() || it->second.decided) return;
   Running& run = it->second;
   run.timer = kNoTimer;
+  if (ctr_timeouts_) ctr_timeouts_->Inc();
   ++run.attempt;
   run.round = OwnedRound(run.attempt);
   StartPhase1(env, instance);
@@ -143,12 +172,18 @@ void PaxosProposer::Finish(Env& env, InstanceId instance) {
   Running& run = running_.at(instance);
   run.decided = true;
   ++decided_count_;
+  if (ctr_decided_) ctr_decided_->Inc();
+  TraceProtocolEvent(env.now(), env.self(), kNoRing, instance, "paxos_proposer",
+                     "decide", run.proposing.LogicalInstances());
   decided_log_[instance] = run.proposing;
   env.Multicast(cfg_.decision_channel,
                 MakeMessage<DecisionMsg>(instance, run.proposing, cfg_.group));
   // If a competing proposer's value won this instance, our batch still
   // needs an instance of its own.
   const bool own_won = !run.adopted.has_value() || *run.adopted == run.own;
+  if (!own_won) {
+    if (ctr_preempted_) ctr_preempted_->Inc();
+  }
   if (!own_won && !run.own.msgs.empty()) {
     for (auto& msg : run.own.msgs) pending_.push_front(std::move(msg));
   }
@@ -199,6 +234,10 @@ void PaxosProposer::OnMessage(Env& env, NodeId from, const MessagePtr& m) {
 // -------------------------------------------------------------- Learner
 
 void PaxosLearner::OnStart(Env& env) {
+  MetricsRegistry& reg = env.metrics();
+  ctr_decisions_ = &reg.counter("paxos.learner.decisions_rx");
+  ctr_delivered_ = &reg.counter("paxos.learner.delivered");
+  ctr_recoveries_ = &reg.counter("paxos.learner.recovery_reqs");
   if (!proposers_.empty()) {
     env.SetTimer(recovery_interval_, [this, &env] { CheckGaps(env); });
   }
@@ -209,6 +248,7 @@ void PaxosLearner::Drain(Env& env) {
   while (window_.Peek() != nullptr) {
     const InstanceId instance = window_.next();
     Value value = window_.Pop();
+    if (ctr_delivered_) ctr_delivered_->Inc();
     if (deliver_) deliver_(instance, value);
   }
 }
@@ -218,6 +258,7 @@ void PaxosLearner::CheckGaps(Env& env) {
   // something is buffered behind a gap (or decisions simply stopped
   // arriving), ask a proposer to retransmit.
   if (window_.next() == stuck_at_ && window_.buffered() > 0) {
+    if (ctr_recoveries_) ctr_recoveries_->Inc();
     const NodeId target =
         proposers_[static_cast<std::size_t>(env.rng().below(proposers_.size()))];
     env.Send(target, MakeMessage<LearnReq>(window_.next()));
@@ -229,6 +270,7 @@ void PaxosLearner::CheckGaps(Env& env) {
 void PaxosLearner::OnMessage(Env& env, NodeId /*from*/, const MessagePtr& m) {
   const auto* decision = Cast<DecisionMsg>(m);
   if (decision == nullptr) return;
+  if (ctr_decisions_) ctr_decisions_->Inc();
   window_.Insert(decision->instance, decision->value);
   Drain(env);
 }

@@ -59,6 +59,13 @@ class PaxosAcceptor final : public Protocol {
  private:
   std::unique_ptr<Storage> owned_storage_;
   AcceptorCore core_;
+  // Instruments (resolved in OnStart; see docs/OBSERVABILITY.md).
+  Counter* ctr_p1a_ = nullptr;
+  Counter* ctr_p2a_ = nullptr;
+  Counter* ctr_promises_ = nullptr;
+  Counter* ctr_nacks_ = nullptr;
+  Counter* ctr_accepts_ = nullptr;
+  Counter* ctr_rejects_ = nullptr;
 };
 
 class PaxosProposer final : public Protocol {
@@ -110,6 +117,12 @@ class PaxosProposer final : public Protocol {
   double logical_k_ = 0;
   double prev_k_ = 0;
   TimePoint last_sample_{0};
+  // Instruments (resolved in OnStart).
+  Counter* ctr_phase1_started_ = nullptr;
+  Counter* ctr_phase2_started_ = nullptr;
+  Counter* ctr_timeouts_ = nullptr;
+  Counter* ctr_decided_ = nullptr;
+  Counter* ctr_preempted_ = nullptr;
 };
 
 class PaxosLearner final : public Protocol {
@@ -137,6 +150,10 @@ class PaxosLearner final : public Protocol {
   Duration recovery_interval_;
   InstanceWindow<Value> window_;
   InstanceId stuck_at_ = 0;  // window base at the previous gap check
+  // Instruments (resolved in OnStart).
+  Counter* ctr_decisions_ = nullptr;
+  Counter* ctr_delivered_ = nullptr;
+  Counter* ctr_recoveries_ = nullptr;
 };
 
 }  // namespace mrp::paxos

@@ -1,6 +1,9 @@
 #include "ringpaxos/learner.h"
 
 #include <algorithm>
+#include <string>
+
+#include "common/trace.h"
 
 namespace mrp::ringpaxos {
 
@@ -11,9 +14,22 @@ namespace {
 Round VidRound(ValueId vid) { return static_cast<Round>(vid >> 40); }
 }  // namespace
 
+void LearnerCore::EnsureCounters(Env& env) {
+  if (counters_resolved_) return;
+  counters_resolved_ = true;
+  MetricsRegistry& reg = env.metrics();
+  const std::string prefix = "learner.r" + std::to_string(opts_.ring.ring) + ".";
+  ctr_cache_hits_ = &reg.counter(prefix + "cache_hits");
+  ctr_cache_misses_ = &reg.counter(prefix + "cache_misses");
+  ctr_recovery_rounds_ = &reg.counter(prefix + "recovery_rounds");
+  ctr_recovery_reqs_ = &reg.counter(prefix + "recovery_reqs");
+  ctr_fast_forwarded_ = &reg.counter(prefix + "fast_forwarded");
+}
+
 bool LearnerCore::OnRingMessage(Env& env, const MessagePtr& m) {
   const auto* rm = dynamic_cast<const RingMessage*>(m.get());
   if (rm == nullptr || rm->ring != opts_.ring.ring) return false;
+  EnsureCounters(env);
 
   if (const auto* p2a = Cast<P2A>(m)) {
     if (!p2a->layout.empty()) coordinator_hint_ = p2a->layout[0];
@@ -94,6 +110,9 @@ bool LearnerCore::OnRingMessage(Env& env, const MessagePtr& m) {
         }
       }
       fast_forwarded_ += skipped;
+      if (ctr_fast_forwarded_) ctr_fast_forwarded_->Inc(skipped);
+      TraceProtocolEvent(env.now(), env.self(), opts_.ring.ring, target,
+                         "learner", "fast_forward", skipped);
       TrimCache();
     }
     return true;
@@ -112,12 +131,18 @@ void LearnerCore::PlaceDecision(InstanceId instance, ValueId vid) {
       // Exact proposal, or a later-round re-proposal whose value Phase 1
       // forced to equal the decision's.
       cell.value = std::move(it->second.value);
+      if (ctr_cache_hits_) ctr_cache_hits_->Inc();
     } else {
       // A stale proposal from a dead round was cached; the decided value
       // will arrive via recovery.
       buffered_msgs_ -= MsgsIn(it->second.value);
+      if (ctr_cache_misses_) ctr_cache_misses_->Inc();
     }
     cache_.erase(it);
+  } else {
+    // Decision announced before (or without) its value: must wait for a
+    // retransmission or recover from an acceptor.
+    if (ctr_cache_misses_) ctr_cache_misses_->Inc();
   }
   window_.Insert(instance, std::move(cell));
 }
@@ -131,11 +156,15 @@ void LearnerCore::TrimCache() {
 }
 
 void LearnerCore::Tick(Env& env) {
+  EnsureCounters(env);
   TrimCache();
   const bool stuck = window_.next() == last_next_ &&
                      (window_.buffered() > 0 || !cache_.empty());
   last_next_ = window_.next();
   if (!stuck) return;
+  if (ctr_recovery_rounds_) ctr_recovery_rounds_->Inc();
+  TraceProtocolEvent(env.now(), env.self(), opts_.ring.ring, window_.next(),
+                     "learner", "recovery_round", window_.buffered());
   // Estimate how far behind the live edge we are (highest instance seen
   // in the undecided cache) and request several consecutive chunks in
   // parallel — a deeply lagging or late-joining learner must recover
@@ -159,6 +188,7 @@ void LearnerCore::Tick(Env& env) {
     } else {
       target = universe[(env.self() + static_cast<NodeId>(flip)) % universe.size()];
     }
+    if (ctr_recovery_reqs_) ctr_recovery_reqs_->Inc();
     env.Send(target,
              MakeMessage<LearnReq>(
                  opts_.ring.ring,
@@ -169,7 +199,13 @@ void LearnerCore::Tick(Env& env) {
 
 // ---------------------------------------------------------- RingLearner
 
-void RingLearner::OnStart(Env& env) { ArmTick(env); }
+void RingLearner::OnStart(Env& env) {
+  MetricsRegistry& reg = env.metrics();
+  ctr_delivered_ = &reg.counter("learner.delivered_msgs");
+  ctr_skipped_ = &reg.counter("learner.skipped_logical");
+  hist_latency_ns_ = &reg.histogram("learner.delivery_latency_ns");
+  ArmTick(env);
+}
 
 void RingLearner::ArmTick(Env& env) {
   env.SetTimer(opts_.learner.recovery_interval, [this, &env] {
@@ -187,10 +223,15 @@ void RingLearner::Drain(Env& env) {
   while (auto ready = core_.Pop()) {
     if (ready->value.is_skip()) {
       skipped_logical_ += ready->value.skip_count;
+      if (ctr_skipped_) ctr_skipped_->Inc(ready->value.skip_count);
       continue;
     }
     for (const auto& msg : ready->value.msgs) {
       latency_.Record(env.now() - msg.sent_at);
+      if (hist_latency_ns_) {
+        hist_latency_ns_->Record(env.now() - msg.sent_at);
+      }
+      if (ctr_delivered_) ctr_delivered_->Inc();
       delivered_.Add(1, msg.payload_size);
       if (opts_.on_deliver) opts_.on_deliver(msg);
       if (opts_.send_delivery_acks) {

@@ -104,6 +104,11 @@ class LearnerCore {
   void PlaceDecision(InstanceId instance, ValueId vid);
   void TrimCache();
   std::size_t MsgsIn(const paxos::Value& v) const { return v.msgs.size(); }
+  // LearnerCore has no OnStart (it is embedded in RingLearner and the
+  // multi-ring merge learner), so instruments resolve lazily on the
+  // first message/tick. Names are ring-qualified because one merge
+  // learner node hosts a core per ring in a single registry.
+  void EnsureCounters(Env& env);
 
   LearnerOptions opts_;
   InstanceWindow<Cell> window_;
@@ -115,6 +120,14 @@ class LearnerCore {
   InstanceId last_next_ = 0;
   int recovery_flip_ = 0;
   InstanceId fast_forwarded_ = 0;
+
+  // Registry instruments (lazy; see docs/OBSERVABILITY.md).
+  bool counters_resolved_ = false;
+  Counter* ctr_cache_hits_ = nullptr;
+  Counter* ctr_cache_misses_ = nullptr;
+  Counter* ctr_recovery_rounds_ = nullptr;
+  Counter* ctr_recovery_reqs_ = nullptr;
+  Counter* ctr_fast_forwarded_ = nullptr;
 };
 
 // Single-group learner: delivers the decided client messages of one ring
@@ -152,6 +165,10 @@ class RingLearner final : public Protocol {
   Histogram latency_;
   RateMeter delivered_;
   std::uint64_t skipped_logical_ = 0;
+  // Registry instruments (resolved in OnStart).
+  Counter* ctr_delivered_ = nullptr;
+  Counter* ctr_skipped_ = nullptr;
+  Histogram* hist_latency_ns_ = nullptr;
 };
 
 }  // namespace mrp::ringpaxos

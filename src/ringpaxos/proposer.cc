@@ -3,9 +3,16 @@
 #include <cmath>
 #include <numbers>
 
+#include "common/trace.h"
+
 namespace mrp::ringpaxos {
 
 void Proposer::OnStart(Env& env) {
+  MetricsRegistry& reg = env.metrics();
+  ctr_submitted_ = &reg.counter("proposer.submitted");
+  ctr_retransmits_ = &reg.counter("proposer.retransmits");
+  ctr_acks_rx_ = &reg.counter("proposer.acks_rx");
+  ctr_coordinator_changes_ = &reg.counter("proposer.coordinator_changes");
   coordinator_ = cfg_.coordinator;
   last_progress_ = env.now();
   if (cfg_.max_outstanding > 0) ArmRetry(env);
@@ -72,6 +79,7 @@ void Proposer::SubmitOne(Env& env) {
   // proposer (no window) would otherwise accumulate forever.
   if (cfg_.max_outstanding > 0) outstanding_.emplace(msg.seq, msg);
   sent_.Add(1, msg.payload_size);
+  if (ctr_submitted_) ctr_submitted_->Inc();
   if (coordinator_ != kNoNode) {
     env.Send(coordinator_, MakeMessage<Submit>(cfg_.ring, std::move(msg)));
   }
@@ -83,8 +91,11 @@ void Proposer::ArmRetry(Env& env) {
         env.now() - last_progress_ >= cfg_.retry_timeout &&
         coordinator_ != kNoNode) {
       for (const auto& [seq, msg] : outstanding_) {
+        if (ctr_retransmits_) ctr_retransmits_->Inc();
         env.Send(coordinator_, MakeMessage<Submit>(cfg_.ring, msg));
       }
+      TraceProtocolEvent(env.now(), env.self(), cfg_.ring, kNoInstance,
+                         "proposer", "retry_burst", outstanding_.size());
       last_progress_ = env.now();  // back off until the next timeout
     }
     ArmRetry(env);
@@ -134,18 +145,26 @@ void Proposer::OnMessage(Env& env, NodeId /*from*/, const MessagePtr& m) {
   if (rm == nullptr || rm->ring != cfg_.ring) return;
 
   if (const auto* ack = Cast<SubmitAck>(m)) {
-    if (ack->group == cfg_.group) OnCumulativeAck(env, ack->up_to_seq);
+    if (ack->group == cfg_.group) {
+      if (ctr_acks_rx_) ctr_acks_rx_->Inc();
+      OnCumulativeAck(env, ack->up_to_seq);
+    }
     return;
   }
   if (const auto* ack = Cast<DeliveryAck>(m)) {
-    if (ack->group == cfg_.group) OnExactAck(env, ack->seq);
+    if (ack->group == cfg_.group) {
+      if (ctr_acks_rx_) ctr_acks_rx_->Inc();
+      OnExactAck(env, ack->seq);
+    }
     return;
   }
   if (const auto* hb = Cast<Heartbeat>(m)) {
     if (hb->coordinator != coordinator_) {
       coordinator_ = hb->coordinator;
+      if (ctr_coordinator_changes_) ctr_coordinator_changes_->Inc();
       if (cfg_.resend_on_coordinator_change) {
         for (const auto& [seq, msg] : outstanding_) {
+          if (ctr_retransmits_) ctr_retransmits_->Inc();
           env.Send(coordinator_, MakeMessage<Submit>(cfg_.ring, msg));
         }
       }

@@ -113,6 +113,11 @@ class Proposer final : public Protocol {
   std::size_t pending_submits_ = 0;  // closed loop: scheduled, not yet sent
   TimePoint last_progress_{0};
   RateMeter sent_;
+  // Instruments (resolved in OnStart).
+  Counter* ctr_submitted_ = nullptr;
+  Counter* ctr_retransmits_ = nullptr;
+  Counter* ctr_acks_rx_ = nullptr;
+  Counter* ctr_coordinator_changes_ = nullptr;
 };
 
 }  // namespace mrp::ringpaxos

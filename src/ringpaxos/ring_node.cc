@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace mrp::ringpaxos {
 
@@ -17,6 +18,17 @@ RingNode::RingNode(RingConfig cfg, paxos::Storage* storage)
 
 void RingNode::OnStart(Env& env) {
   self_ = env.self();
+  MetricsRegistry& reg = env.metrics();
+  ctr_proposed_logical_ = &reg.counter("ring.proposed_logical");
+  ctr_proposed_skip_logical_ = &reg.counter("ring.proposed_skip_logical");
+  ctr_decided_logical_ = &reg.counter("ring.decided_logical");
+  ctr_decided_msgs_ = &reg.counter("ring.decided_msgs");
+  ctr_skip_proposals_ = &reg.counter("ring.skip_proposals");
+  ctr_submits_rx_ = &reg.counter("ring.submits_rx");
+  ctr_p2a_rx_ = &reg.counter("ring.p2a_rx");
+  ctr_p2b_rx_ = &reg.counter("ring.p2b_rx");
+  ctr_retransmits_ = &reg.counter("ring.p2_retransmits");
+  ctr_takeovers_ = &reg.counter("ring.takeovers");
   layouts_[0] = cfg_.ring_members;
   last_sample_ = env.now();
   last_leader_sign_ = env.now();
@@ -55,10 +67,13 @@ void RingNode::OnMessage(Env& env, NodeId from, const MessagePtr& m) {
   if (rm == nullptr || rm->ring != cfg_.ring) return;
 
   if (const auto* p2a = Cast<P2A>(m)) {
+    if (ctr_p2a_rx_) ctr_p2a_rx_->Inc();
     OnP2A(env, *p2a);
   } else if (const auto* p2b = Cast<P2B>(m)) {
+    if (ctr_p2b_rx_) ctr_p2b_rx_->Inc();
     OnP2B(env, from, *p2b);
   } else if (const auto* submit = Cast<Submit>(m)) {
+    if (ctr_submits_rx_) ctr_submits_rx_->Inc();
     OnSubmit(env, *submit);
   } else if (const auto* p1a = Cast<P1A>(m)) {
     OnP1A(env, from, *p1a);
@@ -281,6 +296,13 @@ void RingNode::ProposeValue(Env& env, Value value) {
   const InstanceId instance = next_instance_;
   next_instance_ += value.LogicalInstances();
   const ValueId vid = NextVid();
+  if (ctr_proposed_logical_) {
+    ctr_proposed_logical_->Inc(value.LogicalInstances());
+    if (value.is_skip()) ctr_proposed_skip_logical_->Inc(value.skip_count);
+  }
+  TraceProtocolEvent(env.now(), self_, cfg_.ring, instance, "coordinator",
+                     value.is_skip() ? "propose_skip" : "propose",
+                     value.is_skip() ? value.skip_count : value.msgs.size());
 
   Outstanding out;
   out.vid = vid;
@@ -337,6 +359,13 @@ void RingNode::InstanceDecided(Env& env, InstanceId instance) {
   ++decided_instances_;
   decided_msgs_ += out.value.msgs.size();
   if (out.value.is_skip()) skipped_logical_ += out.value.skip_count;
+  if (ctr_decided_logical_) {
+    ctr_decided_logical_->Inc(out.value.LogicalInstances());
+    ctr_decided_msgs_->Inc(out.value.msgs.size());
+  }
+  TraceProtocolEvent(env.now(), self_, cfg_.ring, instance, "coordinator",
+                     out.value.is_skip() ? "decide_skip" : "decide",
+                     out.value.LogicalInstances());
   to_announce_.push_back({instance, out.vid});
 
   if (cfg_.ack_submits && !out.value.msgs.empty()) {
@@ -381,6 +410,7 @@ void RingNode::OnDeltaTimer(Env& env) {
       auto count = static_cast<std::uint64_t>(std::floor(target) - k);
       if (cfg_.batch_skips) {
         ++skip_proposals_;
+        if (ctr_skip_proposals_) ctr_skip_proposals_->Inc();
         ProposeValue(env, Value::Skip(count));
       } else {
         // Ablation: Algorithm 1 executed literally — one consensus
@@ -388,6 +418,7 @@ void RingNode::OnDeltaTimer(Env& env) {
         count = std::min<std::uint64_t>(count, cfg_.unbatched_skip_cap);
         for (std::uint64_t i = 0; i < count; ++i) {
           ++skip_proposals_;
+          if (ctr_skip_proposals_) ctr_skip_proposals_->Inc();
           ProposeValue(env, Value::Skip(1));
         }
       }
@@ -416,6 +447,9 @@ void RingNode::OnRetryTimer(Env& env) {
   for (auto& [instance, out] : outstanding_) {
     if (env.now() - out.proposed_at >= cfg_.p2_retry) {
       ++out.retries;
+      if (ctr_retransmits_) ctr_retransmits_->Inc();
+      TraceProtocolEvent(env.now(), self_, cfg_.ring, instance, "coordinator",
+                         "p2_retransmit", static_cast<std::uint64_t>(out.retries));
       out.proposed_at = env.now();
       auto p2a = MakeMessage<P2A>(cfg_.ring, round_, instance, out.vid, out.value,
                                   std::vector<Decided>{}, layouts_.at(round_));
@@ -544,6 +578,9 @@ void RingNode::StartTakeover(Env& env, std::vector<NodeId> layout) {
     follower_timer_ = kNoTimer;
   }
   role_ = Role::kCandidate;
+  if (ctr_takeovers_) ctr_takeovers_->Inc();
+  TraceProtocolEvent(env.now(), self_, cfg_.ring, kNoInstance, "coordinator",
+                     "takeover", r);
   candidate_round_ = r;
   round_ = std::max(round_, r);
   candidate_layout_ = std::move(layout);

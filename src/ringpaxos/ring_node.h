@@ -55,6 +55,12 @@ class RingNode final : public Protocol {
   // Coordinator-side consensus latency: ProposeValue -> decision.
   Histogram& decide_latency() { return decide_latency_; }
   std::size_t outstanding() const { return outstanding_.size(); }
+  // Logical instances proposed but not yet decided (skip spans counted).
+  std::uint64_t outstanding_logical() const {
+    std::uint64_t total = 0;
+    for (const auto& [i, out] : outstanding_) total += out.value.LogicalInstances();
+    return total;
+  }
   std::size_t pending_msgs() const { return pending_.size(); }
   const RingConfig& config() const { return cfg_; }
   InstanceId decided_watermark() const { return decided_watermark_; }
@@ -182,6 +188,18 @@ class RingNode final : public Protocol {
   std::uint64_t skipped_logical_ = 0;
   std::uint64_t skip_proposals_ = 0;
   Histogram decide_latency_;
+
+  // Registry instruments (resolved in OnStart; see docs/OBSERVABILITY.md).
+  Counter* ctr_proposed_logical_ = nullptr;
+  Counter* ctr_proposed_skip_logical_ = nullptr;
+  Counter* ctr_decided_logical_ = nullptr;
+  Counter* ctr_decided_msgs_ = nullptr;
+  Counter* ctr_skip_proposals_ = nullptr;
+  Counter* ctr_submits_rx_ = nullptr;
+  Counter* ctr_p2a_rx_ = nullptr;
+  Counter* ctr_p2b_rx_ = nullptr;
+  Counter* ctr_retransmits_ = nullptr;
+  Counter* ctr_takeovers_ = nullptr;
 };
 
 }  // namespace mrp::ringpaxos

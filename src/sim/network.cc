@@ -9,7 +9,16 @@ namespace mrp::sim {
 // ---------------------------------------------------------------- SimNode
 
 SimNode::SimNode(SimNetwork& net, NodeId id, NodeSpec spec, std::uint64_t seed)
-    : net_(net), id_(id), spec_(spec), rng_(seed) {}
+    : net_(net), id_(id), spec_(spec), rng_(seed) {
+  ctr_tx_pkts_ = &metrics_.counter("nic.tx_pkts");
+  ctr_tx_bytes_ = &metrics_.counter("nic.tx_bytes");
+  ctr_rx_pkts_ = &metrics_.counter("nic.rx_pkts");
+  ctr_rx_bytes_ = &metrics_.counter("nic.rx_bytes");
+  ctr_cpu_tasks_ = &metrics_.counter("cpu.tasks");
+  ctr_cpu_busy_ns_ = &metrics_.counter("cpu.busy_ns");
+  ctr_rx_drop_down_ = &metrics_.counter("nic.rx_dropped_down");
+  gauge_rx_backlog_ns_ = &metrics_.gauge("nic.rx_backlog_ns");
+}
 
 TimePoint SimNode::now() const { return net_.now(); }
 
@@ -38,6 +47,8 @@ void SimNode::ExecuteAt(TimePoint ready, Duration cost, std::function<void()> fn
   cpu_wait_.Record(start - ready);
   cpu_free_at_ = start + cost;
   busy_.AddBusy(cost);
+  ctr_cpu_tasks_->Inc();
+  ctr_cpu_busy_ns_->Inc(static_cast<std::uint64_t>(std::max<std::int64_t>(cost.count(), 0)));
   net_.scheduler().At(cpu_free_at_, [this, fn = std::move(fn)] {
     if (!down_) fn();
   });
@@ -51,6 +62,8 @@ void SimNode::Send(NodeId to, MessagePtr m) {
   cpu_free_at_ = start + cost;
   busy_.AddBusy(cost);
   tx_meter_.Add(1, wire);
+  ctr_tx_pkts_->Inc();
+  ctr_tx_bytes_->Inc(wire);
   net_.Unicast(*this, to, std::move(m), cpu_free_at_);
 }
 
@@ -62,6 +75,8 @@ void SimNode::Multicast(ChannelId channel, MessagePtr m) {
   cpu_free_at_ = start + cost;
   busy_.AddBusy(cost);
   tx_meter_.Add(1, wire);
+  ctr_tx_pkts_->Inc();
+  ctr_tx_bytes_->Inc(wire);
   net_.MulticastSend(*this, channel, std::move(m), cpu_free_at_);
 }
 
@@ -120,13 +135,22 @@ double SimNode::TakeCpuUtilisation() { return busy_.TakeUtilisation(now()); }
 
 void SimNode::DeliverPacket(NodeId from, MessagePtr m, std::size_t wire_bytes,
                             TimePoint port_arrival) {
-  if (down_ || protocol_ == nullptr) return;
+  if (down_ || protocol_ == nullptr) {
+    if (down_) ctr_rx_drop_down_->Inc();
+    return;
+  }
   // NIC ingress serialization.
   const Duration ser = Duration(static_cast<std::int64_t>(
       static_cast<double>(wire_bytes) * 8.0 / spec_.link_bw_bps * 1e9));
   rx_wait_.Record(std::max(Duration{0}, rx_link_free_at_ - port_arrival));
   rx_link_free_at_ = std::max(port_arrival, rx_link_free_at_) + ser;
   rx_meter_.Add(1, wire_bytes);
+  ctr_rx_pkts_->Inc();
+  ctr_rx_bytes_->Inc(wire_bytes);
+  // Ingress queue depth as seen by this packet: how far the NIC is
+  // behind the wire right now.
+  gauge_rx_backlog_ns_->Set(std::max<std::int64_t>(
+      0, (rx_link_free_at_ - port_arrival).count()));
   const Duration cost = RecvCost(wire_bytes);
   ExecuteAt(rx_link_free_at_, cost, [this, from, m = std::move(m)] {
     protocol_->OnMessage(*this, from, m);
@@ -142,7 +166,11 @@ TimePoint SimNode::TxLinkDepart(std::size_t wire_bytes, TimePoint ready) {
 
 // ------------------------------------------------------------- SimNetwork
 
-SimNetwork::SimNetwork(NetConfig cfg) : cfg_(cfg), net_rng_(cfg.seed) {}
+SimNetwork::SimNetwork(NetConfig cfg) : cfg_(cfg), net_rng_(cfg.seed) {
+  ctr_drops_ = &metrics_.counter("net.dropped_pkts");
+  ctr_unicast_pkts_ = &metrics_.counter("net.unicast_pkts");
+  ctr_multicast_legs_ = &metrics_.counter("net.multicast_legs");
+}
 
 SimNode& SimNetwork::AddNode(const NodeSpec& spec) {
   const NodeId id = static_cast<NodeId>(nodes_.size());
@@ -174,6 +202,7 @@ void SimNetwork::StartAll() {
 void SimNetwork::ScheduleArrival(NodeId from, NodeId to, MessagePtr m,
                                  std::size_t wire_bytes, TimePoint depart) {
   if (cfg_.loss_probability > 0 && net_rng_.chance(cfg_.loss_probability)) {
+    ctr_drops_->Inc();
     return;  // dropped in the network
   }
   SimNode& sender = *nodes_[from];
@@ -199,6 +228,7 @@ void SimNetwork::Unicast(SimNode& from, NodeId to, MessagePtr m, TimePoint ready
   assert(to < nodes_.size());
   const std::size_t wire = m->WireSize() + from.spec().wire_overhead_bytes;
   const TimePoint depart = from.TxLinkDepart(wire, ready);
+  ctr_unicast_pkts_->Inc();
   ScheduleArrival(from.self(), to, std::move(m), wire, depart);
 }
 
@@ -212,8 +242,35 @@ void SimNetwork::MulticastSend(SimNode& from, ChannelId channel, MessagePtr m,
   const TimePoint depart = from.TxLinkDepart(wire, ready);
   for (NodeId to : it->second) {
     if (to == from.self()) continue;
+    ctr_multicast_legs_->Inc();
     ScheduleArrival(from.self(), to, m, wire, depart);
   }
+}
+
+MetricsRegistry& SimNetwork::metrics() {
+  // Mirror the scheduler's dispatch counters as gauges so one snapshot
+  // carries the whole picture.
+  metrics_.gauge("sched.events_run").Set(static_cast<std::int64_t>(sched_.events_run()));
+  metrics_.gauge("sched.events_scheduled")
+      .Set(static_cast<std::int64_t>(sched_.events_scheduled()));
+  metrics_.gauge("sched.events_cancelled")
+      .Set(static_cast<std::int64_t>(sched_.events_cancelled()));
+  metrics_.gauge("sched.pending").Set(static_cast<std::int64_t>(sched_.pending()));
+  return metrics_;
+}
+
+void SimNetwork::WriteMetricsJson(std::ostream& os) {
+  os << "{\"sim_time_ns\":" << now().count() << ",\"net\":";
+  metrics().TakeSnapshot().WriteJson(os);
+  os << ",\"nodes\":{";
+  bool first = true;
+  for (const auto& node : nodes_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << node->self() << "\":";
+    node->metrics().TakeSnapshot().WriteJson(os);
+  }
+  os << "}}";
 }
 
 }  // namespace mrp::sim

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/env.h"
+#include "common/metrics.h"
 #include "common/stats.h"
 #include "sim/cost_model.h"
 #include "sim/scheduler.h"
@@ -40,6 +41,8 @@ class SimNode final : public Env {
   TimerId SetTimer(Duration delay, std::function<void()> callback) override;
   void CancelTimer(TimerId id) override;
   Rng& rng() override { return rng_; }
+  MetricsRegistry& metrics() override { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
 
   // ---- Wiring ----
   void BindProtocol(std::unique_ptr<Protocol> protocol);
@@ -94,7 +97,17 @@ class SimNode final : public Env {
   NodeId id_;
   NodeSpec spec_;
   Rng rng_;
+  MetricsRegistry metrics_;
   std::unique_ptr<Protocol> protocol_;
+  // Hot-path instruments, resolved once at construction.
+  Counter* ctr_tx_pkts_ = nullptr;
+  Counter* ctr_tx_bytes_ = nullptr;
+  Counter* ctr_rx_pkts_ = nullptr;
+  Counter* ctr_rx_bytes_ = nullptr;
+  Counter* ctr_cpu_tasks_ = nullptr;
+  Counter* ctr_cpu_busy_ns_ = nullptr;
+  Counter* ctr_rx_drop_down_ = nullptr;
+  Gauge* gauge_rx_backlog_ns_ = nullptr;
 
   bool down_ = false;
   TimePoint cpu_free_at_{0};
@@ -144,6 +157,15 @@ class SimNetwork {
   void MulticastSend(SimNode& from, ChannelId channel, MessagePtr m,
                      TimePoint ready);
 
+  // Network-level instruments (drops, packet/leg counts, scheduler
+  // dispatch gauges). Scheduler counters are refreshed on access.
+  MetricsRegistry& metrics();
+
+  // Cluster-wide observability export: one snapshot per node plus the
+  // network-level registry, as a single JSON object (see
+  // docs/OBSERVABILITY.md for the schema).
+  void WriteMetricsJson(std::ostream& os);
+
  private:
   void ScheduleArrival(NodeId from, NodeId to, MessagePtr m,
                        std::size_t wire_bytes, TimePoint depart);
@@ -154,6 +176,10 @@ class SimNetwork {
   std::unordered_map<ChannelId, std::vector<NodeId>> channels_;
   std::unordered_map<std::uint64_t, TimePoint> fifo_clamp_;  // (from<<32)|to
   Rng net_rng_;
+  MetricsRegistry metrics_;
+  Counter* ctr_drops_ = nullptr;
+  Counter* ctr_unicast_pkts_ = nullptr;
+  Counter* ctr_multicast_legs_ = nullptr;
 };
 
 }  // namespace mrp::sim

@@ -40,10 +40,12 @@ class Scheduler {
       if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
         cancelled_.erase(it);
         --cancelled_live_;
+        ++events_cancelled_;
         continue;
       }
       now_ = ev.at;
       ev.fn();
+      ++events_run_;
       return true;
     }
     return false;
@@ -66,6 +68,11 @@ class Scheduler {
   }
 
   std::size_t pending() const { return queue_.size(); }
+
+  // ---- Dispatch counters (exported into the cluster metrics snapshot) ----
+  std::uint64_t events_run() const { return events_run_; }
+  std::uint64_t events_scheduled() const { return next_id_; }
+  std::uint64_t events_cancelled() const { return events_cancelled_; }
 
  private:
   struct Event {
@@ -93,6 +100,8 @@ class Scheduler {
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unordered_set<EventId> cancelled_;
   std::size_t cancelled_live_ = 0;  // reserved; cancellation is lazy
+  std::uint64_t events_run_ = 0;
+  std::uint64_t events_cancelled_ = 0;
 };
 
 }  // namespace mrp::sim

@@ -243,7 +243,7 @@ struct MenciusCluster {
     for (int i = 0; i < n; ++i) {
       auto& log = logs[static_cast<std::size_t>(i)];
       auto server = std::make_unique<MenciusServer>(
-          mc, [&log](InstanceId inst, const paxos::Value& v) {
+          mc, [&log](InstanceId /*inst*/, const paxos::Value& v) {
             for (const auto& m : v.msgs) log.emplace_back(m.proposer, m.seq);
           });
       servers.push_back(server.get());

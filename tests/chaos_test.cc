@@ -134,7 +134,9 @@ TEST_P(ChaosSoak, SafetyHoldsUnderCrashLossAndChurn) {
   for (const auto& k : db) {
     auto it = pos.find(k);
     ASSERT_NE(it, pos.end()) << "learner B delivered something A never did";
-    if (!first) ASSERT_GE(it->second, last) << "order diverged";
+    if (!first) {
+      ASSERT_GE(it->second, last) << "order diverged";
+    }
     first = false;
     last = it->second;
   }
@@ -147,7 +149,9 @@ TEST_P(ChaosSoak, SafetyHoldsUnderCrashLossAndChurn) {
   for (const auto& k : da) {
     auto it = pos0.find(k);
     if (it == pos0.end()) continue;
-    if (!first) ASSERT_GE(it->second, last) << "partial order diverged";
+    if (!first) {
+      ASSERT_GE(it->second, last) << "partial order diverged";
+    }
     first = false;
     last = it->second;
   }

@@ -1,0 +1,232 @@
+// Unit tests for the observability primitives: Histogram edge cases
+// (the quantile/trim paths the benches rely on), the MetricsRegistry
+// snapshot/delta semantics, and the structured tracer's export formats.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/metrics.h"
+#include "common/stats.h"
+#include "common/trace.h"
+
+namespace mrp {
+namespace {
+
+// ------------------------------------------------------------ Histogram
+
+TEST(HistogramTest, EmptyHistogramIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.Quantile(0.0), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+  EXPECT_EQ(h.Quantile(1.0), 0u);
+  EXPECT_EQ(h.TrimmedMean(0.05), 0.0);
+  EXPECT_EQ(h.TrimmedMean(0.0), 0.0);
+}
+
+TEST(HistogramTest, QuantileExtremes) {
+  Histogram h;
+  // Values below 16 land in exact unit buckets, so quantiles are exact.
+  for (std::uint64_t v = 1; v <= 10; ++v) h.RecordValue(v);
+  EXPECT_EQ(h.Quantile(0.0), 1u);   // q=0 -> smallest sample
+  EXPECT_EQ(h.Quantile(1.0), 10u);  // q=1 -> largest sample
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 10u);
+}
+
+TEST(HistogramTest, SingleSample) {
+  Histogram h;
+  h.RecordValue(7);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.mean(), 7.0);
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.Quantile(q), 7u) << "q=" << q;
+  }
+  EXPECT_EQ(h.TrimmedMean(0.0), 7.0);
+}
+
+TEST(HistogramTest, SingleBucketManySamples) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.RecordValue(5);
+  EXPECT_EQ(h.Quantile(0.0), 5u);
+  EXPECT_EQ(h.Quantile(0.5), 5u);
+  EXPECT_EQ(h.Quantile(1.0), 5u);
+  EXPECT_EQ(h.TrimmedMean(0.05), 5.0);
+  EXPECT_EQ(h.mean(), 5.0);
+}
+
+TEST(HistogramTest, TrimmedMeanZeroDiscardEqualsMean) {
+  Histogram h;
+  // Unit buckets (values < 16): midpoint == value, so TrimmedMean(0)
+  // must equal the exact mean.
+  for (std::uint64_t v : {1u, 2u, 3u, 4u, 10u}) h.RecordValue(v);
+  EXPECT_DOUBLE_EQ(h.TrimmedMean(0.0), h.mean());
+}
+
+TEST(HistogramTest, TrimmedMeanDiscardsHighTail) {
+  Histogram h;
+  for (int i = 0; i < 95; ++i) h.RecordValue(10);
+  for (int i = 0; i < 5; ++i) h.RecordValue(1'000'000);
+  // Discarding the top 5% removes the outliers entirely.
+  EXPECT_DOUBLE_EQ(h.TrimmedMean(0.05), 10.0);
+  EXPECT_GT(h.mean(), 10.0);
+}
+
+TEST(HistogramTest, MergeAndReset) {
+  Histogram a, b;
+  a.RecordValue(1);
+  b.RecordValue(3);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 1u);
+  EXPECT_EQ(a.max(), 3u);
+  a.Reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.Quantile(1.0), 0u);
+}
+
+// ------------------------------------------------------ MetricsRegistry
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStableInstrument) {
+  MetricsRegistry reg;
+  Counter& c1 = reg.counter("x");
+  Counter& c2 = reg.counter("x");
+  EXPECT_EQ(&c1, &c2);
+  c1.Inc();
+  c2.Inc(4);
+  EXPECT_EQ(reg.CounterValue("x"), 5u);
+  // Reads of instruments that were never created report zero and do not
+  // create them.
+  EXPECT_EQ(reg.CounterValue("missing"), 0u);
+  EXPECT_EQ(reg.GaugeValue("missing"), 0);
+  EXPECT_EQ(reg.TakeSnapshot().counters.count("missing"), 0u);
+}
+
+TEST(MetricsRegistryTest, SnapshotCapturesAllInstruments) {
+  MetricsRegistry reg;
+  reg.counter("a").Inc(3);
+  reg.gauge("g").Set(-7);
+  reg.histogram("h").RecordValue(5);
+  const auto snap = reg.TakeSnapshot();
+  EXPECT_EQ(snap.counters.at("a"), 3u);
+  EXPECT_EQ(snap.gauges.at("g"), -7);
+  EXPECT_EQ(snap.histograms.at("h").count, 1u);
+  EXPECT_EQ(snap.histograms.at("h").max, 5u);
+  // The snapshot is a copy: later increments do not alter it.
+  reg.counter("a").Inc();
+  EXPECT_EQ(snap.counters.at("a"), 3u);
+}
+
+TEST(MetricsRegistryTest, DeltaSubtractsCountersKeepsGaugeLevels) {
+  MetricsRegistry reg;
+  reg.counter("flow").Inc(10);
+  reg.gauge("level").Set(4);
+  const auto before = reg.TakeSnapshot();
+  reg.counter("flow").Inc(7);
+  reg.counter("new").Inc(2);  // appears only in the later snapshot
+  reg.gauge("level").Set(9);
+  const auto after = reg.TakeSnapshot();
+  const auto delta = MetricsRegistry::Delta(after, before);
+  EXPECT_EQ(delta.counters.at("flow"), 7u);
+  EXPECT_EQ(delta.counters.at("new"), 2u);
+  EXPECT_EQ(delta.gauges.at("level"), 9);  // level, not flow
+  // A counter that shrank (e.g. after a Reset) clamps at 0.
+  reg.Reset();
+  const auto reset_delta = MetricsRegistry::Delta(reg.TakeSnapshot(), after);
+  EXPECT_EQ(reset_delta.counters.at("flow"), 0u);
+}
+
+TEST(MetricsRegistryTest, ResetPreservesInstrumentReferences) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  c.Inc(5);
+  reg.Reset();
+  EXPECT_EQ(reg.CounterValue("c"), 0u);
+  c.Inc();  // the reference resolved before Reset stays valid
+  EXPECT_EQ(reg.CounterValue("c"), 1u);
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonIsDeterministic) {
+  MetricsRegistry reg;
+  reg.counter("b").Inc(2);
+  reg.counter("a").Inc(1);
+  reg.gauge("g").Set(3);
+  const std::string json = reg.TakeSnapshot().ToJson();
+  EXPECT_EQ(json, reg.TakeSnapshot().ToJson());
+  // std::map ordering: "a" serializes before "b".
+  EXPECT_LT(json.find("\"a\""), json.find("\"b\""));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+}
+
+// --------------------------------------------------------------- Tracer
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Instance().Clear();
+    Tracer::Instance().Enable();
+  }
+  void TearDown() override {
+    Tracer::Instance().Disable();
+    Tracer::Instance().Clear();
+  }
+};
+
+TEST_F(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer::Instance().Disable();
+  TraceProtocolEvent(TimePoint{1000}, 1, 0, 5, "role", "kind");
+  EXPECT_EQ(Tracer::Instance().size(), 0u);
+}
+
+TEST_F(TracerTest, RecordsAndSnapshots) {
+  TraceProtocolEvent(TimePoint{1000}, 2, 1, 7, "coordinator", "decide", 3);
+  ASSERT_EQ(Tracer::Instance().size(), 1u);
+  const auto events = Tracer::Instance().TakeSnapshot();
+  EXPECT_EQ(events[0].ts.count(), 1000);
+  EXPECT_EQ(events[0].node, 2u);
+  EXPECT_EQ(events[0].ring, 1u);
+  EXPECT_EQ(events[0].instance, 7u);
+  EXPECT_STREQ(events[0].role, "coordinator");
+  EXPECT_STREQ(events[0].kind, "decide");
+  EXPECT_EQ(events[0].arg, 3u);
+}
+
+TEST_F(TracerTest, JsonlFormat) {
+  TraceProtocolEvent(TimePoint{1500}, 2, 1, 7, "coordinator", "decide", 3);
+  TraceProtocolEvent(TimePoint{2000}, 4, kNoRing, kNoInstance, "merge", "halt");
+  std::ostringstream os;
+  Tracer::Instance().WriteJsonl(os);
+  const std::string out = os.str();
+  EXPECT_EQ(out,
+            "{\"ts\":1500,\"node\":2,\"ring\":1,\"instance\":7,"
+            "\"role\":\"coordinator\",\"kind\":\"decide\",\"arg\":3}\n"
+            "{\"ts\":2000,\"node\":4,"
+            "\"role\":\"merge\",\"kind\":\"halt\",\"arg\":0}\n");
+}
+
+TEST_F(TracerTest, ChromeTraceFormat) {
+  TraceProtocolEvent(TimePoint{2000}, 2, 1, 7, "coordinator", "decide", 3);
+  std::ostringstream os;
+  Tracer::Instance().WriteChromeTrace(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(out.find("\"pid\":2"), std::string::npos);  // ring 1 -> pid 2
+  EXPECT_NE(out.find("\"tid\":2"), std::string::npos);  // node 2
+  EXPECT_NE(out.find("\"ts\":2"), std::string::npos);   // 2000 ns -> 2 us
+  EXPECT_EQ(out.front(), '{');
+  EXPECT_EQ(out.back(), '}');
+}
+
+TEST_F(TracerTest, ClearEmptiesBuffer) {
+  TraceProtocolEvent(TimePoint{1}, 1, 0, 0, "r", "k");
+  Tracer::Instance().Clear();
+  EXPECT_EQ(Tracer::Instance().size(), 0u);
+}
+
+}  // namespace
+}  // namespace mrp
