@@ -3,6 +3,12 @@
 #   scripts/check.sh              plain build + ctest (the tier-1 gate)
 #   scripts/check.sh --sanitize   ASan/UBSan build + ctest
 #   scripts/check.sh --werror     warnings-as-errors build (no tests)
+#   scripts/check.sh --lint       mrp_lint + clang-tidy + cppcheck
+#                                 (docs/STATIC_ANALYSIS.md; tools that are
+#                                 not installed are skipped with a notice —
+#                                 CI always has them)
+#   scripts/check.sh --format     clang-format check, only on files this
+#                                 branch touches relative to origin/main
 # Each mode uses its own build directory so they never poison each other.
 set -euo pipefail
 
@@ -12,9 +18,11 @@ mode=plain
 case "${1:-}" in
   --sanitize) mode=sanitize ;;
   --werror) mode=werror ;;
+  --lint) mode=lint ;;
+  --format) mode=format ;;
   "") ;;
   *)
-    echo "usage: $0 [--sanitize|--werror]" >&2
+    echo "usage: $0 [--sanitize|--werror|--lint|--format]" >&2
     exit 2
     ;;
 esac
@@ -36,6 +44,55 @@ case "$mode" in
   werror)
     cmake -B build-werror -S . -DMRP_WERROR=ON
     cmake --build build-werror -j "$jobs"
+    ;;
+  lint)
+    # 1. Project-specific determinism/protocol-safety lint (always runs;
+    #    only needs python3). Self-test first so a broken linter cannot
+    #    silently pass the tree.
+    python3 tools/lint/lint_selftest.py
+    python3 tools/lint/mrp_lint --root .
+
+    # 2. clang-tidy over the full compilation database.
+    if command -v clang-tidy >/dev/null 2>&1; then
+      cmake -B build-lint -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+      mapfile -t tidy_sources < <(
+        git ls-files 'src/*.cc' 'bench/*.cc' 'tests/*.cc' 'tools/*.cc')
+      if command -v run-clang-tidy >/dev/null 2>&1; then
+        run-clang-tidy -p build-lint -quiet "${tidy_sources[@]}"
+      else
+        clang-tidy -p build-lint --quiet "${tidy_sources[@]}"
+      fi
+    else
+      echo "check.sh: clang-tidy not installed; skipping (CI enforces it)"
+    fi
+
+    # 3. cppcheck, inline suppressions only (`// cppcheck-suppress <id>`
+    #    with a neighbouring why-comment).
+    if command -v cppcheck >/dev/null 2>&1; then
+      cppcheck --std=c++20 --language=c++ --enable=warning,performance,portability \
+        --inline-suppr --suppressions-list=.cppcheck-suppressions \
+        --error-exitcode=1 --quiet -I src src bench tests tools/determinism
+    else
+      echo "check.sh: cppcheck not installed; skipping (CI enforces it)"
+    fi
+    ;;
+  format)
+    if ! command -v clang-format >/dev/null 2>&1; then
+      echo "check.sh: clang-format not installed; skipping (CI enforces it)"
+      exit 0
+    fi
+    # Only files this branch touches: formatting the whole tree at once
+    # would bury real diffs in churn.
+    base="${CHECK_FORMAT_BASE:-origin/main}"
+    if ! git rev-parse --verify -q "$base" >/dev/null; then base=HEAD~1; fi
+    mapfile -t changed < <(
+      git diff --name-only --diff-filter=ACMR "$base"...HEAD -- \
+        '*.cc' '*.cpp' '*.cxx' '*.h' '*.hpp' | grep -v '^tools/lint/testdata/' || true)
+    if [ "${#changed[@]}" -eq 0 ]; then
+      echo "check.sh: no C++ files changed vs $base"
+    else
+      clang-format --dry-run -Werror "${changed[@]}"
+    fi
     ;;
 esac
 

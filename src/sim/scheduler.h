@@ -29,7 +29,9 @@ class Scheduler {
     return At(now_ + d, std::move(fn));
   }
 
-  void Cancel(EventId id) { cancelled_.insert(id); }
+  void Cancel(EventId id) {
+    if (cancelled_.insert(id).second) ++cancelled_live_;
+  }
 
   bool empty() const { return queue_.size() == cancelled_live_; }
 
@@ -99,7 +101,9 @@ class Scheduler {
   EventId next_id_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unordered_set<EventId> cancelled_;
-  std::size_t cancelled_live_ = 0;  // reserved; cancellation is lazy
+  // Cancelled-but-unpopped entries still sitting in queue_. Kept in sync
+  // by Cancel/RunOne so empty() can subtract them without draining.
+  std::size_t cancelled_live_ = 0;
   std::uint64_t events_run_ = 0;
   std::uint64_t events_cancelled_ = 0;
 };

@@ -12,6 +12,8 @@
 #include "multiring/merge_learner.h"
 #include "multiring/ring_dispatch.h"
 #include "multiring/sim_deployment.h"
+#include "net/codec.h"
+#include "paxos/messages.h"
 #include "paxos/value.h"
 #include "ringpaxos/messages.h"
 #include "runtime/node_runtime.h"
@@ -189,6 +191,119 @@ TEST(MergeLearner, TickIntervalDrivesRecoveryCadence) {
   EXPECT_GT(fast, slow) << "recovery cadence had no effect";
   EXPECT_GT(slow, 50u) << "even slow ticks must make progress";
 }
+
+// ------------------------------------- codec round-trip, full message set
+//
+// Every message struct in src/paxos/messages.h and src/ringpaxos/
+// messages.h must encode/decode losslessly, including empty and
+// max-size payloads. tools/lint/mrp_lint (rule codec-coverage) checks
+// that each struct appears, namespace-qualified, in this coverage.
+
+namespace codec_coverage {
+
+template <typename T>
+std::shared_ptr<const T> Roundtrip(const T& msg) {
+  Bytes frame = net::EncodeMessage(msg);
+  EXPECT_FALSE(frame.empty()) << msg.TypeName() << " not encodable";
+  MessagePtr decoded = net::DecodeMessage(frame);
+  EXPECT_NE(decoded, nullptr) << msg.TypeName() << " not decodable";
+  auto typed = std::dynamic_pointer_cast<const T>(decoded);
+  EXPECT_NE(typed, nullptr) << msg.TypeName() << " decoded to wrong type";
+  return typed;
+}
+
+paxos::ClientMsg MsgOfSize(std::uint32_t payload_bytes, std::uint64_t seq = 1) {
+  paxos::ClientMsg m;
+  m.group = 2;
+  m.proposer = 4;
+  m.seq = seq;
+  m.sent_at = Micros(250);
+  m.payload_size = payload_bytes;
+  m.payload.assign(payload_bytes, static_cast<std::uint8_t>(seq & 0xff));
+  return m;
+}
+
+// The prototype batches ~8 kB per instance and LCR runs 32 kB messages;
+// 64 kB is comfortably past every configuration the benches use.
+constexpr std::uint32_t kMaxPayload = 64 * 1024;
+
+TEST(CodecCoverage, PaxosMessagesRoundtrip) {
+  // Empty and max-size payloads through the classic Paxos set.
+  for (std::uint32_t payload : {0u, kMaxPayload}) {
+    const paxos::ClientMsg m = MsgOfSize(payload);
+    EXPECT_EQ(Roundtrip(paxos::SubmitReq{m})->msg, m);
+    auto p2a = Roundtrip(paxos::Phase2A{7, 3, paxos::Value::Batch({m})});
+    ASSERT_EQ(p2a->value.msgs.size(), 1u);
+    EXPECT_EQ(p2a->value.msgs[0], m);
+    auto p1b = Roundtrip(paxos::Phase1B{7, 3, 2, paxos::Value::Batch({m})});
+    ASSERT_TRUE(p1b->accepted.has_value());
+    EXPECT_EQ(p1b->accepted->msgs[0], m);
+    auto dec = Roundtrip(paxos::DecisionMsg{9, paxos::Value::Batch({m}), 5});
+    EXPECT_EQ(dec->group, 5u);
+    EXPECT_EQ(dec->value.msgs[0], m);
+  }
+  // No-payload / empty-batch shapes.
+  EXPECT_FALSE(Roundtrip(paxos::Phase1B{7, 3, 0, std::nullopt})->accepted);
+  EXPECT_TRUE(Roundtrip(paxos::Phase2A{1, 1, paxos::Value::Batch({})})
+                  ->value.msgs.empty());
+  EXPECT_EQ(Roundtrip(paxos::Phase1A{7, 3})->instance, 7u);
+  EXPECT_EQ(Roundtrip(paxos::Phase2B{8, 4})->round, 4u);
+  EXPECT_EQ(Roundtrip(paxos::LearnReq{42})->from_instance, 42u);
+}
+
+TEST(CodecCoverage, RingPaxosDataMessagesRoundtrip) {
+  for (std::uint32_t payload : {0u, kMaxPayload}) {
+    const paxos::ClientMsg m = MsgOfSize(payload);
+    EXPECT_EQ(Roundtrip(ringpaxos::Submit{4, m})->msg, m);
+    ringpaxos::P2A p2a{1, 7, 1234, 99, paxos::Value::Batch({m, MsgOfSize(0, 2)}),
+                       {{10, 11}, {12, 13}}, {0, 1, 2}};
+    auto out = Roundtrip(p2a);
+    EXPECT_EQ(out->value, p2a.value);
+    ASSERT_EQ(out->decided.size(), 2u);
+    EXPECT_EQ(out->decided[1].instance, 12u);
+    EXPECT_EQ(out->layout, p2a.layout);
+    ringpaxos::LearnRep rep{
+        3, {{7, 8, paxos::Value::Skip(2)}, {9, 10, paxos::Value::Batch({m})}}};
+    auto rout = Roundtrip(rep);
+    ASSERT_EQ(rout->entries.size(), 2u);
+    EXPECT_TRUE(rout->entries[0].value.is_skip());
+    EXPECT_EQ(rout->entries[1].value.msgs[0], m);
+    ringpaxos::P1B p1b{1, 8, {{10, 2, paxos::Value::Batch({m})}}};
+    auto bout = Roundtrip(p1b);
+    ASSERT_EQ(bout->accepted.size(), 1u);
+    EXPECT_EQ(bout->accepted[0].value.msgs[0], m);
+  }
+  // Skip spans survive, and a max-width piggyback list survives.
+  auto skip = Roundtrip(
+      ringpaxos::P2A{2, 3, 500, 42, paxos::Value::Skip(100000), {}, {5, 6}});
+  EXPECT_EQ(skip->value.skip_count, 100000u);
+  std::vector<ringpaxos::Decided> wide;
+  for (std::uint64_t i = 0; i < 4096; ++i) wide.push_back({i, i * 2 + 1});
+  auto dec = Roundtrip(ringpaxos::DecisionMsg{1, wide});
+  ASSERT_EQ(dec->decided.size(), wide.size());
+  EXPECT_EQ(dec->decided.back().vid, wide.back().vid);
+  EXPECT_TRUE(Roundtrip(ringpaxos::DecisionMsg{1, {}})->decided.empty());
+}
+
+TEST(CodecCoverage, RingPaxosControlMessagesRoundtrip) {
+  EXPECT_EQ(Roundtrip(ringpaxos::SubmitAck{1, 2, 42})->up_to_seq, 42u);
+  EXPECT_EQ(Roundtrip(ringpaxos::P2B{1, 2, 3, 4, 5})->votes, 5u);
+  auto p1a = Roundtrip(ringpaxos::P1A{1, 8, 55, {2, 3}});
+  EXPECT_EQ(p1a->from_instance, 55u);
+  EXPECT_EQ(p1a->layout, (std::vector<NodeId>{2, 3}));
+  EXPECT_TRUE(Roundtrip(ringpaxos::P1A{1, 8, 0, {}})->layout.empty());
+  EXPECT_TRUE(Roundtrip(ringpaxos::P1B{1, 8, {}})->accepted.empty());
+  EXPECT_EQ(Roundtrip(ringpaxos::Heartbeat{1, 9, 3})->coordinator, 3u);
+  EXPECT_EQ(Roundtrip(ringpaxos::HeartbeatAck{1, 9})->round, 9u);
+  EXPECT_EQ(Roundtrip(ringpaxos::LearnReq{1, 100, 16})->max_values, 16u);
+  EXPECT_TRUE(Roundtrip(ringpaxos::LearnRep{1, {}})->entries.empty());
+  auto trim = Roundtrip(ringpaxos::TrimNotice{2, 100, 500});
+  EXPECT_EQ(trim->low_watermark, 100u);
+  EXPECT_EQ(trim->high_watermark, 500u);
+  EXPECT_EQ(Roundtrip(ringpaxos::DeliveryAck{1, 2, 7})->seq, 7u);
+}
+
+}  // namespace codec_coverage
 
 TEST(MergeLearner, GroupsSortedByGroupId) {
   multiring::MergeLearner::Options mo;

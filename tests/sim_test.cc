@@ -36,6 +36,21 @@ TEST(Scheduler, CancelSuppressesEvent) {
   EXPECT_EQ(fired, 1);
 }
 
+TEST(Scheduler, EmptyTracksCancelledEvents) {
+  Scheduler s;
+  EXPECT_TRUE(s.empty());
+  auto a = s.At(Millis(1), [] {});
+  auto b = s.At(Millis(2), [] {});
+  EXPECT_FALSE(s.empty());
+  s.Cancel(a);
+  s.Cancel(a);  // double-cancel must not double-count
+  s.Cancel(b);
+  EXPECT_TRUE(s.empty());  // only cancelled entries remain
+  s.RunAll();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.events_cancelled(), 2u);
+}
+
 TEST(Scheduler, RunUntilAdvancesClock) {
   Scheduler s;
   int fired = 0;

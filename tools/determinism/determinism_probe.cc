@@ -1,0 +1,139 @@
+// Determinism probe: builds a multi-ring deployment on the simulator,
+// drives a fixed workload, and dumps the structured trace (JSONL) plus a
+// whole-deployment metrics snapshot. The determinism gate (run_gate.py)
+// runs this binary several times per seed — including once with a
+// perturbed heap — and byte-diffs the outputs: any dependence on wall
+// clock, unseeded randomness, unordered-container iteration order or
+// heap addresses shows up as a diff.
+//
+// Flags:
+//   --seed <u64>         simulator seed (default 1)
+//   --rings <n>          number of rings (default 4)
+//   --run-ms <n>         sim time to run, in milliseconds (default 500)
+//   --perturb-heap <u64> allocate a salted pattern of decoy blocks before
+//                        building the deployment, so every node lands at
+//                        a different heap address than in a plain run
+//   --out-trace <file>   JSONL trace output (required)
+//   --out-metrics <file> metrics JSON output (required)
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rand.h"
+#include "common/trace.h"
+#include "multiring/sim_deployment.h"
+#include "ringpaxos/proposer.h"
+
+namespace {
+
+const char* FlagValue(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+std::uint64_t FlagU64(int argc, char** argv, const char* flag,
+                      std::uint64_t fallback) {
+  const char* v = FlagValue(argc, argv, flag);
+  return v != nullptr ? std::strtoull(v, nullptr, 0) : fallback;
+}
+
+// Shifts heap addresses without touching the deployment itself: allocate
+// a salted pseudo-random pattern of blocks, then free every other one so
+// later allocations also see a fragmented free list. The survivors are
+// returned so they stay live for the whole run.
+std::vector<std::unique_ptr<char[]>> PerturbHeap(std::uint64_t salt) {
+  mrp::Rng rng(salt);
+  std::vector<std::unique_ptr<char[]>> decoys;
+  std::vector<std::unique_ptr<char[]>> survivors;
+  for (int i = 0; i < 512; ++i) {
+    const std::size_t size = 16 + rng.below(4096);
+    auto block = std::make_unique<char[]>(size);
+    block[0] = static_cast<char>(rng.next());  // force the page in
+    if (i % 2 == 0) {
+      survivors.push_back(std::move(block));
+    } else {
+      decoys.push_back(std::move(block));  // freed when this scope ends
+    }
+  }
+  return survivors;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_trace = FlagValue(argc, argv, "--out-trace");
+  const char* out_metrics = FlagValue(argc, argv, "--out-metrics");
+  if (out_trace == nullptr || out_metrics == nullptr) {
+    std::fprintf(stderr,
+                 "usage: determinism_probe --out-trace <file> --out-metrics "
+                 "<file> [--seed N] [--rings N] [--run-ms N] "
+                 "[--perturb-heap SALT]\n");
+    return 2;
+  }
+  const std::uint64_t seed = FlagU64(argc, argv, "--seed", 1);
+  const int rings = static_cast<int>(FlagU64(argc, argv, "--rings", 4));
+  const auto run_ms =
+      static_cast<std::int64_t>(FlagU64(argc, argv, "--run-ms", 500));
+
+  std::vector<std::unique_ptr<char[]>> ballast;
+  if (FlagValue(argc, argv, "--perturb-heap") != nullptr) {
+    ballast = PerturbHeap(FlagU64(argc, argv, "--perturb-heap", 0));
+  }
+
+  mrp::Tracer::Instance().Clear();
+  mrp::Tracer::Instance().Enable();
+
+  mrp::multiring::DeploymentOptions opts;
+  opts.n_rings = rings;
+  opts.ring_size = 2;
+  opts.net.seed = seed;
+  mrp::multiring::SimDeployment d(opts);
+
+  // One merge learner over all rings plus a single-ring learner, so both
+  // delivery paths contribute trace events.
+  std::vector<int> all_rings;
+  for (int r = 0; r < rings; ++r) all_rings.push_back(r);
+  d.AddMergeLearner(all_rings);
+  d.AddRingLearner(0);
+
+  // Two closed-loop clients per ring.
+  for (int r = 0; r < rings; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      mrp::ringpaxos::ProposerConfig pc;
+      pc.payload_size = 512;
+      pc.max_outstanding = 8;
+      d.AddProposer(r, pc);
+    }
+  }
+
+  d.Start();
+  d.RunFor(mrp::Millis(run_ms));
+
+  std::ofstream metrics(out_metrics);
+  if (!metrics) {
+    std::fprintf(stderr, "determinism_probe: cannot write %s\n", out_metrics);
+    return 2;
+  }
+  d.net().WriteMetricsJson(metrics);
+  metrics.close();
+
+  mrp::Tracer& tracer = mrp::Tracer::Instance();
+  if (tracer.size() == 0) {
+    std::fprintf(stderr, "determinism_probe: trace is empty (no events?)\n");
+    return 2;
+  }
+  if (!tracer.WriteJsonlFile(out_trace)) {
+    std::fprintf(stderr, "determinism_probe: cannot write %s\n", out_trace);
+    return 2;
+  }
+  std::printf("determinism_probe: seed=%llu rings=%d events=%zu\n",
+              static_cast<unsigned long long>(seed), rings, tracer.size());
+  return 0;
+}

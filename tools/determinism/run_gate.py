@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Determinism gate: byte-identical traces/metrics or the build fails.
+
+For each seed, runs determinism_probe three times:
+  A. plain
+  B. plain again                      -> catches wall clock / unseeded rand
+  C. MALLOC_PERTURB_ + --perturb-heap -> catches heap-address dependence
+     (pointer-keyed containers, pointer values in traces,
+     unordered-container iteration order)
+
+and byte-compares both output files (trace JSONL, metrics JSON) of B and
+C against A. Registered as the `determinism_gate` ctest target.
+"""
+
+import argparse
+import filecmp
+import os
+import subprocess
+import sys
+
+
+def first_diff(path_a, path_b):
+    """Human-readable pointer at the first differing line."""
+    with open(path_a, "rb") as fa, open(path_b, "rb") as fb:
+        for i, (la, lb) in enumerate(zip(fa, fb), start=1):
+            if la != lb:
+                return (f"line {i}:\n  A: {la[:200]!r}\n  B: {lb[:200]!r}")
+    return "files differ in length"
+
+
+def run_probe(probe, out_base, seed, rings, run_ms, perturb):
+    trace = out_base + ".trace.jsonl"
+    metrics = out_base + ".metrics.json"
+    cmd = [probe, "--seed", str(seed), "--rings", str(rings),
+           "--run-ms", str(run_ms),
+           "--out-trace", trace, "--out-metrics", metrics]
+    env = dict(os.environ)
+    if perturb:
+        cmd += ["--perturb-heap", str(0x9E3779B9 ^ seed)]
+        # glibc fills freed/allocated chunks with this byte, so any read
+        # of stale heap memory changes the output too.
+        env["MALLOC_PERTURB_"] = "170"
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True,
+                          check=False)
+    if proc.returncode != 0:
+        print(f"determinism_gate: probe failed ({' '.join(cmd)}):\n"
+              f"{proc.stdout}{proc.stderr}", file=sys.stderr)
+        sys.exit(1)
+    return trace, metrics
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--probe", required=True)
+    ap.add_argument("--workdir", required=True)
+    ap.add_argument("--seeds", default="1,42")
+    ap.add_argument("--rings", type=int, default=4)
+    ap.add_argument("--run-ms", type=int, default=500)
+    args = ap.parse_args()
+
+    os.makedirs(args.workdir, exist_ok=True)
+    failures = []
+    for seed in [int(s) for s in args.seeds.split(",")]:
+        base = os.path.join(args.workdir, f"seed{seed}")
+        ref = run_probe(args.probe, base + ".a", seed, args.rings,
+                        args.run_ms, perturb=False)
+        for tag, perturb in (("rerun", False), ("perturbed", True)):
+            got = run_probe(args.probe, f"{base}.{tag}", seed, args.rings,
+                            args.run_ms, perturb=perturb)
+            for kind, a, b in (("trace", ref[0], got[0]),
+                               ("metrics", ref[1], got[1])):
+                if not filecmp.cmp(a, b, shallow=False):
+                    failures.append(
+                        f"seed {seed}: {kind} differs on {tag} run "
+                        f"({a} vs {b})\n  first diff at {first_diff(a, b)}")
+        print(f"determinism_gate: seed {seed} OK "
+              f"(rerun + perturbed byte-identical)")
+
+    if failures:
+        print("determinism_gate: FAIL\n" + "\n".join(failures),
+              file=sys.stderr)
+        sys.exit(1)
+    print("determinism_gate: OK")
+
+
+if __name__ == "__main__":
+    main()

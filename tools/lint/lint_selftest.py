@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lint/mrp_lint, run as a ctest target.
+
+1. The fixture tree (tools/lint/testdata) must produce exactly the
+   golden findings in testdata/expected.txt, with exit status 1.
+2. The real repository must be clean (exit status 0) -- the same gate
+   scripts/check.sh --lint and CI enforce.
+"""
+
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+LINT = os.path.join(HERE, "mrp_lint")
+TESTDATA = os.path.join(HERE, "testdata")
+REPO_ROOT = os.path.dirname(os.path.dirname(HERE))
+
+
+def run(args):
+    proc = subprocess.run([sys.executable, LINT] + args,
+                          capture_output=True, text=True, check=False)
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+def fail(msg):
+    print(f"lint_selftest: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    # --list-rules is the cheapest smoke test of the CLI.
+    code, out, _ = run(["--list-rules"])
+    if code != 0 or "unordered-iter" not in out:
+        fail(f"--list-rules broke (exit {code})")
+
+    # Golden findings over the fixture tree.
+    code, out, _ = run(["--root", TESTDATA])
+    if code != 1:
+        fail(f"fixture run should exit 1 (findings), got {code}")
+    with open(os.path.join(TESTDATA, "expected.txt"), encoding="utf-8") as f:
+        expected = f.read()
+    if out != expected:
+        import difflib
+        diff = "\n".join(difflib.unified_diff(
+            expected.splitlines(), out.splitlines(),
+            "expected.txt", "actual", lineterm=""))
+        fail("fixture findings diverge from golden:\n" + diff)
+
+    # The real tree must be clean.
+    code, out, err = run(["--root", REPO_ROOT])
+    if code != 0:
+        fail(f"repository is not lint-clean (exit {code}):\n{out}{err}")
+
+    print("lint_selftest: OK")
+
+
+if __name__ == "__main__":
+    main()

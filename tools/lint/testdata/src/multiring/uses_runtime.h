@@ -1,0 +1,11 @@
+// Fixture: protocol code reaching src/runtime (transitively owns the
+// wall clock): flagged by the include-graph rule.
+#pragma once
+
+#include "runtime/clock.h"
+
+namespace fixture {
+
+inline long LeakedNow() { return RuntimeNow(); }
+
+}  // namespace fixture

@@ -1,0 +1,40 @@
+// Fixture: unordered-container iteration in protocol code. Iteration
+// order depends on the hash seed and heap layout, so any decision fed
+// from it breaks seed-reproducibility.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+class Quorum {
+ public:
+  void Add(std::uint32_t n) { votes_.insert(n); }
+
+  // Range-for over an unordered_set: flagged.
+  std::uint32_t First() const {
+    for (std::uint32_t v : votes_) return v;
+    return 0;
+  }
+
+  // .begin() walk over an unordered_map: flagged.
+  std::vector<std::uint64_t> Keys() const {
+    std::vector<std::uint64_t> out;
+    std::transform(weights_.begin(), weights_.end(), std::back_inserter(out),
+                   [](const auto& kv) { return kv.first; });
+    return out;
+  }
+
+  // find()/end() lookup: NOT flagged (touches no ordering).
+  bool Has(std::uint32_t n) const { return votes_.find(n) != votes_.end(); }
+
+ private:
+  std::unordered_set<std::uint32_t> votes_;
+  std::unordered_map<std::uint64_t, double> weights_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: a message struct with no codec round-trip test anywhere
+// under tests/: flagged by codec-coverage.
+#pragma once
+
+struct MessageBase {};
+
+namespace fixture {
+struct Ping final : MessageBase {
+  int nonce = 0;
+};
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Fixture: wall-clock and raw-randomness violations in protocol code,
+// plus one correctly suppressed use and two malformed suppressions.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace fixture {
+
+long Now() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long Epoch() { return time(nullptr); }
+
+int Dice() { return rand() % 6; }
+
+int SeededDevice() {
+  std::random_device rd;  // mrp-lint: allow(raw-rand) -- fixture: rationale long enough to count
+  return static_cast<int>(rd());
+}
+
+// mrp-lint: allow(wall-clock)
+long MissingRationale() { return clock(); }
+
+// mrp-lint: allow(no-such-rule) -- names a rule that does not exist
+long UnknownRule() { return 0; }
+
+}  // namespace fixture

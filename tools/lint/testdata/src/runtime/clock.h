@@ -1,0 +1,13 @@
+// Fixture: src/runtime owns the wall clock — steady_clock here is
+// allowed and must produce no finding.
+#pragma once
+
+#include <chrono>
+
+namespace fixture {
+
+inline long RuntimeNow() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Fixture: pointer-keyed containers and pointer values in traces. Both
+// make behaviour depend on heap layout (ASLR, allocation order), which
+// the determinism gate would catch only at runtime.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+namespace fixture {
+
+struct Node {};
+struct TraceSink {
+  void Record(std::uint64_t) {}
+};
+
+// Pointer as map key: flagged.
+inline std::map<Node*, int> g_ranks;
+
+// Pointer as set element: flagged.
+inline std::set<const Node*> g_seen;
+
+inline void LogNode(TraceSink& t, const Node* n) {
+  // Pointer value into a trace: flagged.
+  t.Record(reinterpret_cast<std::uintptr_t>(n));
+}
+
+}  // namespace fixture
