@@ -24,6 +24,12 @@ MergeLearner::MergeLearner(Options opts) : opts_(std::move(opts)) {
     auto stats = std::make_unique<GroupStats>();
     stats->group = s->group();
     stats_.push_back(std::move(stats));
+    // Per-group merge quota M_g (rate-proportional merge); the uniform
+    // `m` remains the default for unlisted groups.
+    auto q = opts_.m_per_group.find(s->group());
+    quota_.push_back(q != opts_.m_per_group.end()
+                         ? std::max<std::uint32_t>(1, q->second)
+                         : opts_.m);
     groups_.push_back(std::make_unique<GroupState>(std::move(s)));
   }
 }
@@ -44,6 +50,18 @@ void MergeLearner::OnStart(Env& env) {
   ctr_halts_ = &reg.counter("merge.halts");
   gauge_partial_consumed_ = &reg.gauge("merge.partial_consumed");
   gauge_current_group_ = &reg.gauge("merge.current_group");
+  // Geo features register their instruments only when enabled, so a
+  // default deployment's metrics snapshot stays byte-identical to seed.
+  if (!opts_.m_per_group.empty()) {
+    for (std::size_t i = 0; i < groups_.size(); ++i) {
+      reg.gauge("merge.g" + std::to_string(stats_[i]->group) + ".quota")
+          .Set(static_cast<std::int64_t>(quota_[i]));
+    }
+  }
+  if (opts_.latency_compensation.count() > 0) {
+    ctr_comp_held_ = &reg.counter("merge.comp_held");
+    gauge_comp_queue_ = &reg.gauge("merge.comp_queue");
+  }
   SyncMergeGauges();
   for (auto& g : groups_) g->source->OnStart(env);
   ArmTick(env);
@@ -99,16 +117,66 @@ void MergeLearner::Deliver(Env& env, std::size_t idx, const paxos::Value& value)
       if (ins) ins->discarded->Inc();
       continue;
     }
-    st.latency.Record(env.now() - msg.sent_at);
-    st.delivered.Add(1, msg.payload_size);
-    if (ins) ins->delivered->Inc();
-    ++total_delivered_;
-    if (opts_.on_deliver) opts_.on_deliver(st.group, msg);
-    if (opts_.send_delivery_acks) {
-      env.Send(msg.proposer,
-               MakeMessage<DeliveryAck>(groups_[idx]->source->ack_ring(),
-                                        msg.group, msg.seq));
+    if (opts_.latency_compensation.count() <= 0) {
+      DeliverMsg(env, idx, msg);
+      continue;
     }
+    // Latency compensation: hold until sent_at + compensation, with a
+    // monotone clamp so the merge order survives the hold. Messages
+    // whose natural latency already exceeds the compensation target
+    // pass through undelayed.
+    TimePoint release = msg.sent_at + opts_.latency_compensation;
+    if (release < comp_last_release_) release = comp_last_release_;
+    if (release < env.now()) release = env.now();
+    comp_last_release_ = release;
+    if (release <= env.now() && comp_queue_.empty()) {
+      DeliverMsg(env, idx, msg);
+      continue;
+    }
+    comp_queue_.push_back(HeldMsg{release, idx, msg});
+    if (ctr_comp_held_) ctr_comp_held_->Inc();
+    if (gauge_comp_queue_) {
+      gauge_comp_queue_->Set(static_cast<std::int64_t>(comp_queue_.size()));
+    }
+    if (!comp_timer_armed_) {
+      comp_timer_armed_ = true;
+      env.SetTimer(comp_queue_.front().release - env.now(),
+                   [this, &env] { PumpCompensation(env); });
+    }
+  }
+}
+
+void MergeLearner::PumpCompensation(Env& env) {
+  comp_timer_armed_ = false;
+  while (!comp_queue_.empty() && comp_queue_.front().release <= env.now()) {
+    HeldMsg held = std::move(comp_queue_.front());
+    comp_queue_.pop_front();
+    DeliverMsg(env, held.idx, held.msg);
+  }
+  if (gauge_comp_queue_) {
+    gauge_comp_queue_->Set(static_cast<std::int64_t>(comp_queue_.size()));
+  }
+  if (!comp_queue_.empty()) {
+    comp_timer_armed_ = true;
+    env.SetTimer(comp_queue_.front().release - env.now(),
+                 [this, &env] { PumpCompensation(env); });
+  }
+}
+
+void MergeLearner::DeliverMsg(Env& env, std::size_t idx,
+                              const paxos::ClientMsg& msg) {
+  GroupStats& st = *stats_[idx];
+  GroupInstruments* ins =
+      idx < instruments_.size() ? &instruments_[idx] : nullptr;
+  st.latency.Record(env.now() - msg.sent_at);
+  st.delivered.Add(1, msg.payload_size);
+  if (ins) ins->delivered->Inc();
+  ++total_delivered_;
+  if (opts_.on_deliver) opts_.on_deliver(st.group, msg);
+  if (opts_.send_delivery_acks) {
+    env.Send(msg.proposer,
+             MakeMessage<DeliveryAck>(groups_[idx]->source->ack_ring(),
+                                      msg.group, msg.seq));
   }
 }
 
@@ -128,11 +196,12 @@ void MergeLearner::PumpMerge(Env& env) {
     GroupState& g = *groups_[current_];
     GroupInstruments* ins =
         current_ < instruments_.size() ? &instruments_[current_] : nullptr;
-    // Consume up to M logical instances from the current group.
-    while (consumed_ < opts_.m) {
+    // Consume up to M_g logical instances from the current group.
+    const std::uint32_t m = quota_[current_];
+    while (consumed_ < m) {
       if (g.pending_skip > 0) {
         const std::uint64_t take =
-            std::min<std::uint64_t>(g.pending_skip, opts_.m - consumed_);
+            std::min<std::uint64_t>(g.pending_skip, m - consumed_);
         g.pending_skip -= take;
         consumed_ += static_cast<std::uint32_t>(take);
         if (ins) {

@@ -15,7 +15,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -70,9 +72,23 @@ class MergeLearner final : public Protocol {
     std::vector<std::unique_ptr<GroupSource>> sources;
     // M: consensus instances consumed per group per round-robin turn.
     std::uint32_t m = 1;
+    // Per-group merge quotas M_g (Stretching M-RP's rate-proportional
+    // merge): groups listed here consume their own quota per turn
+    // instead of the uniform `m`, so rings running at different maximum
+    // rates lambda_g stay merge-balanced when M_g is proportional to
+    // lambda_g. Groups not listed fall back to `m`. Quotas are clamped
+    // to >= 1.
+    std::map<GroupId, std::uint32_t> m_per_group;
     // Total buffered messages before the learner halts (0 = unlimited).
     std::size_t max_buffer_msgs = 0;
     bool send_delivery_acks = false;
+    // Geo latency compensation (Stretching M-RP): hold each merged
+    // message until `sent_at + latency_compensation` before delivering,
+    // so learners in different sites — whose natural delivery latencies
+    // differ by the inter-site RTTs — deliver with comparable skew.
+    // Merge order is preserved (release times are clamped monotone).
+    // 0 = deliver immediately (the paper's behaviour).
+    Duration latency_compensation{0};
     Duration tick_interval = Millis(10);
     DeliverFn on_deliver;  // optional
   };
@@ -103,6 +119,10 @@ class MergeLearner final : public Protocol {
   GroupSource* group_source(std::size_t idx) { return groups_[idx]->source.get(); }
   bool halted() const { return halted_; }
   RateMeter& received() { return received_; }
+  // Effective merge quota of the group at merge position `idx`.
+  std::uint32_t quota(std::size_t idx) const { return quota_[idx]; }
+  // Messages currently held back by latency compensation.
+  std::size_t compensation_held() const { return comp_queue_.size(); }
 
  private:
   struct GroupState {
@@ -115,17 +135,32 @@ class MergeLearner final : public Protocol {
 
   void PumpMerge(Env& env);
   void Deliver(Env& env, std::size_t idx, const paxos::Value& value);
+  // Final delivery of one message (stats, callback, ack). With latency
+  // compensation the call is deferred until the release time.
+  void DeliverMsg(Env& env, std::size_t idx, const paxos::ClientMsg& msg);
+  void PumpCompensation(Env& env);
   void ArmTick(Env& env);
   void SyncMergeGauges();
 
   Options opts_;
   std::vector<std::unique_ptr<GroupState>> groups_;
   std::vector<std::unique_ptr<GroupStats>> stats_;
+  std::vector<std::uint32_t> quota_;  // per merge position (sorted by group)
   std::size_t current_ = 0;       // group whose turn it is
   std::uint32_t consumed_ = 0;    // instances consumed in the current turn
   bool halted_ = false;
   std::uint64_t total_delivered_ = 0;
   RateMeter received_;  // every consumed message (ingress accounting)
+
+  // Latency-compensation hold queue, in merge (= release) order.
+  struct HeldMsg {
+    TimePoint release;
+    std::size_t idx;  // merge position (stats/ack routing)
+    paxos::ClientMsg msg;
+  };
+  std::deque<HeldMsg> comp_queue_;
+  TimePoint comp_last_release_{0};
+  bool comp_timer_armed_ = false;
 
   // Registry instruments (resolved in OnStart; one set per group, in
   // merge order). "consumed" counts logical instances taken by merge
@@ -144,6 +179,10 @@ class MergeLearner final : public Protocol {
   Counter* ctr_halts_ = nullptr;
   Gauge* gauge_partial_consumed_ = nullptr;
   Gauge* gauge_current_group_ = nullptr;
+  // Geo instruments, created only when the corresponding feature is on
+  // so default deployments export byte-identical metrics snapshots.
+  Counter* ctr_comp_held_ = nullptr;
+  Gauge* gauge_comp_queue_ = nullptr;
 };
 
 }  // namespace mrp::multiring

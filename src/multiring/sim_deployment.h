@@ -6,8 +6,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "multiring/merge_learner.h"
@@ -38,6 +40,24 @@ struct DeploymentOptions {
   std::size_t trim_keep = 50'000;  // acceptor log retention (instances)
   Duration suspect_after = Millis(100);
   Duration heartbeat_interval = Millis(20);
+  // ---- Geo placement (docs/TOPOLOGY.md) ----
+  // Site of ring r's acceptors (and, by default, its proposers). Shorter
+  // vectors are padded with site 0, so single-site deployments need not
+  // set this at all.
+  std::vector<sim::SiteId> ring_sites;
+  // Per-ring maximum-rate override lambda_r (msgs/s); rings beyond the
+  // vector use the uniform lambda_per_sec. Rate-skewed rings are the
+  // scenario per-group merge quotas M_g exist for.
+  std::vector<double> ring_lambda;
+  // Heterogeneous hardware: node spec per site, and per individual ring
+  // member (ring index, member index) — the latter wins. Nodes in
+  // unlisted sites use net.default_spec.
+  std::map<sim::SiteId, sim::NodeSpec> site_specs;
+  std::map<std::pair<int, int>, sim::NodeSpec> ring_node_specs;
+  // Per-member site override (ring index, member index): lets one ring
+  // span sites — the paper's Stretching M-RP deployment, and the shape
+  // a WAN partition can rob of its quorum.
+  std::map<std::pair<int, int>, sim::SiteId> ring_node_sites;
 };
 
 class SimDeployment {
@@ -57,6 +77,23 @@ class SimDeployment {
   }
   sim::SimNode* acceptor_node(int ring, int idx) { return ring_nodes_[ring][idx]; }
   const std::vector<sim::SimNode*>& ring_universe(int i) { return ring_nodes_[i]; }
+  // Site ring r's acceptors were placed in.
+  sim::SiteId ring_site(int r) const {
+    return r < static_cast<int>(opts_.ring_sites.size()) ? opts_.ring_sites[r]
+                                                         : 0;
+  }
+
+  // Geo-aware merge-learner knobs (each defaulting to the seed
+  // behaviour): placement site, per-group quotas, latency compensation.
+  struct LearnerSpec {
+    std::uint32_t m = 1;
+    std::map<GroupId, std::uint32_t> m_per_group;
+    Duration latency_compensation{0};
+    std::size_t max_buffer_msgs = 0;
+    bool send_delivery_acks = false;
+    Duration recovery_interval = Millis(10);
+    sim::SiteId site = 0;
+  };
 
   // Learner subscribed to the given rings (by ring index).
   MergeLearner* AddMergeLearner(const std::vector<int>& ring_indices,
@@ -64,15 +101,27 @@ class SimDeployment {
                                 std::size_t max_buffer_msgs = 0,
                                 bool send_delivery_acks = false,
                                 Duration recovery_interval = Millis(10)) {
-    auto& node = net_.AddNode();
+    LearnerSpec spec;
+    spec.m = m;
+    spec.max_buffer_msgs = max_buffer_msgs;
+    spec.send_delivery_acks = send_delivery_acks;
+    spec.recovery_interval = recovery_interval;
+    return AddMergeLearner(ring_indices, spec);
+  }
+
+  MergeLearner* AddMergeLearner(const std::vector<int>& ring_indices,
+                                const LearnerSpec& spec) {
+    auto& node = net_.AddNode(SpecForSite(spec.site), spec.site);
     MergeLearner::Options opts;
-    opts.m = m;
-    opts.max_buffer_msgs = max_buffer_msgs;
-    opts.send_delivery_acks = send_delivery_acks;
+    opts.m = spec.m;
+    opts.m_per_group = spec.m_per_group;
+    opts.latency_compensation = spec.latency_compensation;
+    opts.max_buffer_msgs = spec.max_buffer_msgs;
+    opts.send_delivery_acks = spec.send_delivery_acks;
     for (int idx : ring_indices) {
       ringpaxos::LearnerOptions lo;
       lo.ring = rings_[idx];
-      lo.recovery_interval = recovery_interval;
+      lo.recovery_interval = spec.recovery_interval;
       opts.groups.push_back(lo);
       net_.Subscribe(node.self(), rings_[idx].data_channel);
       net_.Subscribe(node.self(), rings_[idx].control_channel);
@@ -86,9 +135,13 @@ class SimDeployment {
 
   sim::SimNode* learner_node(std::size_t i) { return learner_nodes_[i]; }
 
-  // Single-group learner on ring `idx`.
-  ringpaxos::RingLearner* AddRingLearner(int idx, bool send_delivery_acks = false) {
-    auto& node = net_.AddNode();
+  // Single-group learner on ring `idx`, placed in `site` (defaults to
+  // the ring's own site).
+  ringpaxos::RingLearner* AddRingLearner(
+      int idx, bool send_delivery_acks = false,
+      std::optional<sim::SiteId> site = std::nullopt) {
+    const sim::SiteId s = site.value_or(ring_site(idx));
+    auto& node = net_.AddNode(SpecForSite(s), s);
     ringpaxos::RingLearner::Options opts;
     opts.learner.ring = rings_[idx];
     opts.send_delivery_acks = send_delivery_acks;
@@ -108,10 +161,13 @@ class SimDeployment {
   // nominal group.
   ringpaxos::Proposer* AddProposer(int idx, ringpaxos::ProposerConfig cfg,
                                    std::optional<GroupId> group_override =
+                                       std::nullopt,
+                                   std::optional<sim::SiteId> site =
                                        std::nullopt) {
-    sim::NodeSpec spec = opts_.net.default_spec;
+    const sim::SiteId s = site.value_or(ring_site(idx));
+    sim::NodeSpec spec = SpecForSite(s);
     spec.infinite_cpu = true;  // clients are never the bottleneck
-    auto& node = net_.AddNode(spec);
+    auto& node = net_.AddNode(spec, s);
     cfg.ring = rings_[idx].ring;
     cfg.group = group_override.value_or(rings_[idx].group);
     cfg.coordinator = rings_[idx].ring_members[0];
@@ -129,13 +185,25 @@ class SimDeployment {
   void RunFor(Duration d) { net_.RunFor(d); }
 
  private:
+  // Spec resolution: per-member override > per-site override > default.
+  sim::NodeSpec SpecForSite(sim::SiteId site) const {
+    auto it = opts_.site_specs.find(site);
+    return it != opts_.site_specs.end() ? it->second : opts_.net.default_spec;
+  }
+  sim::NodeSpec SpecForMember(int ring, int member, sim::SiteId site) const {
+    auto it = opts_.ring_node_specs.find({ring, member});
+    return it != opts_.ring_node_specs.end() ? it->second : SpecForSite(site);
+  }
+
   void AddRing(int r) {
     ringpaxos::RingConfig cfg;
     cfg.ring = static_cast<RingId>(r);
     cfg.group = static_cast<GroupId>(r);
     cfg.data_channel = static_cast<ChannelId>(2 * r);
     cfg.control_channel = static_cast<ChannelId>(2 * r + 1);
-    cfg.lambda_per_sec = opts_.lambda_per_sec;
+    cfg.lambda_per_sec = r < static_cast<int>(opts_.ring_lambda.size())
+                             ? opts_.ring_lambda[r]
+                             : opts_.lambda_per_sec;
     cfg.delta = opts_.delta;
     cfg.batch_bytes = opts_.batch_bytes;
     cfg.batch_timeout = opts_.batch_timeout;
@@ -149,7 +217,10 @@ class SimDeployment {
 
     std::vector<sim::SimNode*> nodes;
     for (int i = 0; i < opts_.ring_size + opts_.n_spares; ++i) {
-      auto& node = net_.AddNode();
+      auto st = opts_.ring_node_sites.find({r, i});
+      const sim::SiteId site =
+          st != opts_.ring_node_sites.end() ? st->second : ring_site(r);
+      auto& node = net_.AddNode(SpecForMember(r, i, site), site);
       nodes.push_back(&node);
       if (i < opts_.ring_size) {
         cfg.ring_members.push_back(node.self());

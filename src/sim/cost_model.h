@@ -24,6 +24,10 @@ struct NodeSpec {
   double link_bw_bps = 1e9;          // 1 GbE
   Duration link_latency = Micros(50);  // one-way, switch included
   Duration link_jitter = Micros(5);    // uniform [0, jitter) per packet
+  // Access-link loss (node <-> site switch), applied per received leg in
+  // addition to NetConfig::loss_probability and any inter-site link loss
+  // (docs/TOPOLOGY.md). 0 keeps the seed model's lossless access links.
+  double link_loss = 0.0;
 
   // CPU cost of handling a message. Fixed part covers syscall/interrupt
   // and protocol bookkeeping; the per-byte part covers copies/checksums.

@@ -2,14 +2,16 @@
 
 #include <cassert>
 #include <cmath>
+#include <set>
 #include <utility>
 
 namespace mrp::sim {
 
 // ---------------------------------------------------------------- SimNode
 
-SimNode::SimNode(SimNetwork& net, NodeId id, NodeSpec spec, std::uint64_t seed)
-    : net_(net), id_(id), spec_(spec), rng_(seed) {
+SimNode::SimNode(SimNetwork& net, NodeId id, NodeSpec spec, std::uint64_t seed,
+                 SiteId site)
+    : net_(net), id_(id), spec_(spec), site_(site), rng_(seed) {
   ctr_tx_pkts_ = &metrics_.counter("nic.tx_pkts");
   ctr_tx_bytes_ = &metrics_.counter("nic.tx_bytes");
   ctr_rx_pkts_ = &metrics_.counter("nic.rx_pkts");
@@ -170,13 +172,29 @@ SimNetwork::SimNetwork(NetConfig cfg) : cfg_(cfg), net_rng_(cfg.seed) {
   ctr_drops_ = &metrics_.counter("net.dropped_pkts");
   ctr_unicast_pkts_ = &metrics_.counter("net.unicast_pkts");
   ctr_multicast_legs_ = &metrics_.counter("net.multicast_legs");
+  if (!cfg_.topology.trivial()) {
+    topo_ = std::make_unique<TopologyRuntime>(cfg_.topology, metrics_,
+                                              cfg_.loss_probability);
+  }
 }
 
-SimNode& SimNetwork::AddNode(const NodeSpec& spec) {
+SimNode& SimNetwork::AddNode(const NodeSpec& spec, SiteId site) {
+  assert(site < site_count());
   const NodeId id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(std::make_unique<SimNode>(
-      *this, id, spec, cfg_.seed * 0x9e3779b97f4a7c15ULL + id + 1));
+      *this, id, spec, cfg_.seed * 0x9e3779b97f4a7c15ULL + id + 1, site));
+  if (spec.link_loss > 0 && ctr_access_drops_ == nullptr) {
+    ctr_access_drops_ = &metrics_.counter("net.access_link_drops");
+  }
   return *nodes_.back();
+}
+
+void SimNetwork::SetLinkUp(SiteId a, SiteId b, bool up) {
+  if (topo_) topo_->SetLinkUp(a, b, up);
+}
+
+bool SimNetwork::LinkUp(SiteId a, SiteId b) const {
+  return topo_ ? topo_->LinkUp(a, b) : true;
 }
 
 void SimNetwork::Subscribe(NodeId n, ChannelId channel) {
@@ -200,18 +218,49 @@ void SimNetwork::StartAll() {
 }
 
 void SimNetwork::ScheduleArrival(NodeId from, NodeId to, MessagePtr m,
-                                 std::size_t wire_bytes, TimePoint depart) {
+                                 std::size_t wire_bytes, TimePoint depart,
+                                 const std::map<SiteId, TimePoint>* mcast_fabric) {
   if (cfg_.loss_probability > 0 && net_rng_.chance(cfg_.loss_probability)) {
     ctr_drops_->Inc();
     return;  // dropped in the network
   }
   SimNode& sender = *nodes_[from];
+  SimNode& receiver = *nodes_[to];
+  // Access-link loss (node <-> site switch), independent on both ends.
+  const double access_loss =
+      1.0 - (1.0 - sender.spec().link_loss) * (1.0 - receiver.spec().link_loss);
+  if (access_loss > 0 && net_rng_.chance(access_loss)) {
+    ctr_drops_->Inc();
+    if (ctr_access_drops_ != nullptr) ctr_access_drops_->Inc();
+    return;
+  }
   Duration jitter{0};
   if (sender.spec().link_jitter.count() > 0) {
     jitter = Duration(static_cast<std::int64_t>(
         net_rng_.uniform() * static_cast<double>(sender.spec().link_jitter.count())));
   }
   TimePoint arrival = depart + sender.spec().link_latency + jitter;
+  if (sender.site() != receiver.site()) {
+    // Cross-site: the packet enters the local fabric after the access
+    // latency, crosses the inter-site links (per-link queueing,
+    // serialization, propagation, jitter and loss), and fans out at the
+    // remote switch. Multicast packets traversed the tree once in
+    // MulticastSend; unicast traverses here.
+    std::optional<TimePoint> fabric;
+    if (mcast_fabric != nullptr) {
+      auto fit = mcast_fabric->find(receiver.site());
+      if (fit != mcast_fabric->end()) fabric = fit->second;
+    } else if (topo_ != nullptr) {
+      fabric = topo_->Traverse(sender.site(), receiver.site(),
+                               depart + sender.spec().link_latency, wire_bytes,
+                               net_rng_);
+    }
+    if (!fabric) {
+      ctr_drops_->Inc();  // lost or unroutable on the WAN path
+      return;
+    }
+    arrival = *fabric + jitter;
+  }
   // Per-directed-pair FIFO: switched Ethernet / TCP links do not reorder
   // packets between the same two endpoints (LCR's correctness and Ring
   // Paxos's ring traffic rely on this). Jitter still varies inter-packet
@@ -229,7 +278,8 @@ void SimNetwork::Unicast(SimNode& from, NodeId to, MessagePtr m, TimePoint ready
   const std::size_t wire = m->WireSize() + from.spec().wire_overhead_bytes;
   const TimePoint depart = from.TxLinkDepart(wire, ready);
   ctr_unicast_pkts_->Inc();
-  ScheduleArrival(from.self(), to, std::move(m), wire, depart);
+  ScheduleArrival(from.self(), to, std::move(m), wire, depart,
+                  /*mcast_fabric=*/nullptr);
 }
 
 void SimNetwork::MulticastSend(SimNode& from, ChannelId channel, MessagePtr m,
@@ -240,10 +290,26 @@ void SimNetwork::MulticastSend(SimNode& from, ChannelId channel, MessagePtr m,
   // ip-multicast: the sender serializes the packet once; the switch
   // replicates it to every subscribed port.
   const TimePoint depart = from.TxLinkDepart(wire, ready);
+  // Cross-site fan-out is charged per crossed inter-site link, not per
+  // subscriber: compute the per-site fabric arrival times once.
+  std::map<SiteId, TimePoint> fabric;
+  if (topo_ != nullptr) {
+    std::set<SiteId> dest_sites;
+    for (NodeId to : it->second) {
+      if (to == from.self()) continue;
+      const SiteId s = nodes_[to]->site();
+      if (s != from.site()) dest_sites.insert(s);
+    }
+    if (!dest_sites.empty()) {
+      fabric = topo_->TraverseTree(from.site(), dest_sites,
+                                   depart + from.spec().link_latency, wire,
+                                   net_rng_);
+    }
+  }
   for (NodeId to : it->second) {
     if (to == from.self()) continue;
     ctr_multicast_legs_->Inc();
-    ScheduleArrival(from.self(), to, m, wire, depart);
+    ScheduleArrival(from.self(), to, m, wire, depart, topo_ ? &fabric : nullptr);
   }
 }
 

@@ -6,6 +6,13 @@
 // resource that binds (coordinator CPU, acceptor disk, learner NIC)
 // emerges from the model exactly as in the paper's figures.
 //
+// With a non-trivial NetConfig::topology (sim/topology.h), nodes are
+// placed in named sites and cross-site legs additionally traverse the
+// inter-site links (per-link serialization, propagation, jitter, loss,
+// up/down faults); multicast charges each crossed link once and fans
+// out at the remote switch. The default topology keeps the single-
+// switch model bit-identical to the seed (docs/TOPOLOGY.md).
+//
 // Execution model per node is single-threaded and run-to-completion:
 // protocol callbacks fire when the node's CPU finishes the associated
 // work; work is conserved (every charged cost delays later work on the
@@ -14,6 +21,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -24,6 +32,7 @@
 #include "common/stats.h"
 #include "sim/cost_model.h"
 #include "sim/scheduler.h"
+#include "sim/topology.h"
 
 namespace mrp::sim {
 
@@ -31,7 +40,8 @@ class SimNetwork;
 
 class SimNode final : public Env {
  public:
-  SimNode(SimNetwork& net, NodeId id, NodeSpec spec, std::uint64_t seed);
+  SimNode(SimNetwork& net, NodeId id, NodeSpec spec, std::uint64_t seed,
+          SiteId site);
 
   // ---- Env ----
   NodeId self() const override { return id_; }
@@ -74,6 +84,8 @@ class SimNode final : public Env {
   Histogram& rx_wait() { return rx_wait_; }
   Histogram& cpu_wait() { return cpu_wait_; }
   const NodeSpec& spec() const { return spec_; }
+  // Site (datacenter) this node lives in; 0 in single-site deployments.
+  SiteId site() const { return site_; }
 
   // ---- Internal (SimNetwork / SimDiskStorage) ----
   // Packet hits this node's NIC ingress at `port_arrival`.
@@ -96,6 +108,7 @@ class SimNode final : public Env {
   SimNetwork& net_;
   NodeId id_;
   NodeSpec spec_;
+  SiteId site_;
   Rng rng_;
   MetricsRegistry metrics_;
   std::unique_ptr<Protocol> protocol_;
@@ -127,9 +140,14 @@ class SimNode final : public Env {
 struct NetConfig {
   std::uint64_t seed = 1;
   // Independent per-receiver drop probability (applied to unicast and to
-  // each multicast leg).
+  // each multicast leg). With a non-trivial topology this knob is also
+  // the shorthand that sets the loss of every inter-site link whose
+  // LinkSpec leaves loss at 0 (docs/TOPOLOGY.md).
   double loss_probability = 0.0;
   NodeSpec default_spec;
+  // Site graph. The default (trivial) topology keeps the seed model:
+  // one implicit switch, uniform access latency, no inter-site legs.
+  Topology topology;
 };
 
 class SimNetwork {
@@ -140,9 +158,19 @@ class SimNetwork {
   TimePoint now() const { return sched_.now(); }
 
   SimNode& AddNode() { return AddNode(cfg_.default_spec); }
-  SimNode& AddNode(const NodeSpec& spec);
+  SimNode& AddNode(const NodeSpec& spec) { return AddNode(spec, 0); }
+  SimNode& AddNode(const NodeSpec& spec, SiteId site);
   SimNode& node(NodeId id) { return *nodes_.at(id); }
   std::size_t node_count() const { return nodes_.size(); }
+  SiteId site_of(NodeId id) const { return nodes_.at(id)->site(); }
+  std::size_t site_count() const {
+    return topo_ ? topo_->site_count() : 1;
+  }
+
+  // ---- Inter-site fault injection (no-ops without a topology) ----
+  void SetLinkUp(SiteId a, SiteId b, bool up);
+  bool LinkUp(SiteId a, SiteId b) const;
+  TopologyRuntime* topology_runtime() { return topo_.get(); }
 
   void Subscribe(NodeId n, ChannelId channel);
   void Unsubscribe(NodeId n, ChannelId channel);
@@ -167,12 +195,17 @@ class SimNetwork {
   void WriteMetricsJson(std::ostream& os);
 
  private:
+  // Delivers one leg. For cross-site legs, `mcast_fabric` (multicast
+  // only) carries the per-site fabric arrival times computed once per
+  // packet; unicast legs traverse the topology themselves.
   void ScheduleArrival(NodeId from, NodeId to, MessagePtr m,
-                       std::size_t wire_bytes, TimePoint depart);
+                       std::size_t wire_bytes, TimePoint depart,
+                       const std::map<SiteId, TimePoint>* mcast_fabric);
 
   NetConfig cfg_;
   Scheduler sched_;
   std::vector<std::unique_ptr<SimNode>> nodes_;
+  std::unique_ptr<TopologyRuntime> topo_;
   std::unordered_map<ChannelId, std::vector<NodeId>> channels_;
   std::unordered_map<std::uint64_t, TimePoint> fifo_clamp_;  // (from<<32)|to
   Rng net_rng_;
@@ -180,6 +213,9 @@ class SimNetwork {
   Counter* ctr_drops_ = nullptr;
   Counter* ctr_unicast_pkts_ = nullptr;
   Counter* ctr_multicast_legs_ = nullptr;
+  // Created lazily, only when some node has a lossy access link, so the
+  // default deployment's metrics snapshot stays byte-identical to seed.
+  Counter* ctr_access_drops_ = nullptr;
 };
 
 }  // namespace mrp::sim

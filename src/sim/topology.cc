@@ -1,0 +1,229 @@
+#include "sim/topology.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace mrp::sim {
+
+// ---------------------------------------------------------------- Topology
+
+SiteId Topology::AddSite(std::string name) {
+  sites_.push_back(std::move(name));
+  return static_cast<SiteId>(sites_.size() - 1);
+}
+
+void Topology::Connect(SiteId a, SiteId b, const LinkSpec& spec) {
+  ConnectOneWay(a, b, spec);
+  ConnectOneWay(b, a, spec);
+}
+
+void Topology::ConnectOneWay(SiteId from, SiteId to, const LinkSpec& spec) {
+  assert(from < site_count() && to < site_count() && from != to);
+  links_.push_back(Link{from, to, spec});
+}
+
+Topology Topology::FullMesh(const std::vector<std::string>& names,
+                            const LinkSpec& spec) {
+  Topology t;
+  for (const auto& n : names) t.AddSite(n);
+  for (SiteId a = 0; a < names.size(); ++a) {
+    for (SiteId b = a + 1; b < names.size(); ++b) t.Connect(a, b, spec);
+  }
+  return t;
+}
+
+Topology Topology::Chain(const std::vector<std::string>& names,
+                         const LinkSpec& spec) {
+  Topology t;
+  for (const auto& n : names) t.AddSite(n);
+  for (SiteId a = 0; a + 1 < names.size(); ++a) t.Connect(a, a + 1, spec);
+  return t;
+}
+
+// --------------------------------------------------------- TopologyRuntime
+
+TopologyRuntime::TopologyRuntime(Topology topo, MetricsRegistry& reg,
+                                 double default_loss)
+    : topo_(std::move(topo)) {
+  for (const auto& l : topo_.links()) {
+    DirLink dl;
+    dl.from = l.from;
+    dl.to = l.to;
+    dl.spec = l.spec;
+    if (dl.spec.loss <= 0) dl.spec.loss = default_loss;
+    const std::string prefix = "net.link." + topo_.site_name(l.from) + "->" +
+                               topo_.site_name(l.to) + ".";
+    dl.tx_pkts = &reg.counter(prefix + "tx_pkts");
+    dl.tx_bytes = &reg.counter(prefix + "tx_bytes");
+    dl.dropped_loss = &reg.counter(prefix + "dropped_loss");
+    dl.dropped_down = &reg.counter(prefix + "dropped_down");
+    dl.up_gauge = &reg.gauge(prefix + "up");
+    dl.up_gauge->Set(1);
+    links_.push_back(dl);
+  }
+  ctr_unroutable_ = &reg.counter("net.topo.unroutable_pkts");
+  RecomputeRoutes();
+}
+
+std::size_t TopologyRuntime::FindLink(SiteId from, SiteId to) const {
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (links_[i].from == from && links_[i].to == to) return i;
+  }
+  return kNoLink;
+}
+
+void TopologyRuntime::SetLinkUp(SiteId a, SiteId b, bool up) {
+  for (std::size_t i : {FindLink(a, b), FindLink(b, a)}) {
+    if (i == kNoLink) continue;
+    links_[i].up = up;
+    links_[i].up_gauge->Set(up ? 1 : 0);
+  }
+  RecomputeRoutes();
+}
+
+bool TopologyRuntime::LinkUp(SiteId a, SiteId b) const {
+  const std::size_t i = FindLink(a, b);
+  return i != kNoLink && links_[i].up;
+}
+
+void TopologyRuntime::RecomputeRoutes() {
+  // Per-source Dijkstra over up links, weighted by propagation latency
+  // with link index as the deterministic tie-break, so route choice (and
+  // therefore every arrival time) is a pure function of the topology.
+  const std::size_t n = topo_.site_count();
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+  next_hop_.assign(n, std::vector<std::size_t>(n, kNoLink));
+  for (SiteId src = 0; src < n; ++src) {
+    std::vector<std::int64_t> dist(n, kInf);
+    std::vector<std::size_t> pred(n, kNoLink);  // arriving link per site
+    std::vector<bool> done(n, false);
+    dist[src] = 0;
+    for (std::size_t round = 0; round < n; ++round) {
+      SiteId u = static_cast<SiteId>(n);
+      for (SiteId s = 0; s < n; ++s) {
+        if (!done[s] && dist[s] != kInf &&
+            (u == n || dist[s] < dist[u])) {
+          u = s;
+        }
+      }
+      if (u == n) break;
+      done[u] = true;
+      for (std::size_t li = 0; li < links_.size(); ++li) {
+        const DirLink& l = links_[li];
+        if (!l.up || l.from != u) continue;
+        const std::int64_t d = dist[u] + l.spec.latency.count();
+        if (d < dist[l.to]) {
+          dist[l.to] = d;
+          pred[l.to] = li;
+        }
+      }
+    }
+    for (SiteId dst = 0; dst < n; ++dst) {
+      if (dst == src || pred[dst] == kNoLink) continue;
+      // Walk back to the first hop.
+      std::size_t hop = pred[dst];
+      while (links_[hop].from != src) hop = pred[links_[hop].from];
+      next_hop_[src][dst] = hop;
+    }
+  }
+}
+
+std::optional<TimePoint> TopologyRuntime::CrossLink(DirLink& link,
+                                                    TimePoint enter,
+                                                    std::size_t wire_bytes,
+                                                    Rng& rng) {
+  if (!link.up) {
+    link.dropped_down->Inc();
+    ++total_drops_;
+    return std::nullopt;
+  }
+  const Duration ser = Duration(static_cast<std::int64_t>(
+      static_cast<double>(wire_bytes) * 8.0 / link.spec.bw_bps * 1e9));
+  link.free_at = std::max(enter, link.free_at) + ser;
+  TimePoint arrival = link.free_at + link.spec.latency;
+  if (link.spec.jitter.count() > 0) {
+    arrival += Duration(static_cast<std::int64_t>(
+        rng.uniform() * static_cast<double>(link.spec.jitter.count())));
+  }
+  if (link.spec.loss > 0 && rng.chance(link.spec.loss)) {
+    link.dropped_loss->Inc();
+    ++total_drops_;
+    return std::nullopt;
+  }
+  link.tx_pkts->Inc();
+  link.tx_bytes->Inc(wire_bytes);
+  return arrival;
+}
+
+std::optional<TimePoint> TopologyRuntime::Traverse(SiteId from, SiteId to,
+                                                   TimePoint enter,
+                                                   std::size_t wire_bytes,
+                                                   Rng& rng) {
+  if (from == to) return enter;
+  TimePoint at = enter;
+  SiteId cur = from;
+  while (cur != to) {
+    const std::size_t hop = next_hop_[cur][to];
+    if (hop == kNoLink) {
+      ctr_unroutable_->Inc();
+      ++total_drops_;
+      return std::nullopt;
+    }
+    auto next = CrossLink(links_[hop], at, wire_bytes, rng);
+    if (!next) return std::nullopt;
+    at = *next;
+    cur = links_[hop].to;
+  }
+  return at;
+}
+
+std::map<SiteId, TimePoint> TopologyRuntime::TraverseTree(
+    SiteId from, const std::set<SiteId>& dests, TimePoint enter,
+    std::size_t wire_bytes, Rng& rng) {
+  std::map<SiteId, TimePoint> out;
+  if (dests.empty()) return out;
+  // Union of the per-destination shortest paths; because routes form a
+  // shortest-path tree, collecting each destination's hop sequence in
+  // ascending site order yields every link after its upstream link.
+  std::vector<std::size_t> tree_links;
+  std::set<std::size_t> seen;
+  bool unroutable = false;
+  for (SiteId dst : dests) {
+    if (dst == from) continue;
+    std::vector<std::size_t> path;
+    SiteId cur = from;
+    while (cur != dst) {
+      const std::size_t hop = next_hop_[cur][dst];
+      if (hop == kNoLink) {
+        path.clear();
+        unroutable = true;
+        break;
+      }
+      path.push_back(hop);
+      cur = links_[hop].to;
+    }
+    for (std::size_t li : path) {
+      if (seen.insert(li).second) tree_links.push_back(li);
+    }
+  }
+  if (unroutable) ctr_unroutable_->Inc();
+  // Cross each link once, in tree order; a drop prunes the subtree
+  // (every site downstream of the lost link misses the packet).
+  std::map<SiteId, TimePoint> fabric_at;
+  fabric_at[from] = enter;
+  for (std::size_t li : tree_links) {
+    DirLink& link = links_[li];
+    auto up_it = fabric_at.find(link.from);
+    if (up_it == fabric_at.end()) continue;  // upstream was dropped
+    auto arrival = CrossLink(link, up_it->second, wire_bytes, rng);
+    if (arrival) fabric_at[link.to] = *arrival;
+  }
+  for (SiteId dst : dests) {
+    auto it = fabric_at.find(dst);
+    if (it != fabric_at.end()) out[dst] = it->second;
+  }
+  return out;
+}
+
+}  // namespace mrp::sim

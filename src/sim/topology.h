@@ -1,0 +1,150 @@
+// WAN topology model: named sites (datacenters) joined by explicit
+// inter-site links that carry their own bandwidth, propagation latency,
+// jitter and loss. A Topology is a plain value describing the geometry;
+// TopologyRuntime is the simulation state SimNetwork drives packets
+// through (per-directed-link serialization queues, seeded loss, drop
+// counters, up/down fault injection and deterministic shortest-path
+// routing).
+//
+// The default Topology is *trivial* (one implicit site, no links) and
+// SimNetwork then keeps the seed model's single-switch fast path
+// bit-identically: no extra RNG draws, no extra counters, no extra
+// delay. See docs/TOPOLOGY.md for the model and its calibration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/rand.h"
+#include "common/types.h"
+
+namespace mrp::sim {
+
+// Identifies a site (datacenter). Site 0 always exists; every node not
+// explicitly placed lives there.
+using SiteId = std::uint32_t;
+
+// One direction of an inter-site link. A Connect() call installs the
+// same spec in both directions; asymmetric links use ConnectOneWay().
+struct LinkSpec {
+  double bw_bps = 10e9;           // backbone capacity, both directions
+  Duration latency = Millis(10);  // one-way propagation
+  Duration jitter = Duration{0};  // uniform [0, jitter) per packet
+  double loss = 0.0;              // independent per-packet drop probability
+};
+
+// Value-semantics description of the site graph. Built by the caller,
+// copied into NetConfig; SimNetwork instantiates the runtime from it.
+class Topology {
+ public:
+  struct Link {
+    SiteId from = 0;
+    SiteId to = 0;
+    LinkSpec spec;
+  };
+
+  // Adds a site and returns its id (dense, starting at 0).
+  SiteId AddSite(std::string name);
+
+  // Bidirectional link: one directed link per direction, same spec.
+  void Connect(SiteId a, SiteId b, const LinkSpec& spec);
+  // Single directed link (asymmetric paths, e.g. satellite backhaul).
+  void ConnectOneWay(SiteId from, SiteId to, const LinkSpec& spec);
+
+  // Full mesh over `names` with a uniform link spec; returns the ready
+  // topology (sites get ids 0..n-1 in argument order).
+  static Topology FullMesh(const std::vector<std::string>& names,
+                           const LinkSpec& spec);
+  // Chain: names[i] <-> names[i+1]; multi-hop paths exercise routing.
+  static Topology Chain(const std::vector<std::string>& names,
+                        const LinkSpec& spec);
+
+  // A topology with at most one site and no links: SimNetwork keeps the
+  // legacy single-switch model (the paper's 1 GbE LAN) untouched.
+  bool trivial() const { return sites_.empty() && links_.empty(); }
+
+  std::size_t site_count() const { return sites_.empty() ? 1 : sites_.size(); }
+  const std::string& site_name(SiteId s) const { return sites_.at(s); }
+  const std::vector<Link>& links() const { return links_; }
+
+ private:
+  std::vector<std::string> sites_;
+  std::vector<Link> links_;
+};
+
+// Simulation state for a non-trivial topology. Owned by SimNetwork;
+// all methods are deterministic given the caller's Rng stream.
+class TopologyRuntime {
+ public:
+  // `default_loss` is NetConfig::loss_probability acting as the legacy
+  // shorthand: links whose spec leaves loss at 0 inherit it.
+  TopologyRuntime(Topology topo, MetricsRegistry& reg, double default_loss);
+
+  std::size_t site_count() const { return topo_.site_count(); }
+  const Topology& topology() const { return topo_; }
+
+  // Fault injection: drops every packet offered to the a->b and b->a
+  // directed links while down, and recomputes routes so redundant
+  // topologies fail over to alternative paths deterministically.
+  void SetLinkUp(SiteId a, SiteId b, bool up);
+  bool LinkUp(SiteId a, SiteId b) const;
+
+  // Carries one packet from site `from` to site `to`, entering the
+  // source site's fabric at `enter`. Charges serialization on every
+  // crossed link's queue and returns the arrival time at the
+  // destination site's fabric; nullopt if the packet was dropped (link
+  // loss, link down, or no route).
+  std::optional<TimePoint> Traverse(SiteId from, SiteId to, TimePoint enter,
+                                    std::size_t wire_bytes, Rng& rng);
+
+  // Multicast fan-out: carries one packet along the shortest-path tree
+  // towards every destination site, charging each crossed link ONCE
+  // (the replication point is the far switch, as with ip-multicast over
+  // a WAN tunnel). Returns the fabric arrival time per reachable
+  // destination; unreachable / dropped subtrees are absent.
+  std::map<SiteId, TimePoint> TraverseTree(SiteId from,
+                                           const std::set<SiteId>& dests,
+                                           TimePoint enter,
+                                           std::size_t wire_bytes, Rng& rng);
+
+  // Aggregate drop diagnostics (also exported per link in the metrics
+  // registry as net.link.<a>-><b>.*).
+  std::uint64_t total_drops() const { return total_drops_; }
+
+ private:
+  static constexpr std::size_t kNoLink = static_cast<std::size_t>(-1);
+
+  struct DirLink {
+    SiteId from = 0;
+    SiteId to = 0;
+    LinkSpec spec;
+    bool up = true;
+    TimePoint free_at{0};  // egress serialization queue
+    Counter* tx_pkts = nullptr;
+    Counter* tx_bytes = nullptr;
+    Counter* dropped_loss = nullptr;
+    Counter* dropped_down = nullptr;
+    Gauge* up_gauge = nullptr;
+  };
+
+  // Crosses one directed link; returns arrival at link.to's fabric or
+  // nullopt on drop. Charges the serialization queue and counters.
+  std::optional<TimePoint> CrossLink(DirLink& link, TimePoint enter,
+                                     std::size_t wire_bytes, Rng& rng);
+  void RecomputeRoutes();
+  std::size_t FindLink(SiteId from, SiteId to) const;
+
+  Topology topo_;
+  std::vector<DirLink> links_;
+  // next_hop_[src][dst] = index into links_ of the first hop, or kNoLink.
+  std::vector<std::vector<std::size_t>> next_hop_;
+  Counter* ctr_unroutable_ = nullptr;
+  std::uint64_t total_drops_ = 0;
+};
+
+}  // namespace mrp::sim

@@ -9,6 +9,10 @@
 // Flags:
 //   --seed <u64>         simulator seed (default 1)
 //   --rings <n>          number of rings (default 4)
+//   --sites <n>          WAN sites in a full mesh (default 1 = trivial
+//                        single-switch topology); rings are pinned to
+//                        sites round-robin, so the probe also covers the
+//                        topology layer's routing/queueing/loss draws
 //   --run-ms <n>         sim time to run, in milliseconds (default 500)
 //   --perturb-heap <u64> allocate a salted pattern of decoy blocks before
 //                        building the deployment, so every node lands at
@@ -79,6 +83,7 @@ int main(int argc, char** argv) {
   }
   const std::uint64_t seed = FlagU64(argc, argv, "--seed", 1);
   const int rings = static_cast<int>(FlagU64(argc, argv, "--rings", 4));
+  const int sites = static_cast<int>(FlagU64(argc, argv, "--sites", 1));
   const auto run_ms =
       static_cast<std::int64_t>(FlagU64(argc, argv, "--run-ms", 500));
 
@@ -94,6 +99,17 @@ int main(int argc, char** argv) {
   opts.n_rings = rings;
   opts.ring_size = 2;
   opts.net.seed = seed;
+  if (sites > 1) {
+    std::vector<std::string> names;
+    for (int s = 0; s < sites; ++s) names.push_back("s" + std::to_string(s));
+    mrp::sim::LinkSpec link;
+    link.latency = mrp::Millis(10);
+    link.jitter = mrp::Micros(100);
+    opts.net.topology = mrp::sim::Topology::FullMesh(names, link);
+    for (int r = 0; r < rings; ++r) {
+      opts.ring_sites.push_back(static_cast<mrp::sim::SiteId>(r % sites));
+    }
+  }
   mrp::multiring::SimDeployment d(opts);
 
   // One merge learner over all rings plus a single-ring learner, so both

@@ -28,11 +28,11 @@ def first_diff(path_a, path_b):
     return "files differ in length"
 
 
-def run_probe(probe, out_base, seed, rings, run_ms, perturb):
+def run_probe(probe, out_base, seed, rings, run_ms, sites, perturb):
     trace = out_base + ".trace.jsonl"
     metrics = out_base + ".metrics.json"
     cmd = [probe, "--seed", str(seed), "--rings", str(rings),
-           "--run-ms", str(run_ms),
+           "--run-ms", str(run_ms), "--sites", str(sites),
            "--out-trace", trace, "--out-metrics", metrics]
     env = dict(os.environ)
     if perturb:
@@ -56,6 +56,9 @@ def main():
     ap.add_argument("--seeds", default="1,42")
     ap.add_argument("--rings", type=int, default=4)
     ap.add_argument("--run-ms", type=int, default=500)
+    # >1 deploys the rings across a WAN full mesh (sim/topology.h), so
+    # the gate also covers the topology layer's routing and RNG draws.
+    ap.add_argument("--sites", type=int, default=1)
     args = ap.parse_args()
 
     os.makedirs(args.workdir, exist_ok=True)
@@ -63,10 +66,10 @@ def main():
     for seed in [int(s) for s in args.seeds.split(",")]:
         base = os.path.join(args.workdir, f"seed{seed}")
         ref = run_probe(args.probe, base + ".a", seed, args.rings,
-                        args.run_ms, perturb=False)
+                        args.run_ms, args.sites, perturb=False)
         for tag, perturb in (("rerun", False), ("perturbed", True)):
             got = run_probe(args.probe, f"{base}.{tag}", seed, args.rings,
-                            args.run_ms, perturb=perturb)
+                            args.run_ms, args.sites, perturb=perturb)
             for kind, a, b in (("trace", ref[0], got[0]),
                                ("metrics", ref[1], got[1])):
                 if not filecmp.cmp(a, b, shallow=False):
