@@ -9,6 +9,9 @@
 #                                 CI always has them)
 #   scripts/check.sh --format     clang-format check, only on files this
 #                                 branch touches relative to origin/main
+#   scripts/check.sh --fuzz       chaos-fuzz sweep (docs/CHECKING.md):
+#                                 FUZZ_SEEDS seeds (default 25) under the
+#                                 majority budget + the replay self-check
 # Each mode uses its own build directory so they never poison each other.
 set -euo pipefail
 
@@ -20,9 +23,10 @@ case "${1:-}" in
   --werror) mode=werror ;;
   --lint) mode=lint ;;
   --format) mode=format ;;
+  --fuzz) mode=fuzz ;;
   "") ;;
   *)
-    echo "usage: $0 [--sanitize|--werror|--lint|--format]" >&2
+    echo "usage: $0 [--sanitize|--werror|--lint|--format|--fuzz]" >&2
     exit 2
     ;;
 esac
@@ -93,6 +97,15 @@ case "$mode" in
     else
       clang-format --dry-run -Werror "${changed[@]}"
     fi
+    ;;
+  fuzz)
+    cmake -B build -S .
+    cmake --build build -j "$jobs" --target mrp_fuzz
+    artifacts="${FUZZ_ARTIFACT_DIR:-build/fuzz-artifacts}"
+    mkdir -p "$artifacts"
+    ./build/tools/fuzz/mrp_fuzz --self-check --artifact-dir "$artifacts"
+    ./build/tools/fuzz/mrp_fuzz --seeds "${FUZZ_SEEDS:-25}" \
+      --start-seed "${FUZZ_START_SEED:-0}" --artifact-dir "$artifacts"
     ;;
 esac
 

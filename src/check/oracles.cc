@@ -1,0 +1,238 @@
+#include "check/oracles.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mrp::check {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+constexpr std::size_t kMaxViolations = 64;  // keep reports bounded
+
+std::string KeyStr(GroupId g, NodeId p, std::uint64_t seq) {
+  return "g" + std::to_string(g) + "/p" + std::to_string(p) + "/s" +
+         std::to_string(seq);
+}
+}  // namespace
+
+OracleSuite::OracleSuite(MetricsRegistry* metrics) : metrics_(metrics) {
+  if (metrics_ != nullptr) {
+    ctr_violations_ = &metrics_->counter("check.oracle.violations");
+  }
+}
+
+int OracleSuite::RegisterLearner(std::string name, std::vector<GroupId> groups) {
+  LearnerState st;
+  st.name = std::move(name);
+  st.groups.insert(groups.begin(), groups.end());
+  learners_.push_back(std::move(st));
+  return static_cast<int>(learners_.size()) - 1;
+}
+
+int OracleSuite::RegisterReplica(std::string name, GroupId partition) {
+  ReplicaState st;
+  st.name = std::move(name);
+  st.partition = partition;
+  replicas_.push_back(std::move(st));
+  return static_cast<int>(replicas_.size()) - 1;
+}
+
+void OracleSuite::Fold(std::uint64_t v) {
+  // FNV-1a over the 8 bytes of v, little-endian.
+  for (int i = 0; i < 8; ++i) {
+    digest_ ^= (v >> (8 * i)) & 0xff;
+    digest_ *= kFnvPrime;
+  }
+}
+
+void OracleSuite::AddViolation(const std::string& oracle, std::string detail) {
+  if (ctr_violations_ != nullptr) ctr_violations_->Inc();
+  if (violations_.size() < kMaxViolations) {
+    violations_.push_back(Violation{oracle, std::move(detail)});
+  }
+}
+
+std::uint64_t OracleSuite::ValueDigest(const paxos::Value& value) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto fold = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= kFnvPrime;
+    }
+  };
+  fold(static_cast<std::uint64_t>(value.kind));
+  fold(value.skip_count);
+  for (const auto& m : value.msgs) {
+    fold(m.group);
+    fold(m.proposer);
+    fold(m.seq);
+    fold(m.payload_size);
+  }
+  return h;
+}
+
+void OracleSuite::OnPropose(const paxos::ClientMsg& msg) {
+  any_proposes_ = true;
+  proposed_.insert(MsgKey{msg.group, msg.proposer, msg.seq});
+  Fold(0x01);
+  Fold(msg.group);
+  Fold(msg.proposer);
+  Fold(msg.seq);
+}
+
+void OracleSuite::OnDecide(int learner, RingId ring, InstanceId instance,
+                           const paxos::Value& value) {
+  ++decides_;
+  const std::uint64_t vd = ValueDigest(value);
+  Fold(0x02);
+  Fold(static_cast<std::uint64_t>(learner));
+  Fold(ring);
+  Fold(instance);
+  Fold(vd);
+
+  // Agreement: every learner that decides (ring, instance) decides the
+  // same value.
+  auto [it, inserted] =
+      decided_.try_emplace(std::make_pair(ring, instance), vd, learner);
+  if (!inserted && it->second.first != vd) {
+    AddViolation("agreement",
+                 "ring " + std::to_string(ring) + " instance " +
+                     std::to_string(instance) + ": learner " +
+                     learners_[static_cast<std::size_t>(learner)].name +
+                     " decided a different value than learner " +
+                     learners_[static_cast<std::size_t>(it->second.second)].name);
+  }
+
+  // Skip instances carry no client messages.
+  if (value.is_skip() && !value.msgs.empty()) {
+    AddViolation("skip_delivery",
+                 "ring " + std::to_string(ring) + " instance " +
+                     std::to_string(instance) + ": skip with " +
+                     std::to_string(value.msgs.size()) + " messages");
+  }
+}
+
+void OracleSuite::OnDeliver(int learner, GroupId group,
+                            const paxos::ClientMsg& msg) {
+  ++deliveries_;
+  Fold(0x03);
+  Fold(static_cast<std::uint64_t>(learner));
+  Fold(group);
+  Fold(msg.proposer);
+  Fold(msg.seq);
+  const MsgKey key{msg.group, msg.proposer, msg.seq};
+  learners_[static_cast<std::size_t>(learner)].delivered.push_back(key);
+
+  // Integrity: a delivered message was proposed. Only meaningful when
+  // every proposer in the deployment is tapped (any_proposes_ guards the
+  // empty-registration case in unit tests).
+  if (any_proposes_ && proposed_.find(key) == proposed_.end()) {
+    AddViolation("integrity",
+                 "learner " +
+                     learners_[static_cast<std::size_t>(learner)].name +
+                     " delivered unproposed " +
+                     KeyStr(msg.group, msg.proposer, msg.seq));
+  }
+}
+
+void OracleSuite::OnSmrApply(int replica, const smr::Command& cmd) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto fold = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= kFnvPrime;
+    }
+  };
+  fold(static_cast<std::uint64_t>(cmd.op));
+  fold(cmd.key);
+  fold(cmd.kmin);
+  fold(cmd.kmax);
+  fold(cmd.req_id);
+  fold(cmd.client);
+  replicas_[static_cast<std::size_t>(replica)].applied.push_back(h);
+  Fold(0x04);
+  Fold(static_cast<std::uint64_t>(replica));
+  Fold(h);
+}
+
+void OracleSuite::Finish() {
+  if (finished_) return;
+  finished_ = true;
+
+  // Merge order: for every learner pair, messages of shared groups that
+  // BOTH delivered must appear in the same relative order. Delivery logs
+  // are deduped first — re-proposals across coordinator epochs can
+  // legitimately decide one message in two instances, and the paper's
+  // uniform total order is over first deliveries.
+  std::vector<std::vector<MsgKey>> deduped(learners_.size());
+  for (std::size_t i = 0; i < learners_.size(); ++i) {
+    std::set<MsgKey> seen;
+    for (const auto& k : learners_[i].delivered) {
+      if (seen.insert(k).second) deduped[i].push_back(k);
+    }
+  }
+  for (std::size_t a = 0; a < learners_.size(); ++a) {
+    for (std::size_t b = a + 1; b < learners_.size(); ++b) {
+      std::vector<GroupId> shared;
+      std::set_intersection(learners_[a].groups.begin(),
+                            learners_[a].groups.end(),
+                            learners_[b].groups.begin(),
+                            learners_[b].groups.end(),
+                            std::back_inserter(shared));
+      if (shared.empty()) continue;
+      std::map<MsgKey, std::size_t> pos;
+      for (std::size_t i = 0; i < deduped[a].size(); ++i) {
+        pos.emplace(deduped[a][i], i);
+      }
+      bool first = true;
+      std::size_t last = 0;
+      for (const auto& k : deduped[b]) {
+        auto it = pos.find(k);
+        if (it == pos.end()) continue;  // not (yet) delivered by a: safe
+        if (!first && it->second < last) {
+          AddViolation(
+              "merge_order",
+              "learners " + learners_[a].name + " and " + learners_[b].name +
+                  " deliver " + KeyStr(std::get<0>(k), std::get<1>(k),
+                                       std::get<2>(k)) +
+                  " in divergent relative order");
+          break;
+        }
+        first = false;
+        last = it->second;
+      }
+    }
+  }
+
+  // SMR prefix consistency: replicas of one partition executed prefixes
+  // of one apply order.
+  for (std::size_t a = 0; a < replicas_.size(); ++a) {
+    for (std::size_t b = a + 1; b < replicas_.size(); ++b) {
+      if (replicas_[a].partition != replicas_[b].partition) continue;
+      const auto& la = replicas_[a].applied;
+      const auto& lb = replicas_[b].applied;
+      const std::size_t n = std::min(la.size(), lb.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        if (la[i] != lb[i]) {
+          AddViolation("smr_prefix",
+                       "partition " + std::to_string(replicas_[a].partition) +
+                           " replicas " + replicas_[a].name + " and " +
+                           replicas_[b].name + " diverge at apply index " +
+                           std::to_string(i));
+          break;
+        }
+      }
+    }
+  }
+}
+
+std::string OracleSuite::Report() const {
+  if (violations_.empty()) return "all oracles passed";
+  std::string out;
+  for (const auto& v : violations_) {
+    out += "[" + v.oracle + "] " + v.detail + "\n";
+  }
+  return out;
+}
+
+}  // namespace mrp::check

@@ -102,9 +102,11 @@ class ByteReader {
     return std::nullopt;
   }
 
+  // Length checks are in subtraction form: a huge attacker-chosen varint
+  // length must not wrap `pos_ + *n` around and slip past the bound.
   std::optional<Bytes> bytes() {
     auto n = varint();
-    if (!n || pos_ + *n > data_.size()) return std::nullopt;
+    if (!n || *n > data_.size() - pos_) return std::nullopt;
     Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
               data_.begin() + static_cast<std::ptrdiff_t>(pos_ + *n));
     pos_ += *n;
@@ -112,7 +114,7 @@ class ByteReader {
   }
   std::optional<std::string> str() {
     auto n = varint();
-    if (!n || pos_ + *n > data_.size()) return std::nullopt;
+    if (!n || *n > data_.size() - pos_) return std::nullopt;
     std::string out(reinterpret_cast<const char*>(data_.data() + pos_), *n);
     pos_ += *n;
     return out;

@@ -211,6 +211,9 @@ void MergeLearner::PumpMerge(Env& env) {
         continue;
       }
       auto ready = g.source->Pop();
+      if (ready && opts_.on_decide) {
+        opts_.on_decide(g.source->ack_ring(), ready->instance, ready->value);
+      }
       if (!ready) {
         // Blocked: wait for this group's next instance. Mid-turn blocks
         // are merge stalls — the current group lags the others.

@@ -91,6 +91,10 @@ class MergeLearner final : public Protocol {
     Duration latency_compensation{0};
     Duration tick_interval = Millis(10);
     DeliverFn on_deliver;  // optional
+    // Oracle tap (src/check): fired for every instance consumed by the
+    // merge, skips included, before subscription filtering or latency
+    // compensation. The RingId is the source's ack ring. Optional.
+    std::function<void(RingId, InstanceId, const paxos::Value&)> on_decide;
   };
 
   explicit MergeLearner(Options opts);

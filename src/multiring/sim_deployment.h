@@ -76,6 +76,17 @@ class SimDeployment {
     return ring_nodes_[i][0]->protocol_as<ringpaxos::RingNode>();
   }
   sim::SimNode* acceptor_node(int ring, int idx) { return ring_nodes_[ring][idx]; }
+  // Simulated disk of ring r's universe member idx (ring members first,
+  // then spares); nullptr when the deployment runs in-memory. Used by
+  // the chaos fuzzer's disk-stall fault injection.
+  sim::SimDiskStorage* disk_storage(int r, int idx) {
+    if (!opts_.disk) return nullptr;
+    const auto universe =
+        static_cast<std::size_t>(opts_.ring_size + opts_.n_spares);
+    return disks_[static_cast<std::size_t>(r) * universe +
+                  static_cast<std::size_t>(idx)]
+        .get();
+  }
   const std::vector<sim::SimNode*>& ring_universe(int i) { return ring_nodes_[i]; }
   // Site ring r's acceptors were placed in.
   sim::SiteId ring_site(int r) const {

@@ -14,6 +14,16 @@ using paxos::ClientMsg;
 using paxos::Value;
 using namespace ringpaxos;  // NOLINT: the codec is about this message set
 
+// Bounds a length-prefixed collection's reserve() by what the remaining
+// frame bytes could possibly encode, so a short hostile frame declaring a
+// huge element count cannot force a large allocation up front. The decode
+// loop still fails fast on the first truncated element.
+std::size_t ClampReserve(std::uint64_t count, std::size_t remaining,
+                         std::size_t min_element_bytes) {
+  const std::uint64_t cap = remaining / min_element_bytes + 1;
+  return static_cast<std::size_t>(count < cap ? count : cap);
+}
+
 enum class Tag : std::uint8_t {
   kSubmit = 1,
   kSubmitAck = 2,
@@ -59,6 +69,9 @@ std::optional<ClientMsg> GetClientMsg(ByteReader& r) {
   auto psize = r.u32();
   auto payload = r.bytes();
   if (!group || !proposer || !seq || !sent || !psize || !payload) return std::nullopt;
+  // Invariant from paxos::ClientMsg: payload is either elided (accounting
+  // only) or its length matches payload_size exactly.
+  if (!payload->empty() && payload->size() != *psize) return std::nullopt;
   m.group = *group;
   m.proposer = *proposer;
   m.seq = *seq;
@@ -81,9 +94,11 @@ std::optional<Value> GetValue(ByteReader& r) {
   auto skip = r.u64();
   auto count = r.varint();
   if (!kind || !skip || !count || *count > 1'000'000) return std::nullopt;
+  if (*kind > static_cast<std::uint8_t>(Value::Kind::kSkip)) return std::nullopt;
   v.kind = static_cast<Value::Kind>(*kind);
   v.skip_count = *skip;
-  v.msgs.reserve(*count);
+  // A serialized ClientMsg is at least 29 bytes (4+4+8+8+4 fixed + 1 varint).
+  v.msgs.reserve(ClampReserve(*count, r.remaining(), 29));
   for (std::uint64_t i = 0; i < *count; ++i) {
     auto m = GetClientMsg(r);
     if (!m) return std::nullopt;
@@ -104,7 +119,7 @@ std::optional<std::vector<Decided>> GetDecided(ByteReader& r) {
   auto n = r.varint();
   if (!n || *n > 1'000'000) return std::nullopt;
   std::vector<Decided> out;
-  out.reserve(*n);
+  out.reserve(ClampReserve(*n, r.remaining(), 16));
   for (std::uint64_t i = 0; i < *n; ++i) {
     auto inst = r.u64();
     auto vid = r.u64();
@@ -123,7 +138,7 @@ std::optional<std::vector<NodeId>> GetNodeList(ByteReader& r) {
   auto n = r.varint();
   if (!n || *n > 10'000) return std::nullopt;
   std::vector<NodeId> out;
-  out.reserve(*n);
+  out.reserve(ClampReserve(*n, r.remaining(), 4));
   for (std::uint64_t i = 0; i < *n; ++i) {
     auto id = r.u32();
     if (!id) return std::nullopt;
@@ -334,7 +349,7 @@ MessagePtr DecodeMessage(std::span<const std::uint8_t> frame) {
       auto n = r.varint();
       if (!ring || !round || !n || *n > 1'000'000) return nullptr;
       std::vector<P1B::Entry> entries;
-      entries.reserve(*n);
+      entries.reserve(ClampReserve(*n, r.remaining(), 22));
       for (std::uint64_t i = 0; i < *n; ++i) {
         auto inst = r.u64();
         auto vrnd = r.u32();
@@ -370,7 +385,7 @@ MessagePtr DecodeMessage(std::span<const std::uint8_t> frame) {
       auto n = r.varint();
       if (!ring || !n || *n > 1'000'000) return nullptr;
       std::vector<LearnRep::Entry> entries;
-      entries.reserve(*n);
+      entries.reserve(ClampReserve(*n, r.remaining(), 26));
       for (std::uint64_t i = 0; i < *n; ++i) {
         auto inst = r.u64();
         auto vid = r.u64();
@@ -406,7 +421,7 @@ MessagePtr DecodeMessage(std::span<const std::uint8_t> frame) {
       auto n = r.varint();
       if (!part || !applied || !n || *n > 10'000'000) return nullptr;
       std::vector<std::pair<smr::Key, std::string>> rows;
-      rows.reserve(*n);
+      rows.reserve(ClampReserve(*n, r.remaining(), 9));
       for (std::uint64_t i = 0; i < *n; ++i) {
         auto k = r.u64();
         auto v = r.str();
@@ -474,7 +489,7 @@ MessagePtr DecodeMessage(std::span<const std::uint8_t> frame) {
       auto n = r.varint();
       if (!req || !part || !ok || !n || *n > 1'000'000) return nullptr;
       std::vector<std::pair<smr::Key, std::string>> rows;
-      rows.reserve(*n);
+      rows.reserve(ClampReserve(*n, r.remaining(), 9));
       for (std::uint64_t i = 0; i < *n; ++i) {
         auto k = r.u64();
         auto v = r.str();

@@ -24,6 +24,14 @@ void LearnerCore::EnsureCounters(Env& env) {
   ctr_recovery_rounds_ = &reg.counter(prefix + "recovery_rounds");
   ctr_recovery_reqs_ = &reg.counter(prefix + "recovery_reqs");
   ctr_fast_forwarded_ = &reg.counter(prefix + "fast_forwarded");
+  gauge_cache_entries_ = &reg.gauge(prefix + "cache.entries");
+  gauge_cache_bytes_ = &reg.gauge(prefix + "cache.bytes");
+}
+
+void LearnerCore::SyncCacheGauges() {
+  if (gauge_cache_entries_ == nullptr) return;
+  gauge_cache_entries_->Set(static_cast<std::int64_t>(cache_.size()));
+  gauge_cache_bytes_->Set(static_cast<std::int64_t>(cache_bytes_));
 }
 
 bool LearnerCore::OnRingMessage(Env& env, const MessagePtr& m) {
@@ -49,19 +57,25 @@ bool LearnerCore::OnRingMessage(Env& env, const MessagePtr& m) {
       } else {
         auto [it, inserted] = cache_.try_emplace(p2a->instance);
         if (inserted || p2a->round >= it->second.round) {
-          if (!inserted) buffered_msgs_ -= MsgsIn(it->second.value);
+          if (!inserted) {
+            buffered_msgs_ -= MsgsIn(it->second.value);
+            cache_bytes_ -= BytesIn(it->second.value);
+          }
           it->second = Cached{p2a->round, p2a->vid, p2a->value};
           buffered_msgs_ += MsgsIn(p2a->value);
+          cache_bytes_ += BytesIn(p2a->value);
         }
       }
     }
     for (const auto& d : p2a->decided) PlaceDecision(d.instance, d.vid);
     TrimCache();
+    SyncCacheGauges();
     return true;
   }
   if (const auto* dec = Cast<DecisionMsg>(m)) {
     for (const auto& d : dec->decided) PlaceDecision(d.instance, d.vid);
     TrimCache();
+    SyncCacheGauges();
     return true;
   }
   if (const auto* rep = Cast<LearnRep>(m)) {
@@ -84,9 +98,11 @@ bool LearnerCore::OnRingMessage(Env& env, const MessagePtr& m) {
       auto cit = cache_.find(e.instance);
       if (cit != cache_.end()) {
         buffered_msgs_ -= MsgsIn(cit->second.value);
+        cache_bytes_ -= BytesIn(cit->second.value);
         cache_.erase(cit);
       }
     }
+    SyncCacheGauges();
     return true;
   }
   if (const auto* hb = Cast<Heartbeat>(m)) {
@@ -127,6 +143,7 @@ void LearnerCore::PlaceDecision(InstanceId instance, ValueId vid) {
   cell.vid = vid;
   auto it = cache_.find(instance);
   if (it != cache_.end()) {
+    cache_bytes_ -= BytesIn(it->second.value);
     if (it->second.vid == vid || it->second.round >= VidRound(vid)) {
       // Exact proposal, or a later-round re-proposal whose value Phase 1
       // forced to equal the decision's.
@@ -151,6 +168,7 @@ void LearnerCore::TrimCache() {
   // Drop cached proposals for instances the window has already passed.
   while (!cache_.empty() && cache_.begin()->first < window_.next()) {
     buffered_msgs_ -= MsgsIn(cache_.begin()->second.value);
+    cache_bytes_ -= BytesIn(cache_.begin()->second.value);
     cache_.erase(cache_.begin());
   }
 }
@@ -158,6 +176,7 @@ void LearnerCore::TrimCache() {
 void LearnerCore::Tick(Env& env) {
   EnsureCounters(env);
   TrimCache();
+  SyncCacheGauges();
   const bool stuck = window_.next() == last_next_ &&
                      (window_.buffered() > 0 || !cache_.empty());
   last_next_ = window_.next();
@@ -221,6 +240,9 @@ void RingLearner::OnMessage(Env& env, NodeId /*from*/, const MessagePtr& m) {
 
 void RingLearner::Drain(Env& env) {
   while (auto ready = core_.Pop()) {
+    if (opts_.on_decide) {
+      opts_.on_decide(core_.ring(), ready->instance, ready->value);
+    }
     if (ready->value.is_skip()) {
       skipped_logical_ += ready->value.skip_count;
       if (ctr_skipped_) ctr_skipped_->Inc(ready->value.skip_count);

@@ -35,6 +35,12 @@ struct LearnerOptions {
   // as the paper notes) but are discarded instead of delivered. Empty =
   // deliver every group on the ring.
   std::vector<GroupId> subscribe_only;
+  // Test-only fault injection (chaos fuzzer self-check, docs/CHECKING.md):
+  // the first non-skip instance >= this id popped by THIS core has its
+  // first message's seq corrupted, so this learner's decided stream
+  // diverges from its peers and the agreement oracle must fire. Never
+  // set outside tests. 0 = disabled.
+  InstanceId test_corrupt_instance = 0;
 };
 
 class LearnerCore {
@@ -71,7 +77,15 @@ class LearnerCore {
         }
       }
     }
-    return Ready{instance, std::move(*cell.value)};
+    Ready out{instance, std::move(*cell.value)};
+    if (opts_.test_corrupt_instance != 0 && !test_corrupted_ &&
+        instance >= opts_.test_corrupt_instance && !out.value.is_skip() &&
+        !out.value.msgs.empty()) {
+      // Injected agreement bug (see LearnerOptions::test_corrupt_instance).
+      test_corrupted_ = true;
+      out.value.msgs[0].seq += 1'000'000'000ULL;
+    }
+    return out;
   }
 
   InstanceId next_instance() const { return window_.next(); }
@@ -104,6 +118,12 @@ class LearnerCore {
   void PlaceDecision(InstanceId instance, ValueId vid);
   void TrimCache();
   std::size_t MsgsIn(const paxos::Value& v) const { return v.msgs.size(); }
+  std::size_t BytesIn(const paxos::Value& v) const {
+    std::size_t b = 0;
+    for (const auto& m : v.msgs) b += m.payload_size;
+    return b;
+  }
+  void SyncCacheGauges();
   // LearnerCore has no OnStart (it is embedded in RingLearner and the
   // multi-ring merge learner), so instruments resolve lazily on the
   // first message/tick. Names are ring-qualified because one merge
@@ -115,6 +135,8 @@ class LearnerCore {
   std::map<InstanceId, Cached> cache_;
   NodeId coordinator_hint_ = kNoNode;
   std::size_t buffered_msgs_ = 0;
+  std::size_t cache_bytes_ = 0;  // payload bytes held in cache_
+  bool test_corrupted_ = false;
 
   // Stuck detection for recovery.
   InstanceId last_next_ = 0;
@@ -128,6 +150,8 @@ class LearnerCore {
   Counter* ctr_recovery_rounds_ = nullptr;
   Counter* ctr_recovery_reqs_ = nullptr;
   Counter* ctr_fast_forwarded_ = nullptr;
+  Gauge* gauge_cache_entries_ = nullptr;
+  Gauge* gauge_cache_bytes_ = nullptr;
 };
 
 // Single-group learner: delivers the decided client messages of one ring
@@ -140,6 +164,9 @@ class RingLearner final : public Protocol {
     LearnerOptions learner;
     bool send_delivery_acks = false;
     DeliverFn on_deliver;  // optional
+    // Oracle tap (src/check): fired for every popped instance, skips
+    // included, before delivery filtering. Optional.
+    std::function<void(RingId, InstanceId, const paxos::Value&)> on_decide;
   };
 
   explicit RingLearner(Options opts)

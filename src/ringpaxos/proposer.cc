@@ -80,6 +80,7 @@ void Proposer::SubmitOne(Env& env) {
   if (cfg_.max_outstanding > 0) outstanding_.emplace(msg.seq, msg);
   sent_.Add(1, msg.payload_size);
   if (ctr_submitted_) ctr_submitted_->Inc();
+  if (cfg_.on_submit) cfg_.on_submit(msg);
   if (coordinator_ != kNoNode) {
     env.Send(coordinator_, MakeMessage<Submit>(cfg_.ring, std::move(msg)));
   }

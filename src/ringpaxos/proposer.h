@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -66,6 +67,9 @@ struct ProposerConfig {
   // acknowledgement progress was made for this long (covers lost
   // submissions and submissions that raced a coordinator election).
   Duration retry_timeout = Millis(200);
+  // Oracle tap (src/check): fired once per fresh submission (never for
+  // retransmits), feeding the decision-integrity oracle's proposed set.
+  std::function<void(const paxos::ClientMsg&)> on_submit;
 };
 
 class Proposer final : public Protocol {

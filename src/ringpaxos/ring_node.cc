@@ -154,6 +154,9 @@ void RingNode::OnP2B(Env& env, NodeId /*from*/, const P2B& msg) {
     if (it == outstanding_.end() || it->second.vid != msg.vid) return;
     const std::vector<NodeId>* layout = LayoutFor(round_);
     if (layout == nullptr) return;
+    // A full ring of votes only implies a decision if the ring is itself
+    // a majority of the universe — never decide through a smaller one.
+    if (layout->size() < cfg_.UniverseMajority()) return;
     if (msg.votes + 1 >= layout->size()) {
       it->second.ring_voted = true;
       CheckInstanceDecided(env, msg.instance);
@@ -343,7 +346,11 @@ void RingNode::CheckInstanceDecided(Env& env, InstanceId instance) {
   if (it == outstanding_.end()) return;
   const Outstanding& out = it->second;
   const auto* layout = LayoutFor(round_);
-  const bool ring_ok = out.ring_voted || (layout != nullptr && layout->size() == 1);
+  // The solo fast path (no ring round-trip) is only sound when a
+  // one-member layout is a majority, i.e. a single-node universe.
+  const bool ring_ok =
+      layout != nullptr && layout->size() >= cfg_.UniverseMajority() &&
+      (out.ring_voted || layout->size() == 1);
   if (out.self_durable && ring_ok) InstanceDecided(env, instance);
 }
 
@@ -495,7 +502,8 @@ void RingNode::OnLeaderHeartbeatTimer(Env& env) {
 std::vector<NodeId> RingNode::CurrentLayoutAlive(TimePoint now) const {
   // New layout: self first, then responsive current members, then spares,
   // up to the configured ring size.
-  const std::size_t target = cfg_.ring_members.size();
+  const std::size_t target =
+      std::max(cfg_.ring_members.size(), cfg_.UniverseMajority());
   std::vector<NodeId> layout{self_};
   auto alive = [&](NodeId n) {
     auto it = member_last_ack_.find(n);
@@ -511,6 +519,20 @@ std::vector<NodeId> RingNode::CurrentLayoutAlive(TimePoint now) const {
   for (NodeId n : cfg_.Universe()) {
     if (layout.size() >= target) break;
     if (std::find(layout.begin(), layout.end(), n) == layout.end() && alive(n)) {
+      layout.push_back(n);
+    }
+  }
+  // Safety over liveness: the layout must contain a majority of the
+  // universe or decisions stop reaching a quorum that intersects Phase 1
+  // (config.h invariant). When too many members look dead, pad with
+  // suspected ones — a genuinely dead layout member stalls this round
+  // until the next reconfiguration, whereas a sub-majority layout once
+  // let a leader decide instances all by itself and a later coordinator
+  // chose different values for them (found by mrp_fuzz, seed 2 under
+  // --budget anything).
+  for (NodeId n : cfg_.Universe()) {
+    if (layout.size() >= cfg_.UniverseMajority()) break;
+    if (std::find(layout.begin(), layout.end(), n) == layout.end()) {
       layout.push_back(n);
     }
   }

@@ -108,6 +108,8 @@ std::size_t FileStorage::Load() {
     if (!DecodeRecord(r, instance, rec)) break;  // truncated tail
     records_[instance] = std::move(rec);
     ++loaded;
+    ++appends_in_log_;
+    bytes_in_log_ += sizeof size + size;
   }
   std::fclose(in);
   return loaded;
@@ -120,6 +122,8 @@ void FileStorage::Append(InstanceId instance, const paxos::AcceptorRecord& rec) 
   std::fwrite(&size, sizeof size, 1, file_);
   std::fwrite(payload.data(), 1, payload.size(), file_);
   bytes_written_ += sizeof size + payload.size();
+  bytes_in_log_ += sizeof size + payload.size();
+  ++appends_in_log_;
 }
 
 void FileStorage::Put(InstanceId instance, paxos::AcceptorRecord record,
@@ -157,6 +161,7 @@ bool FileStorage::Compact() {
   const std::string tmp = path_ + ".compact";
   std::FILE* out = std::fopen(tmp.c_str(), "wb");
   if (out == nullptr) return false;
+  std::uint64_t new_bytes = 0;
   for (const auto& [instance, rec] : records_) {
     const Bytes payload = EncodeRecord(instance, rec);
     const auto size = static_cast<std::uint32_t>(payload.size());
@@ -166,6 +171,7 @@ bool FileStorage::Compact() {
       std::remove(tmp.c_str());
       return false;
     }
+    new_bytes += sizeof size + payload.size();
   }
   if (std::fflush(out) != 0) {
     std::fclose(out);
@@ -182,7 +188,16 @@ bool FileStorage::Compact() {
   }
   file_ = std::fopen(path_.c_str(), "ab+");
   ++compactions_;
+  // The rewritten log holds exactly the live records, zero garbage.
+  appends_in_log_ = records_.size();
+  bytes_in_log_ = new_bytes;
   return file_ != nullptr;
+}
+
+bool FileStorage::MaybeCompact(std::uint64_t min_bytes) {
+  if (bytes_in_log_ < min_bytes) return false;
+  if (appends_in_log_ <= 2 * records_.size()) return false;
+  return Compact();
 }
 
 }  // namespace mrp::runtime

@@ -45,6 +45,13 @@ class FileStorage final : public paxos::Storage {
   // when the file outgrew the live state; atomic via rename).
   bool Compact();
 
+  // Compaction policy: rewrite once at least `min_bytes` were appended
+  // since the last compaction AND more than half of the appended records
+  // are garbage (superseded by re-Puts or erased by Trim). Returns true
+  // if a compaction ran. NodeRuntime::EnableLogCompaction calls this on
+  // a timer; tests and tools may call it directly.
+  bool MaybeCompact(std::uint64_t min_bytes = 1 << 20);
+
   std::uint64_t bytes_written() const { return bytes_written_; }
   std::uint64_t compactions() const { return compactions_; }
 
@@ -56,6 +63,10 @@ class FileStorage final : public paxos::Storage {
   std::map<InstanceId, paxos::AcceptorRecord> records_;
   std::uint64_t bytes_written_ = 0;
   std::uint64_t compactions_ = 0;
+  // Appends landed in the current log file (resets on Compact): the
+  // garbage fraction is appends_in_log_ vs live records_.size().
+  std::uint64_t appends_in_log_ = 0;
+  std::uint64_t bytes_in_log_ = 0;
 };
 
 }  // namespace mrp::runtime

@@ -3,7 +3,29 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "runtime/file_storage.h"
+
 namespace mrp::runtime {
+
+namespace {
+
+// Self-rearming compaction tick; lives on the loop via the captured Env.
+void CompactionTick(NodeRuntime& node, FileStorage& storage, Duration interval,
+                    std::uint64_t min_bytes) {
+  node.SetTimer(interval, [&node, &storage, interval, min_bytes] {
+    storage.MaybeCompact(min_bytes);
+    CompactionTick(node, storage, interval, min_bytes);
+  });
+}
+
+}  // namespace
+
+void NodeRuntime::EnableLogCompaction(FileStorage& storage, Duration interval,
+                                      std::uint64_t min_bytes) {
+  loop_.Post([this, &storage, interval, min_bytes] {
+    CompactionTick(*this, storage, interval, min_bytes);
+  });
+}
 
 void NodeRuntime::RunOnLoop(std::function<void()> fn) {
   if (loop_.on_loop_thread()) {

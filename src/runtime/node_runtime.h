@@ -16,6 +16,8 @@
 
 namespace mrp::runtime {
 
+class FileStorage;
+
 class NodeRuntime final : public Env {
  public:
   NodeRuntime(NodeId self, std::unique_ptr<Protocol> protocol, Transport& transport)
@@ -57,6 +59,12 @@ class NodeRuntime final : public Env {
 
   // Runs `fn` on the node's loop thread and waits for completion.
   void RunOnLoop(std::function<void()> fn);
+
+  // Periodically runs FileStorage::MaybeCompact(min_bytes) on the node's
+  // loop thread (where all storage access happens), every `interval`.
+  // `storage` must outlive the runtime. Call before or after Start().
+  void EnableLogCompaction(FileStorage& storage, Duration interval,
+                           std::uint64_t min_bytes = 1 << 20);
 
  private:
   NodeId self_;

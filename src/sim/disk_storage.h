@@ -55,6 +55,12 @@ class SimDiskStorage final : public paxos::Storage {
 
   std::uint64_t total_bytes_written() const { return total_bytes_; }
 
+  // Fault injection: no write issued before `until` completes earlier
+  // than it (a stalled controller). Queued writes push out behind it.
+  void StallUntil(TimePoint until) {
+    disk_free_at_ = std::max(disk_free_at_, until);
+  }
+
  private:
   SimNode& node_;
   std::map<InstanceId, paxos::AcceptorRecord> records_;

@@ -172,6 +172,13 @@ class SimNetwork {
   bool LinkUp(SiteId a, SiteId b) const;
   TopologyRuntime* topology_runtime() { return topo_.get(); }
 
+  // ---- Network-wide fault injection ----
+  // Adjusts the independent per-receiver drop probability at runtime
+  // (message-loss bursts in fault plans). Applies to every delivery leg;
+  // per-link topology loss configured at construction is unaffected.
+  void SetLossProbability(double p) { cfg_.loss_probability = p; }
+  double loss_probability() const { return cfg_.loss_probability; }
+
   void Subscribe(NodeId n, ChannelId channel);
   void Unsubscribe(NodeId n, ChannelId channel);
 

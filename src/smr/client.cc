@@ -88,6 +88,7 @@ void KvClient::Dispatch(Env& env, const Command& cmd) {
   msg.sent_at = env.now();
   msg.payload = cmd.Encode();
   msg.payload_size = static_cast<std::uint32_t>(msg.payload.size());
+  if (cfg_.on_submit) cfg_.on_submit(msg);
   env.Send(ring.ring_members[0], MakeMessage<Submit>(ring.ring, std::move(msg)));
 }
 

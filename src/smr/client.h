@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <set>
 #include <vector>
@@ -32,6 +33,10 @@ struct KvClientConfig {
   std::uint64_t ops_limit = 0;     // stop after this many completions (0 = run on)
   Duration retry_timeout = Millis(500);
   Duration start_jitter = Millis(2);
+  // Oracle tap (src/check): fired for every atomic-multicast submission
+  // (retries are fresh submissions with new seqs), feeding the
+  // decision-integrity oracle's proposed set. Optional.
+  std::function<void(const paxos::ClientMsg&)> on_submit;
 };
 
 class KvClient final : public Protocol {

@@ -83,6 +83,7 @@ void Replica::Apply(Env& env, GroupId /*group*/, const paxos::ClientMsg& msg) {
 }
 
 void Replica::Execute(Env& env, const Command& cmd) {
+  if (cfg_.on_apply) cfg_.on_apply(cmd);
   const auto [lo, hi] = cfg_.range;
   switch (cmd.op) {
     case Command::Op::kInsert:

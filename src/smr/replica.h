@@ -7,10 +7,11 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "common/env.h"
 #include "multiring/merge_learner.h"
@@ -37,6 +38,10 @@ struct ReplicaConfig {
   bool execute = true;
   bool respond = true;
   std::size_t query_row_limit = 64;  // rows returned per partition
+  // Oracle tap (src/check): fired for every command this replica runs
+  // through Execute, in apply order and before range filtering — the
+  // linearizability feed of the SMR consistency oracle. Optional.
+  std::function<void(const Command&)> on_apply;
 };
 
 class Replica final : public Protocol {

@@ -4,6 +4,7 @@
 // bootstraps its state from a peer snapshot and converges.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -108,6 +109,64 @@ TEST(CatchUp, NewReplicaBootstrapsFromPeerSnapshot) {
   EXPECT_EQ(primary->store().Fingerprint(), joiner->store().Fingerprint())
       << "primary " << primary->store().size() << " keys vs joiner "
       << joiner->store().size();
+}
+
+// Trim-vs-catchup race: a learner recovering gaps over a lossy link
+// races the acceptors' trimmer, which keeps erasing the very history the
+// learner is asking for. Every LearnReq must come back as either the
+// instances or a TrimNotice fast-forward — a stalled learner or an
+// out-of-order delivery is the race lost. The network seed is pinned:
+// this exact loss pattern interleaves retransmissions with trims.
+TEST(CatchUp, TrimRacesRecoveryUnderLoss) {
+  DeploymentOptions opts;
+  opts.net.seed = 0x7219;  // pinned loss schedule
+  opts.trim_keep = 150;    // trim breathes down the learner's neck
+  opts.lambda_per_sec = 9000;
+  SimDeployment d(opts);
+
+  // Lost delivery acks cause bounded retransmission duplicates, so exact
+  // monotonicity is not an invariant here. What IS one: a delivery may
+  // only revisit seqs still inside the proposer's retransmission window —
+  // a deeper regression means the learner replayed history the trimmer
+  // already erased (or fast-forwarded and then went back).
+  std::uint64_t max_seq = 0;
+  std::uint64_t deep_regressions = 0;
+  auto* learner = d.AddRingLearner(0, /*acks=*/true);
+  // AddRingLearner gives no tap; attach a second, tapped learner that
+  // must survive the same race.
+  auto& node = d.net().AddNode();
+  ringpaxos::RingLearner::Options lo;
+  lo.learner.ring = d.ring(0);
+  lo.on_deliver = [&](const paxos::ClientMsg& m) {
+    if (m.seq + 64 < max_seq) ++deep_regressions;
+    max_seq = std::max(max_seq, m.seq);
+  };
+  auto tapped = std::make_unique<ringpaxos::RingLearner>(std::move(lo));
+  auto* late = tapped.get();
+  node.BindProtocol(std::move(tapped));
+  d.net().Subscribe(node.self(), d.ring(0).data_channel);
+  d.net().Subscribe(node.self(), d.ring(0).control_channel);
+
+  ringpaxos::ProposerConfig pc;
+  pc.max_outstanding = 8;
+  pc.payload_size = 1024;
+  d.AddProposer(0, pc);
+  d.Start();
+  d.RunFor(Millis(200));
+
+  // 10% loss on every link: decisions go missing, recovery kicks in
+  // while the coordinator keeps trimming at trim_keep=150.
+  d.net().SetLossProbability(0.10);
+  d.RunFor(Seconds(2));
+  d.net().SetLossProbability(0.0);
+  d.RunFor(Seconds(1));
+
+  EXPECT_GT(learner->delivered_msgs(), 1000u) << "acking learner stalled";
+  EXPECT_GT(late->delivered_msgs(), 1000u) << "tapped learner stalled";
+  EXPECT_EQ(deep_regressions, 0u) << "delivery went backwards past a trim";
+  // The learner rode the live edge, not the trimmed tail.
+  EXPECT_GT(late->next_instance() + 5 * opts.trim_keep,
+            learner->next_instance());
 }
 
 }  // namespace

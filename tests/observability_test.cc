@@ -93,6 +93,20 @@ TEST(Observability, TwoRingReplayCounterInvariants) {
     EXPECT_GT(mreg.CounterValue(mp + "skip_consumed"), 0u) << "group " << g;
   }
   EXPECT_EQ(mreg.CounterValue("merge.halts"), 0u);
+
+  // The per-ring decision caches export live-size gauges next to the
+  // hit/miss counters; both must be registered on the merge node and the
+  // counters must show the caches were actually exercised.
+  const auto snap = mreg.TakeSnapshot();
+  for (int r = 0; r < 2; ++r) {
+    const std::string lp = "learner.r" + std::to_string(r) + ".";
+    EXPECT_EQ(snap.gauges.count(lp + "cache.entries"), 1u) << "ring " << r;
+    EXPECT_EQ(snap.gauges.count(lp + "cache.bytes"), 1u) << "ring " << r;
+    EXPECT_GT(mreg.CounterValue(lp + "cache_hits") +
+                  mreg.CounterValue(lp + "cache_misses"),
+              0u)
+        << "ring " << r;
+  }
 }
 
 // One traced replay; returns the JSONL export. Traces are driven off

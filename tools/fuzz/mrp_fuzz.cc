@@ -1,0 +1,785 @@
+// Deterministic chaos fuzzer for Multi-Ring Paxos (docs/CHECKING.md).
+//
+// Each seed draws a timed fault schedule (src/check/fault_plan.h),
+// executes it against a full simulated deployment with the protocol
+// invariant oracles (src/check/oracles.h) tapped into every role, and —
+// on a violation — greedily shrinks the schedule and writes a
+// self-contained JSON replay artifact that `--replay` reproduces
+// byte-identically (the oracle feed digest must match).
+//
+// Modes:
+//   mrp_fuzz --seeds N [--start-seed S] [--budget majority|anything]
+//            [--rings R --ring-size K --spares P --sites S --smr]
+//            [--artifact-dir DIR]        sweep seeds, exit 1 on violation
+//   mrp_fuzz --replay FILE              re-run an artifact, verify digest
+//   mrp_fuzz --self-check               inject an agreement bug, verify
+//                                       the oracles catch it, the shrinker
+//                                       reduces it, and replay is exact
+//   mrp_fuzz --codec-fuzz N             mutate encoded frames through
+//                                       net::DecodeMessage (crash = bug)
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/fault_plan.h"
+#include "check/oracles.h"
+#include "common/rand.h"
+#include "common/trace.h"
+#include "common/types.h"
+#include "multiring/merge_learner.h"
+#include "multiring/sim_deployment.h"
+#include "net/codec.h"
+#include "paxos/messages.h"
+#include "ringpaxos/proposer.h"
+#include "ringpaxos/ring_node.h"
+#include "sim/topology.h"
+#include "smr/client.h"
+#include "smr/replica.h"
+
+namespace mrp {
+namespace {
+
+using check::DeploymentShape;
+using check::FaultBudget;
+using check::FaultEvent;
+using check::FaultPlan;
+using check::OracleSuite;
+using check::ReplayArtifact;
+using multiring::DeploymentOptions;
+using multiring::MergeLearner;
+using multiring::SimDeployment;
+
+// Ambient loss every run starts from; loss bursts raise it temporarily.
+constexpr double kBaseLoss = 0.01;
+// Settle time after the last fault heals before Finish() runs.
+constexpr Duration kQuiesce = Seconds(3);
+// Liveness floor under the majority-preserving budget: distinct client
+// messages the acking learner must have delivered by the end.
+constexpr std::size_t kMinProgress = 100;
+
+// --probe ring:instance — dump every learner's decide of one instance
+// to stderr (diagnosing an agreement violation from a replay artifact).
+struct Probe {
+  bool active = false;
+  RingId ring = 0;
+  InstanceId instance = 0;
+};
+Probe g_probe;
+
+void MaybeProbe(const std::string& learner, RingId ring, InstanceId inst,
+                const paxos::Value& v) {
+  if (!g_probe.active || ring != g_probe.ring || inst != g_probe.instance) {
+    return;
+  }
+  std::fprintf(stderr, "probe: %s ring=%u inst=%llu kind=%s skips=%llu msgs=",
+               learner.c_str(), ring, static_cast<unsigned long long>(inst),
+               v.is_skip() ? "skip" : "batch",
+               static_cast<unsigned long long>(v.skip_count));
+  for (const auto& m : v.msgs) {
+    std::fprintf(stderr, "(g%u p%u s%llu)", m.group, m.proposer,
+                 static_cast<unsigned long long>(m.seq));
+  }
+  std::fprintf(stderr, "\n");
+}
+
+struct RunStats {
+  bool violated = false;
+  std::string first_oracle;
+  std::vector<check::Violation> violations;
+  std::uint64_t digest = 0;
+  std::uint64_t deliveries = 0;
+  std::string report;
+
+  bool Has(const std::string& oracle) const {
+    for (const auto& v : violations) {
+      if (v.oracle == oracle) return true;
+    }
+    return false;
+  }
+};
+
+sim::SimNode* ResolveCoordinator(SimDeployment& d, int ring) {
+  for (auto* n : d.ring_universe(ring)) {
+    if (n->down()) continue;
+    auto* rn = n->protocol_as<ringpaxos::RingNode>();
+    if (rn != nullptr && rn->is_coordinator()) return n;
+  }
+  // Mid-election: fall back to the initial coordinator.
+  return d.coordinator_node(ring);
+}
+
+// Executes one plan against a fresh deployment and returns what the
+// oracles saw. Fully deterministic in (plan, inject_corrupt).
+RunStats RunPlan(const FaultPlan& plan, InstanceId inject_corrupt,
+                 bool verbose) {
+  // With --trace, each run starts from an empty buffer so the exported
+  // JSONL covers exactly the final run.
+  if (Tracer::Instance().enabled()) Tracer::Instance().Clear();
+  const DeploymentShape& shape = plan.shape;
+
+  DeploymentOptions opts;
+  opts.n_rings = shape.n_rings;
+  opts.ring_size = shape.ring_size;
+  opts.n_spares = shape.n_spares;
+  opts.disk = true;  // recoverable acceptors; enables disk-stall faults
+  opts.net.seed = plan.seed;
+  opts.net.loss_probability = kBaseLoss;
+  opts.lambda_per_sec = 4000;
+  opts.suspect_after = Millis(50);
+  if (shape.n_sites > 1) {
+    std::vector<std::string> names;
+    for (int s = 0; s < shape.n_sites; ++s) {
+      names.push_back("site" + std::to_string(s));
+    }
+    sim::LinkSpec link;
+    link.latency = Millis(2);
+    link.jitter = Micros(200);
+    opts.net.topology = sim::Topology::FullMesh(names, link);
+    for (int r = 0; r < shape.n_rings; ++r) {
+      opts.ring_sites.push_back(static_cast<sim::SiteId>(r % shape.n_sites));
+    }
+  }
+
+  SimDeployment d(opts);
+  OracleSuite oracle(&d.net().metrics());
+
+  // Three learner vantage points: two subscribed to everything (one
+  // acking — it closes the proposers' loops), one to ring 0 only. The
+  // second all-rings learner carries the --self-check corruption hook.
+  std::vector<int> all_rings;
+  for (int r = 0; r < shape.n_rings; ++r) all_rings.push_back(r);
+  std::set<std::pair<NodeId, std::uint64_t>> delivered_by_a;
+
+  auto add_learner = [&](const std::string& name,
+                         const std::vector<int>& rings, bool acks,
+                         InstanceId corrupt) {
+    auto& node = d.net().AddNode();
+    std::vector<GroupId> groups;
+    MergeLearner::Options mo;
+    mo.send_delivery_acks = acks;
+    for (int r : rings) {
+      ringpaxos::LearnerOptions lo;
+      lo.ring = d.ring(r);
+      if (corrupt != 0 && r == rings.front()) {
+        lo.test_corrupt_instance = corrupt;
+      }
+      groups.push_back(d.ring(r).group);
+      mo.groups.push_back(lo);
+      d.net().Subscribe(node.self(), d.ring(r).data_channel);
+      d.net().Subscribe(node.self(), d.ring(r).control_channel);
+    }
+    const int idx = oracle.RegisterLearner(name, groups);
+    mo.on_decide = [&oracle, idx, name](RingId ring, InstanceId inst,
+                                        const paxos::Value& v) {
+      MaybeProbe(name, ring, inst, v);
+      oracle.OnDecide(idx, ring, inst, v);
+    };
+    mo.on_deliver = [&oracle, &delivered_by_a, idx,
+                     acks](GroupId g, const paxos::ClientMsg& m) {
+      oracle.OnDeliver(idx, g, m);
+      if (acks) delivered_by_a.emplace(m.proposer, m.seq);
+    };
+    auto learner = std::make_unique<MergeLearner>(std::move(mo));
+    node.BindProtocol(std::move(learner));
+  };
+  add_learner("merge-a", all_rings, /*acks=*/true, 0);
+  add_learner("merge-b", all_rings, /*acks=*/false, inject_corrupt);
+  add_learner("ring0-only", {0}, /*acks=*/false, 0);
+
+  // Two closed-loop proposers per ring.
+  std::vector<ringpaxos::Proposer*> props;
+  for (int r = 0; r < shape.n_rings; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      ringpaxos::ProposerConfig pc;
+      pc.max_outstanding = 6;
+      pc.payload_size = 512;
+      pc.retry_timeout = Millis(150);
+      pc.on_submit = [&oracle](const paxos::ClientMsg& m) {
+        oracle.OnPropose(m);
+      };
+      props.push_back(d.AddProposer(r, pc));
+    }
+  }
+
+  // Optional KV service on partition 0 (ring 0): two replicas whose
+  // apply streams feed the SMR prefix-consistency oracle, plus one
+  // closed-loop client.
+  std::vector<smr::Replica*> replicas;
+  smr::KvClient* kv_client = nullptr;
+  if (shape.with_smr) {
+    for (int r = 0; r < 2; ++r) {
+      auto& node = d.net().AddNode();
+      smr::ReplicaConfig rc;
+      rc.partition = 0;
+      rc.partition_ring.ring = d.ring(0);
+      rc.respond = (r == 0);
+      const int idx =
+          oracle.RegisterReplica("replica" + std::to_string(r), 0);
+      rc.on_apply = [&oracle, idx](const smr::Command& cmd) {
+        oracle.OnSmrApply(idx, cmd);
+      };
+      auto rep = std::make_unique<smr::Replica>(rc);
+      replicas.push_back(rep.get());
+      node.BindProtocol(std::move(rep));
+      d.net().Subscribe(node.self(), d.ring(0).data_channel);
+      d.net().Subscribe(node.self(), d.ring(0).control_channel);
+    }
+    sim::NodeSpec spec;
+    spec.infinite_cpu = true;
+    auto& node = d.net().AddNode(spec);
+    smr::KvClientConfig cc;
+    cc.rings.push_back(d.ring(0));
+    cc.window = 2;
+    cc.on_submit = [&oracle](const paxos::ClientMsg& m) {
+      oracle.OnPropose(m);
+    };
+    auto client = std::make_unique<smr::KvClient>(cc);
+    kv_client = client.get();
+    node.BindProtocol(std::move(client));
+  }
+
+  d.Start();
+
+  // ---- Execute the schedule ----
+  // Loss bursts stack: the effective probability is the strongest
+  // active burst (never below ambient). Heals run as scheduler events.
+  std::multiset<double> active_loss;
+  auto apply_loss = [&] {
+    const double burst = active_loss.empty() ? 0.0 : *active_loss.rbegin();
+    d.net().SetLossProbability(std::max(kBaseLoss, burst));
+  };
+  auto& sched = d.net().scheduler();
+  TimePoint last_end{0};
+  for (const FaultEvent& ev : plan.events) {
+    d.net().RunUntil(ev.at);
+    const TimePoint heal_at = ev.at + ev.duration;
+    last_end = std::max(last_end, heal_at);
+    if (verbose) {
+      std::fprintf(stderr, "  [%8.3fs] %s ring=%d member=%d dur=%.3fs\n",
+                   static_cast<double>(ev.at.count()) * 1e-9,
+                   check::KindName(ev.kind), ev.ring, ev.member,
+                   static_cast<double>(ev.duration.count()) * 1e-9);
+    }
+    switch (ev.kind) {
+      case FaultEvent::Kind::kCrash: {
+        auto* node = d.acceptor_node(ev.ring, ev.member);
+        node->SetDown(true);
+        sched.At(heal_at, [node] { node->SetDown(false); });
+        break;
+      }
+      case FaultEvent::Kind::kCoordKill: {
+        auto* node = ResolveCoordinator(d, ev.ring);
+        node->SetDown(true);
+        sched.At(heal_at, [node] { node->SetDown(false); });
+        break;
+      }
+      case FaultEvent::Kind::kLossBurst: {
+        const double loss = ev.loss;
+        active_loss.insert(loss);
+        apply_loss();
+        // Erase by value: the end-of-run heal-all clears the set, and a
+        // straggling heal event firing after that must be a no-op.
+        sched.At(heal_at, [&active_loss, &apply_loss, loss] {
+          auto it = active_loss.find(loss);
+          if (it != active_loss.end()) active_loss.erase(it);
+          apply_loss();
+        });
+        break;
+      }
+      case FaultEvent::Kind::kDiskStall: {
+        auto* disk = d.disk_storage(ev.ring, ev.member);
+        if (disk != nullptr) disk->StallUntil(d.net().now() + ev.duration);
+        break;
+      }
+      case FaultEvent::Kind::kPartition: {
+        const auto a = static_cast<sim::SiteId>(ev.site_a);
+        const auto b = static_cast<sim::SiteId>(ev.site_b);
+        d.net().SetLinkUp(a, b, false);
+        sched.At(heal_at, [&d, a, b] { d.net().SetLinkUp(a, b, true); });
+        break;
+      }
+    }
+  }
+  d.net().RunUntil(std::max(plan.budget.horizon, last_end));
+
+  // Heal everything and quiesce so liveness can be asserted and the
+  // cross-learner oracles see settled logs.
+  for (int r = 0; r < shape.n_rings; ++r) {
+    for (auto* n : d.ring_universe(r)) n->SetDown(false);
+  }
+  active_loss.clear();
+  apply_loss();
+  for (int a = 0; a < shape.n_sites; ++a) {
+    for (int b = a + 1; b < shape.n_sites; ++b) {
+      d.net().SetLinkUp(static_cast<sim::SiteId>(a),
+                        static_cast<sim::SiteId>(b), true);
+    }
+  }
+  d.RunFor(kQuiesce);
+
+  oracle.Finish();
+
+  if (plan.budget.assert_liveness) {
+    if (delivered_by_a.size() < kMinProgress) {
+      oracle.Flag("liveness",
+                  "acking learner delivered " +
+                      std::to_string(delivered_by_a.size()) + " < " +
+                      std::to_string(kMinProgress) + " messages");
+    }
+    // Validity: every acknowledged submission was delivered (or is
+    // still tracked as outstanding after the final retransmit).
+    for (std::size_t p = 0; p < props.size(); ++p) {
+      const NodeId id = d.proposer_node(p)->self();
+      const auto inflight = props[p]->outstanding_seqs();
+      const std::set<std::uint64_t> inflight_set(inflight.begin(),
+                                                 inflight.end());
+      for (std::uint64_t s = 1; s <= props[p]->acked_seq(); ++s) {
+        if (delivered_by_a.count({id, s}) == 0 &&
+            inflight_set.count(s) == 0) {
+          oracle.Flag("acked_lost", "proposer " + std::to_string(id) +
+                                        " seq " + std::to_string(s) +
+                                        " acked but never delivered");
+          break;  // one per proposer is enough signal
+        }
+      }
+    }
+    if (kv_client != nullptr && kv_client->completed() < 10) {
+      oracle.Flag("liveness", "kv client completed " +
+                                  std::to_string(kv_client->completed()) +
+                                  " < 10 operations");
+    }
+  }
+
+  RunStats rs;
+  rs.violated = !oracle.ok();
+  rs.first_oracle = oracle.first_oracle();
+  rs.violations = oracle.violations();
+  rs.digest = oracle.feed_digest();
+  rs.deliveries = oracle.deliveries();
+  rs.report = oracle.Report();
+  return rs;
+}
+
+// Greedy event-drop shrinking: repeatedly remove the first event whose
+// removal preserves a violation of `target`, until no single removal
+// does (or the run budget is spent).
+FaultPlan Shrink(const FaultPlan& plan, InstanceId inject,
+                 const std::string& target, int max_runs, bool verbose) {
+  FaultPlan cur = plan;
+  int runs = 0;
+  bool improved = true;
+  while (improved && runs < max_runs) {
+    improved = false;
+    for (std::size_t i = 0; i < cur.events.size() && runs < max_runs; ++i) {
+      FaultPlan cand = cur;
+      cand.events.erase(cand.events.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+      ++runs;
+      RunStats rs = RunPlan(cand, inject, false);
+      if (rs.violated && (target.empty() || rs.Has(target))) {
+        cur = std::move(cand);
+        improved = true;
+        if (verbose) {
+          std::fprintf(stderr, "  shrink: %zu events (run %d)\n",
+                       cur.events.size(), runs);
+        }
+        break;
+      }
+    }
+  }
+  return cur;
+}
+
+std::string ArtifactPath(const std::string& dir, std::uint64_t seed) {
+  return dir + "/mrp_fuzz_seed" + std::to_string(seed) + ".json";
+}
+
+bool WriteArtifact(const std::string& path, const ReplayArtifact& art) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << check::ToJson(art) << "\n";
+  return static_cast<bool>(out);
+}
+
+// ---- Codec fuzzing ----------------------------------------------------
+
+// Representative well-formed frames to mutate.
+std::vector<Bytes> CodecCorpus() {
+  using namespace ringpaxos;  // NOLINT
+  std::vector<Bytes> corpus;
+  auto add = [&corpus](const MessageBase& m) {
+    corpus.push_back(net::EncodeMessage(m));
+  };
+
+  paxos::ClientMsg cm;
+  cm.group = 1;
+  cm.proposer = 7;
+  cm.seq = 42;
+  cm.sent_at = Millis(3);
+  cm.payload_size = 4;
+  cm.payload = {0xde, 0xad, 0xbe, 0xef};
+  paxos::Value val;
+  val.kind = paxos::Value::Kind::kBatch;
+  val.msgs = {cm, cm};
+  paxos::Value skip;
+  skip.kind = paxos::Value::Kind::kSkip;
+  skip.skip_count = 16;
+
+  add(Submit(0, cm));
+  add(SubmitAck(0, 1, 42));
+  add(P2A(0, 1, 9, 77, val, {{8, 76}, {9, 77}}, {1, 2, 3}));
+  add(P2A(1, 2, 10, 78, skip, {}, {4, 5}));
+  add(P2B(0, 1, 9, 77, 2));
+  add(DecisionMsg(0, {{9, 77}}));
+  add(P1A(0, 3, 5, {1, 2}));
+  add(P1B(0, 3, {{5, 2, val}, {6, 2, skip}}));
+  add(Heartbeat(0, 3, 1));
+  add(HeartbeatAck(0, 3));
+  add(LearnReq(0, 5, 32));
+  add(LearnRep(0, {{5, 77, val}}));
+  add(DeliveryAck(0, 1, 42));
+  add(TrimNotice(0, 100, 200));
+  add(smr::SnapshotReq(0));
+  add(smr::SnapshotRep(0, 12, {{1, "one"}, {2, "two"}}));
+  add(smr::Response(9, 0, true, {{1, "one"}}));
+  add(paxos::SubmitReq(cm));
+  add(paxos::Phase1A(4, 2));
+  add(paxos::Phase1B(4, 2, 1, val));
+  add(paxos::Phase2A(4, 2, val));
+  add(paxos::Phase2B(4, 2));
+  add(paxos::DecisionMsg(4, val, 1));
+  add(paxos::LearnReq(4));
+  return corpus;
+}
+
+// Mutates corpus frames (and throws in fully random ones) through the
+// decoder. Any crash/sanitizer report is a codec bug; decoded frames
+// must also re-encode without crashing.
+int RunCodecFuzz(std::uint64_t seed, int iterations) {
+  const std::vector<Bytes> corpus = CodecCorpus();
+  // Every corpus frame must decode cleanly before we start mutating.
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    if (net::DecodeMessage(corpus[i]) == nullptr) {
+      std::fprintf(stderr, "codec-fuzz: corpus frame %zu does not decode\n",
+                   i);
+      return 1;
+    }
+  }
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  std::uint64_t decoded = 0;
+  for (int it = 0; it < iterations; ++it) {
+    Bytes frame;
+    const std::uint64_t strategy = rng.below(5);
+    if (strategy == 0) {
+      // Fully random frame.
+      frame.resize(rng.below(64) + 1);
+      for (auto& b : frame) b = static_cast<std::uint8_t>(rng.below(256));
+    } else {
+      frame = corpus[rng.below(corpus.size())];
+      switch (strategy) {
+        case 1:  // truncate
+          frame.resize(rng.below(frame.size() + 1));
+          break;
+        case 2:  // flip random bytes
+          for (std::uint64_t k = rng.below(8) + 1; k > 0 && !frame.empty();
+               --k) {
+            frame[rng.below(frame.size())] ^=
+                static_cast<std::uint8_t>(rng.below(256));
+          }
+          break;
+        case 3:  // saturate a run of bytes (forges huge varint lengths)
+          if (!frame.empty()) {
+            std::size_t at = rng.below(frame.size());
+            for (std::size_t k = 0; k < 9 && at + k < frame.size(); ++k) {
+              frame[at + k] = 0xff;
+            }
+          }
+          break;
+        default:  // splice the tail of another corpus frame
+          if (!frame.empty()) {
+            const Bytes& other = corpus[rng.below(corpus.size())];
+            frame.resize(rng.below(frame.size()) + 1);
+            frame.insert(frame.end(), other.begin(), other.end());
+          }
+          break;
+      }
+    }
+    MessagePtr m = net::DecodeMessage(frame);
+    if (m != nullptr) {
+      ++decoded;
+      (void)net::EncodeMessage(*m);  // round trip must not crash either
+    }
+  }
+  std::printf("codec-fuzz: %d frames, %llu decoded, no crashes\n",
+              iterations, static_cast<unsigned long long>(decoded));
+  return 0;
+}
+
+// ---- Modes ------------------------------------------------------------
+
+int RunSweep(std::uint64_t start_seed, int n_seeds,
+             const DeploymentShape& shape, const FaultBudget& budget,
+             const std::string& artifact_dir, bool verbose) {
+  for (int i = 0; i < n_seeds; ++i) {
+    const std::uint64_t seed = start_seed + static_cast<std::uint64_t>(i);
+    FaultPlan plan = check::GeneratePlan(seed, shape, budget);
+    if (verbose) {
+      std::fprintf(stderr, "seed %llu: %zu events\n",
+                   static_cast<unsigned long long>(seed),
+                   plan.events.size());
+    }
+    RunStats rs = RunPlan(plan, 0, verbose);
+    if (!rs.violated) {
+      std::printf("seed %llu ok (%llu deliveries, digest %016llx)\n",
+                  static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(rs.deliveries),
+                  static_cast<unsigned long long>(rs.digest));
+      continue;
+    }
+    std::printf("seed %llu VIOLATION:\n%s\n",
+                static_cast<unsigned long long>(seed), rs.report.c_str());
+    std::printf("shrinking (%zu events)...\n", plan.events.size());
+    FaultPlan shrunk = Shrink(plan, 0, rs.first_oracle, 200, verbose);
+    RunStats final_rs = RunPlan(shrunk, 0, false);
+    ReplayArtifact art;
+    art.plan = shrunk;
+    art.violated_oracle = final_rs.first_oracle;
+    art.feed_digest = final_rs.digest;
+    const std::string path = ArtifactPath(artifact_dir, seed);
+    if (!WriteArtifact(path, art)) {
+      std::fprintf(stderr, "failed to write artifact %s\n", path.c_str());
+    } else {
+      std::printf("artifact (%zu events) written to %s\n",
+                  shrunk.events.size(), path.c_str());
+    }
+    return 1;
+  }
+  std::printf("all %d seeds passed\n", n_seeds);
+  return 0;
+}
+
+int RunReplay(const std::string& path, bool verbose) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  auto art = check::ParseArtifact(ss.str());
+  if (!art) {
+    std::fprintf(stderr, "%s is not a valid replay artifact\n", path.c_str());
+    return 2;
+  }
+  RunStats rs = RunPlan(art->plan, art->inject_corrupt_instance, verbose);
+  const bool oracle_match = rs.first_oracle == art->violated_oracle;
+  const bool digest_match = rs.digest == art->feed_digest;
+  if (rs.violated && oracle_match && digest_match) {
+    std::printf("replay OK: oracle '%s' reproduced, digest %016llx matches\n",
+                rs.first_oracle.c_str(),
+                static_cast<unsigned long long>(rs.digest));
+    if (verbose) std::printf("%s\n", rs.report.c_str());
+    return 0;
+  }
+  std::printf("replay MISMATCH: violated=%d oracle '%s' (expected '%s') "
+              "digest %016llx (expected %016llx)\n%s\n",
+              rs.violated ? 1 : 0, rs.first_oracle.c_str(),
+              art->violated_oracle.c_str(),
+              static_cast<unsigned long long>(rs.digest),
+              static_cast<unsigned long long>(art->feed_digest),
+              rs.report.c_str());
+  return 1;
+}
+
+int RunSelfCheck(const std::string& artifact_dir, bool verbose) {
+  const std::uint64_t seed = 42;
+  const InstanceId corrupt_at = 200;
+  DeploymentShape shape;
+  FaultBudget budget;
+  FaultPlan plan = check::GeneratePlan(seed, shape, budget);
+
+  // 1. The clean run must pass — otherwise the fuzzer found a real bug
+  //    and the self-check machinery cannot be validated on top of it.
+  std::printf("self-check 1/4: clean run...\n");
+  RunStats clean = RunPlan(plan, 0, verbose);
+  if (clean.violated) {
+    std::printf("clean run violated oracles (real bug?):\n%s\n",
+                clean.report.c_str());
+    return 1;
+  }
+
+  // 2. Injecting the agreement bug must trip the oracles.
+  std::printf("self-check 2/4: injected corruption is caught...\n");
+  RunStats bad = RunPlan(plan, corrupt_at, verbose);
+  if (!bad.violated) {
+    std::printf("injected corruption was NOT caught\n");
+    return 1;
+  }
+  if (!bad.Has("agreement") && !bad.Has("integrity")) {
+    std::printf("violation caught but not by agreement/integrity:\n%s\n",
+                bad.report.c_str());
+    return 1;
+  }
+
+  // 3. The shrinker must reduce the schedule: the injected bug is
+  //    plan-independent, so nearly every event can be dropped.
+  std::printf("self-check 3/4: shrinking %zu events...\n",
+              plan.events.size());
+  FaultPlan shrunk = Shrink(plan, corrupt_at, bad.first_oracle, 200, verbose);
+  if (shrunk.events.size() > 5) {
+    std::printf("shrinker left %zu events (> 5)\n", shrunk.events.size());
+    return 1;
+  }
+
+  // 4. The artifact must round-trip through JSON and replay to the
+  //    byte-identical oracle feed.
+  std::printf("self-check 4/4: artifact round-trip + byte-identical replay...\n");
+  RunStats final_rs = RunPlan(shrunk, corrupt_at, false);
+  ReplayArtifact art;
+  art.plan = shrunk;
+  art.violated_oracle = final_rs.first_oracle;
+  art.feed_digest = final_rs.digest;
+  art.inject_corrupt_instance = corrupt_at;
+  auto parsed = check::ParseArtifact(check::ToJson(art));
+  if (!parsed || !(*parsed == art)) {
+    std::printf("artifact JSON round-trip mismatch\n");
+    return 1;
+  }
+  RunStats replay = RunPlan(parsed->plan, parsed->inject_corrupt_instance,
+                            false);
+  if (replay.digest != art.feed_digest ||
+      replay.first_oracle != art.violated_oracle) {
+    std::printf("replay diverged: digest %016llx vs %016llx, oracle '%s' "
+                "vs '%s'\n",
+                static_cast<unsigned long long>(replay.digest),
+                static_cast<unsigned long long>(art.feed_digest),
+                replay.first_oracle.c_str(), art.violated_oracle.c_str());
+    return 1;
+  }
+  const std::string path = ArtifactPath(artifact_dir, seed);
+  WriteArtifact(path, art);
+  std::printf("self-check PASSED (%zu-event artifact at %s, digest "
+              "%016llx)\n",
+              shrunk.events.size(), path.c_str(),
+              static_cast<unsigned long long>(art.feed_digest));
+  return 0;
+}
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--seeds N] [--start-seed S] [--budget majority|anything]\n"
+      "          [--rings R] [--ring-size K] [--spares P] [--sites S] [--smr]\n"
+      "          [--artifact-dir DIR] [--replay FILE] [--self-check]\n"
+      "          [--codec-fuzz N] [--probe RING:INSTANCE] [-v]\n",
+      argv0);
+}
+
+std::uint64_t ParseU64(const char* s) {
+  return std::strtoull(s, nullptr, 10);
+}
+
+}  // namespace
+}  // namespace mrp
+
+int main(int argc, char** argv) {
+  using namespace mrp;  // NOLINT
+  int n_seeds = 25;
+  std::uint64_t start_seed = 1;
+  check::DeploymentShape shape;
+  check::FaultBudget budget;
+  std::string artifact_dir = ".";
+  std::string replay_path;
+  std::string trace_path;
+  bool self_check = false;
+  int codec_iters = 0;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seeds") {
+      n_seeds = static_cast<int>(ParseU64(next()));
+    } else if (arg == "--start-seed") {
+      start_seed = ParseU64(next());
+    } else if (arg == "--budget") {
+      const std::string b = next();
+      if (b == "anything") {
+        budget = check::FaultBudget::AnythingGoes();
+      } else if (b != "majority") {
+        Usage(argv[0]);
+        return 2;
+      }
+    } else if (arg == "--rings") {
+      shape.n_rings = static_cast<int>(ParseU64(next()));
+    } else if (arg == "--ring-size") {
+      shape.ring_size = static_cast<int>(ParseU64(next()));
+    } else if (arg == "--spares") {
+      shape.n_spares = static_cast<int>(ParseU64(next()));
+    } else if (arg == "--sites") {
+      shape.n_sites = static_cast<int>(ParseU64(next()));
+    } else if (arg == "--smr") {
+      shape.with_smr = true;
+    } else if (arg == "--artifact-dir") {
+      artifact_dir = next();
+    } else if (arg == "--replay") {
+      replay_path = next();
+    } else if (arg == "--self-check") {
+      self_check = true;
+    } else if (arg == "--codec-fuzz") {
+      codec_iters = static_cast<int>(ParseU64(next()));
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--probe") {
+      const std::string spec = next();
+      const auto colon = spec.find(':');
+      if (colon == std::string::npos) {
+        Usage(argv[0]);
+        return 2;
+      }
+      g_probe.active = true;
+      g_probe.ring = static_cast<RingId>(ParseU64(spec.c_str()));
+      g_probe.instance = ParseU64(spec.c_str() + colon + 1);
+    } else if (arg == "-v" || arg == "--verbose") {
+      verbose = true;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (!trace_path.empty()) Tracer::Instance().Enable();
+  int rc = 0;
+  if (codec_iters > 0) {
+    rc = RunCodecFuzz(start_seed, codec_iters);
+  } else if (self_check) {
+    rc = RunSelfCheck(artifact_dir, verbose);
+  } else if (!replay_path.empty()) {
+    rc = RunReplay(replay_path, verbose);
+  } else {
+    rc = RunSweep(start_seed, n_seeds, shape, budget, artifact_dir, verbose);
+  }
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path, std::ios::trunc);
+    Tracer::Instance().WriteJsonl(out);
+    std::fprintf(stderr, "trace (%zu events) written to %s\n",
+                 Tracer::Instance().size(), trace_path.c_str());
+  }
+  return rc;
+}
