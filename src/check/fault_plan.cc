@@ -31,6 +31,8 @@ const char* KindName(FaultEvent::Kind kind) {
       return "disk_stall";
     case FaultEvent::Kind::kCoordKill:
       return "coord_kill";
+    case FaultEvent::Kind::kLearnerCrash:
+      return "learner_crash";
   }
   return "?";
 }
@@ -66,6 +68,10 @@ FaultPlan GeneratePlan(std::uint64_t seed, const DeploymentShape& shape,
       {FaultEvent::Kind::kCoordKill, 15},
       {FaultEvent::Kind::kLossBurst, 20},
       {FaultEvent::Kind::kDiskStall, 15},
+      // Learner crashes never touch acceptor majorities, so they are
+      // budget-free; the fuzz driver maps them onto its crash-target
+      // recoverable learner.
+      {FaultEvent::Kind::kLearnerCrash, 12},
   };
   if (shape.n_sites >= 2) kinds.push_back({FaultEvent::Kind::kPartition, 20});
   std::uint64_t total_weight = 0;
@@ -132,6 +138,11 @@ FaultPlan GeneratePlan(std::uint64_t seed, const DeploymentShape& shape,
             static_cast<std::uint64_t>(shape.n_rings)));
         e.member = static_cast<int>(rng.below(
             static_cast<std::uint64_t>(shape.universe())));
+        break;
+      }
+      case FaultEvent::Kind::kLearnerCrash: {
+        // Targets the driver's designated recoverable learner; ring and
+        // member stay 0 so older artifacts keep validating.
         break;
       }
     }
@@ -356,7 +367,8 @@ struct JsonParser {
 std::optional<FaultEvent::Kind> KindFromName(const std::string& name) {
   for (auto k : {FaultEvent::Kind::kCrash, FaultEvent::Kind::kPartition,
                  FaultEvent::Kind::kLossBurst, FaultEvent::Kind::kDiskStall,
-                 FaultEvent::Kind::kCoordKill}) {
+                 FaultEvent::Kind::kCoordKill,
+                 FaultEvent::Kind::kLearnerCrash}) {
     if (name == KindName(k)) return k;
   }
   return std::nullopt;

@@ -26,6 +26,9 @@ struct FaultEvent {
     kDiskStall = 3,  // stall ring/member's disk for duration
     kCoordKill = 4,  // pause ring's CURRENT coordinator (resolved when
                      // the event fires), then revive it
+    kLearnerCrash = 5,  // crash a recovery-enabled learner with state
+                        // loss; at heal time it bootstraps from a peer
+                        // snapshot (docs/RECOVERY.md)
   };
 
   Kind kind = Kind::kCrash;

@@ -1,0 +1,76 @@
+#include "check/recovery_oracle.h"
+
+namespace mrp::check {
+namespace {
+
+std::uint64_t Fnv1a(const Bytes& bytes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+RecoveryOracle::RecoveryOracle(OracleSuite* suite) : suite_(suite) {
+  // The crash target's initial boot is segment 0 at absolute index 0.
+  segments_.push_back({0, {}});
+}
+
+RecoveryOracle::Item RecoveryOracle::MakeItem(GroupId group,
+                                              const paxos::ClientMsg& msg) {
+  return {group, msg.proposer, msg.seq, Fnv1a(msg.payload)};
+}
+
+std::string RecoveryOracle::Describe(const Item& it) {
+  return "g" + std::to_string(it.group) + " p" + std::to_string(it.proposer) +
+         " s" + std::to_string(it.seq);
+}
+
+void RecoveryOracle::OnReferenceDeliver(GroupId group,
+                                        const paxos::ClientMsg& msg) {
+  reference_.push_back(MakeItem(group, msg));
+}
+
+void RecoveryOracle::BeginRecovered(std::uint64_t resume_index) {
+  segments_.push_back({resume_index, {}});
+}
+
+void RecoveryOracle::OnRecoveredDeliver(GroupId group,
+                                        const paxos::ClientMsg& msg) {
+  segments_.back().items.push_back(MakeItem(group, msg));
+}
+
+void RecoveryOracle::Finish() {
+  for (std::size_t s = 0; s < segments_.size(); ++s) {
+    const Segment& seg = segments_[s];
+    if (seg.resume > reference_.size()) {
+      suite_->Flag("recovery",
+                   "segment " + std::to_string(s) + " resumes at index " +
+                       std::to_string(seg.resume) + " but the reference only "
+                       "delivered " + std::to_string(reference_.size()));
+      continue;
+    }
+    // Compare the overlap only: either learner may be a few deliveries
+    // ahead of the other when the run cuts off (per-leg jitter), so
+    // positions past the reference's end are uncheckable truncation —
+    // the oracle's teeth are divergence on shared positions.
+    for (std::size_t i = 0; i < seg.items.size(); ++i) {
+      const std::uint64_t idx = seg.resume + i;
+      if (idx >= reference_.size()) break;
+      ++compared_;
+      if (!(seg.items[i] == reference_[idx])) {
+        suite_->Flag("recovery",
+                     "segment " + std::to_string(s) + " diverged at index " +
+                         std::to_string(idx) + ": delivered " +
+                         Describe(seg.items[i]) + ", reference has " +
+                         Describe(reference_[idx]));
+        break;  // one divergence per segment is enough signal
+      }
+    }
+  }
+}
+
+}  // namespace mrp::check

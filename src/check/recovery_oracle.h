@@ -1,0 +1,71 @@
+// RecoveryOracle (docs/RECOVERY.md, docs/CHECKING.md): asserts that a
+// crash-recovered learner resumes the exact delivery stream a
+// never-crashed reference learner produces.
+//
+// The reference learner's deliveries form the absolute delivery log.
+// The crash-target's life is a series of segments: one from initial
+// boot (index 0), and one per recovery (opened by BeginRecovered with
+// the restored checkpoint's delivered_count — the absolute index the
+// learner claims to resume at). Finish() compares every segment
+// element-wise against the reference log at its claimed offset; any
+// mismatch in (group, proposer, seq, payload digest) — or a resume
+// index beyond what the reference ever delivered — is flagged into the
+// OracleSuite as a "recovery" violation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/oracles.h"
+#include "common/types.h"
+#include "paxos/value.h"
+
+namespace mrp::check {
+
+class RecoveryOracle {
+ public:
+  // Violations are reported through `suite` (borrowed, required).
+  explicit RecoveryOracle(OracleSuite* suite);
+
+  // Tap on the never-crashed reference learner (same subscriptions as
+  // the crash target).
+  void OnReferenceDeliver(GroupId group, const paxos::ClientMsg& msg);
+
+  // The crash target completed a restore and resumes delivery at
+  // absolute index `resume_index` (RecoverableLearner::on_restore).
+  void BeginRecovered(std::uint64_t resume_index);
+  // Tap on the crash target's deliveries (all segments).
+  void OnRecoveredDeliver(GroupId group, const paxos::ClientMsg& msg);
+
+  // Runs the cross-stream comparison; call once after quiescence.
+  void Finish();
+
+  std::uint64_t reference_deliveries() const { return reference_.size(); }
+  std::uint64_t segments() const { return segments_.size(); }
+  std::uint64_t compared() const { return compared_; }
+
+ private:
+  struct Item {
+    GroupId group = 0;
+    NodeId proposer = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t payload_digest = 0;
+
+    friend bool operator==(const Item&, const Item&) = default;
+  };
+  struct Segment {
+    std::uint64_t resume = 0;  // absolute index of items[0]
+    std::vector<Item> items;
+  };
+
+  static Item MakeItem(GroupId group, const paxos::ClientMsg& msg);
+  static std::string Describe(const Item& it);
+
+  OracleSuite* suite_;
+  std::vector<Item> reference_;
+  std::vector<Segment> segments_;  // [0] = initial boot at index 0
+  std::uint64_t compared_ = 0;
+};
+
+}  // namespace mrp::check

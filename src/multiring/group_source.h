@@ -57,6 +57,15 @@ class GroupSource {
   // Ring id stamped into delivery acknowledgements for this source's
   // messages (sources not backed by a ring return their group id).
   virtual RingId ack_ring() const { return group(); }
+
+  // ---- Checkpoint & recovery hooks (docs/RECOVERY.md) ----
+  // Next instance of the decided stream this source will surface; the
+  // merge records it as the source's checkpoint-cut position.
+  virtual InstanceId next_instance() const { return 0; }
+  // Positions a fresh source at `at` (instances below are covered by a
+  // restored checkpoint). Called before OnStart, never after messages
+  // were consumed. Sources that cannot resume ignore it and replay.
+  virtual void StartAt(InstanceId at) { (void)at; }
 };
 
 }  // namespace mrp::multiring

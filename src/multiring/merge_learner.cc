@@ -241,7 +241,34 @@ void MergeLearner::PumpMerge(Env& env) {
     if (ins) ins->turns->Inc();
     current_ = (current_ + 1) % groups_.size();
     consumed_ = 0;
+    // Back at merge position 0 with a whole number of turns consumed
+    // from every group: a merge-consistent checkpoint cut
+    // (docs/RECOVERY.md).
+    if (current_ == 0 && opts_.on_turn_boundary) opts_.on_turn_boundary();
   }
+}
+
+std::vector<MergeLearner::CutEntry> MergeLearner::CurrentCut() const {
+  std::vector<CutEntry> cut;
+  cut.reserve(groups_.size());
+  for (const auto& g : groups_) {
+    cut.push_back(CutEntry{g->source->ack_ring(), g->source->next_instance(),
+                           g->pending_skip});
+  }
+  return cut;
+}
+
+void MergeLearner::RestoreCut(const std::vector<CutEntry>& cut,
+                              std::uint64_t delivered_count) {
+  for (const auto& entry : cut) {
+    for (auto& g : groups_) {
+      if (g->source->ack_ring() != entry.ring) continue;
+      g->source->StartAt(entry.next_instance);
+      g->pending_skip = entry.pending_skip;
+      break;
+    }
+  }
+  total_delivered_ = delivered_count;
 }
 
 }  // namespace mrp::multiring

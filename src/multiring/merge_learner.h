@@ -53,6 +53,8 @@ class RingGroupSource final : public GroupSource {
     return opts_.subscribe_only;
   }
   RingId ack_ring() const override { return opts_.ring.ring; }
+  InstanceId next_instance() const override { return core_.next_instance(); }
+  void StartAt(InstanceId at) override { core_.StartAt(at); }
   const ringpaxos::LearnerCore& core() const { return core_; }
 
  private:
@@ -95,6 +97,11 @@ class MergeLearner final : public Protocol {
     // merge, skips included, before subscription filtering or latency
     // compensation. The RingId is the source's ack ring. Optional.
     std::function<void(RingId, InstanceId, const paxos::Value&)> on_decide;
+    // Recovery tap (src/recovery, docs/RECOVERY.md): fired whenever the
+    // round-robin wraps back to merge position 0 — the turn boundary at
+    // which CurrentCut() is a merge-consistent checkpoint cut. Keep it
+    // cheap: it runs once per completed merge round. Optional.
+    std::function<void()> on_turn_boundary;
   };
 
   explicit MergeLearner(Options opts);
@@ -127,6 +134,27 @@ class MergeLearner final : public Protocol {
   std::uint32_t quota(std::size_t idx) const { return quota_[idx]; }
   // Messages currently held back by latency compensation.
   std::size_t compensation_held() const { return comp_queue_.size(); }
+
+  // ---- Checkpoint & recovery (docs/RECOVERY.md) ----
+  // One group's resume position at a turn boundary.
+  struct CutEntry {
+    RingId ring = 0;
+    InstanceId next_instance = 0;  // everything below is delivered
+    std::uint64_t pending_skip = 0;
+  };
+  // The merge-consistent cut, in merge (ascending group) order. Only
+  // meaningful at a turn boundary (inside on_turn_boundary, or before
+  // any consumption).
+  std::vector<CutEntry> CurrentCut() const;
+  // True exactly when the merge sits at a turn boundary right now (also
+  // true before any consumption) — CurrentCut() is valid to take.
+  bool AtTurnBoundary() const { return current_ == 0 && consumed_ == 0; }
+  // Resumes a FRESH learner at a checkpoint cut: each source starts at
+  // its cut instance, pending skips are re-owed, and the delivery
+  // counter continues from the checkpoint. Must be called before
+  // OnStart. Entries whose ring no group matches are ignored.
+  void RestoreCut(const std::vector<CutEntry>& cut,
+                  std::uint64_t delivered_count);
 
  private:
   struct GroupState {

@@ -38,6 +38,9 @@ struct DeploymentOptions {
   bool batch_skips = true;  // false = Algorithm-1-literal skips (ablation)
   bool skip_resync = false;  // absolute lambda*t schedule (extension)
   std::size_t trim_keep = 50'000;  // acceptor log retention (instances)
+  // Safety-tied trimming (docs/RECOVERY.md): acceptors only trim below
+  // the stable checkpoint frontier advertised by a CheckpointCoordinator.
+  bool frontier_gated_trim = false;
   Duration suspect_after = Millis(100);
   Duration heartbeat_interval = Millis(20);
   // ---- Geo placement (docs/TOPOLOGY.md) ----
@@ -223,6 +226,7 @@ class SimDeployment {
     cfg.batch_skips = opts_.batch_skips;
     cfg.skip_resync = opts_.skip_resync;
     cfg.trim_keep = opts_.trim_keep;
+    cfg.frontier_gated_trim = opts_.frontier_gated_trim;
     cfg.suspect_after = opts_.suspect_after;
     cfg.heartbeat_interval = opts_.heartbeat_interval;
 

@@ -4,6 +4,7 @@
 
 #include "paxos/messages.h"
 #include "paxos/value.h"
+#include "recovery/messages.h"
 #include "ringpaxos/messages.h"
 #include "smr/command.h"
 
@@ -41,6 +42,10 @@ enum class Tag : std::uint8_t {
   kTrimNotice = 14,
   kSmrSnapshotReq = 15,
   kSmrSnapshotRep = 16,
+  // Checkpoint & recovery data plane (src/recovery, docs/RECOVERY.md).
+  kSnapshotRequest = 17,
+  kSnapshotChunk = 18,
+  kSnapshotDone = 19,
   // Classic Paxos (plain-Paxos-backed groups over real transports).
   kPxSubmit = 20,
   kPxP1A = 21,
@@ -49,6 +54,10 @@ enum class Tag : std::uint8_t {
   kPxP2B = 24,
   kPxDecision = 25,
   kPxLearnReq = 26,
+  // Checkpoint & recovery control plane.
+  kCheckpointRequest = 27,
+  kCheckpointReport = 28,
+  kFrontierAdvert = 29,
 };
 
 void PutClientMsg(ByteWriter& w, const ClientMsg& m) {
@@ -132,6 +141,28 @@ std::optional<std::vector<Decided>> GetDecided(ByteReader& r) {
 void PutNodeList(ByteWriter& w, const std::vector<NodeId>& ns) {
   w.varint(ns.size());
   for (NodeId n : ns) w.u32(n);
+}
+
+void PutFrontiers(ByteWriter& w, const std::vector<recovery::RingFrontier>& fs) {
+  w.varint(fs.size());
+  for (const auto& f : fs) {
+    w.u32(f.ring);
+    w.u64(f.next_instance);
+  }
+}
+
+std::optional<std::vector<recovery::RingFrontier>> GetFrontiers(ByteReader& r) {
+  auto n = r.varint();
+  if (!n || *n > 100'000) return std::nullopt;
+  std::vector<recovery::RingFrontier> out;
+  out.reserve(ClampReserve(*n, r.remaining(), 12));
+  for (std::uint64_t i = 0; i < *n; ++i) {
+    auto ring = r.u32();
+    auto next = r.u64();
+    if (!ring || !next) return std::nullopt;
+    out.push_back({*ring, *next});
+  }
+  return out;
 }
 
 std::optional<std::vector<NodeId>> GetNodeList(ByteReader& r) {
@@ -241,6 +272,35 @@ Bytes EncodeMessage(const MessageBase& msg) {
       w.u64(k);
       w.str(v);
     }
+  } else if (const auto* m = dynamic_cast<const recovery::SnapshotRequest*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kSnapshotRequest));
+    w.u64(m->checkpoint_id);
+    w.u32(m->from_chunk);
+    w.u32(m->max_chunks);
+  } else if (const auto* m = dynamic_cast<const recovery::SnapshotChunk*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kSnapshotChunk));
+    w.u64(m->checkpoint_id);
+    w.u32(m->index);
+    w.u32(m->total_chunks);
+    w.bytes(m->data);
+  } else if (const auto* m = dynamic_cast<const recovery::SnapshotDone*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kSnapshotDone));
+    w.u64(m->checkpoint_id);
+    w.u32(m->total_chunks);
+    w.u64(m->total_bytes);
+    w.u64(m->digest);
+  } else if (const auto* m = dynamic_cast<const recovery::CheckpointRequest*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kCheckpointRequest));
+    w.u64(m->epoch);
+  } else if (const auto* m = dynamic_cast<const recovery::CheckpointReport*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kCheckpointReport));
+    w.u64(m->epoch);
+    w.u64(m->checkpoint_id);
+    PutFrontiers(w, m->frontiers);
+  } else if (const auto* m = dynamic_cast<const recovery::FrontierAdvert*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kFrontierAdvert));
+    w.u64(m->epoch);
+    PutFrontiers(w, m->frontiers);
   } else if (const auto* m = dynamic_cast<const paxos::SubmitReq*>(&msg)) {
     w.u8(static_cast<std::uint8_t>(Tag::kPxSubmit));
     PutClientMsg(w, m->msg);
@@ -429,6 +489,51 @@ MessagePtr DecodeMessage(std::span<const std::uint8_t> frame) {
         rows.emplace_back(*k, std::move(*v));
       }
       return MakeMessage<smr::SnapshotRep>(*part, *applied, std::move(rows));
+    }
+    case Tag::kSnapshotRequest: {
+      auto id = r.u64();
+      auto from = r.u32();
+      auto max = r.u32();
+      if (!id || !from || !max) return nullptr;
+      return MakeMessage<recovery::SnapshotRequest>(*id, *from, *max);
+    }
+    case Tag::kSnapshotChunk: {
+      auto id = r.u64();
+      auto index = r.u32();
+      auto total = r.u32();
+      auto data = r.bytes();
+      if (!id || !index || !total || !data) return nullptr;
+      return MakeMessage<recovery::SnapshotChunk>(*id, *index, *total,
+                                                  std::move(*data));
+    }
+    case Tag::kSnapshotDone: {
+      auto id = r.u64();
+      auto total = r.u32();
+      auto bytes = r.u64();
+      auto digest = r.u64();
+      if (!id || !total || !bytes || !digest) return nullptr;
+      return MakeMessage<recovery::SnapshotDone>(*id, *total, *bytes, *digest);
+    }
+    case Tag::kCheckpointRequest: {
+      auto epoch = r.u64();
+      if (!epoch) return nullptr;
+      return MakeMessage<recovery::CheckpointRequest>(*epoch);
+    }
+    case Tag::kCheckpointReport: {
+      auto epoch = r.u64();
+      auto id = r.u64();
+      if (!epoch || !id) return nullptr;
+      auto frontiers = GetFrontiers(r);
+      if (!frontiers) return nullptr;
+      return MakeMessage<recovery::CheckpointReport>(*epoch, *id,
+                                                     std::move(*frontiers));
+    }
+    case Tag::kFrontierAdvert: {
+      auto epoch = r.u64();
+      auto frontiers = GetFrontiers(r);
+      if (!epoch || !frontiers) return nullptr;
+      return MakeMessage<recovery::FrontierAdvert>(*epoch,
+                                                   std::move(*frontiers));
     }
     case Tag::kPxSubmit: {
       auto msg = GetClientMsg(r);

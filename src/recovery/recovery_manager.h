@@ -1,0 +1,99 @@
+// RecoveryManager: the pull side of peer snapshot transfer
+// (docs/RECOVERY.md). A crashed/new learner asks a peer for its latest
+// checkpoint (SnapshotRequest), reassembles the indexed SnapshotChunk
+// stream — loss, reordering and duplication are all absorbed by keeping
+// a chunk map and re-requesting from the first gap — verifies the
+// SnapshotDone digest, and hands the decoded Checkpoint to the host so
+// it can restore application state and resume the merge at the cut.
+//
+// Fault handling: a retry timer re-requests missing chunks with
+// exponential backoff; after `peer_fail_after` retries without any
+// progress the transfer restarts from scratch against the next peer in
+// the list (mid-transfer peer crash). Peers that answer "no checkpoint
+// available" (SnapshotDone{total_chunks=0}) also rotate. If every peer
+// is exhausted the manager completes with an EMPTY checkpoint — the
+// host then cold-starts from instance 0, which is the pre-recovery
+// behaviour and always safe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/env.h"
+#include "recovery/checkpoint.h"
+#include "recovery/messages.h"
+
+namespace mrp::recovery {
+
+class RecoveryManager {
+ public:
+  struct Options {
+    // Peer learners able to serve snapshots, tried in order.
+    std::vector<NodeId> peers;
+    // Base retry delay; doubles per stalled retry up to 8x.
+    Duration retry_interval = Millis(25);
+    // Chunks requested per SnapshotRequest (flow-control window).
+    std::uint32_t window = 16;
+    // Stalled retries against one peer before rotating to the next.
+    int peer_fail_after = 4;
+    // Full rotations over the peer list before giving up and completing
+    // with an empty checkpoint (cold start).
+    int max_rotations = 3;
+  };
+
+  using DoneFn = std::function<void(Checkpoint)>;
+
+  explicit RecoveryManager(Options opts) : opts_(std::move(opts)) {}
+
+  // Begins the transfer; `done` fires exactly once.
+  void Start(Env& env, DoneFn done);
+
+  // Feeds SnapshotChunk / SnapshotDone messages; returns true if the
+  // message belonged to this transfer.
+  bool OnMessage(Env& env, NodeId from, const MessagePtr& m);
+
+  bool active() const { return active_; }
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t peer_rotations() const { return peer_rotations_; }
+  std::uint64_t chunks_received() const { return chunks_rx_; }
+
+ private:
+  void RequestMissing(Env& env);
+  void ArmRetry(Env& env);
+  void RotatePeer(Env& env);
+  void TryComplete(Env& env);
+  void Finish(Env& env, Checkpoint cp);
+  std::uint32_t FirstGap() const;
+
+  Options opts_;
+  DoneFn done_;
+  bool active_ = false;
+
+  std::size_t peer_idx_ = 0;
+  int rotations_ = 0;
+  int stalled_ = 0;
+
+  std::uint64_t pinned_id_ = 0;  // 0 until the first chunk pins one
+  std::uint32_t total_chunks_ = 0;
+  std::uint64_t expected_digest_ = 0;
+  bool done_seen_ = false;
+  std::map<std::uint32_t, Bytes> chunks_;
+  std::uint64_t progress_mark_ = 0;  // chunks_rx_ at the last retry
+
+  TimerId retry_timer_ = kNoTimer;
+
+  std::uint64_t retries_ = 0;
+  std::uint64_t peer_rotations_ = 0;
+  std::uint64_t chunks_rx_ = 0;
+
+  // Lazy instruments (the manager lives on recovery-enabled nodes only).
+  Counter* ctr_chunks_rx_ = nullptr;
+  Counter* ctr_retries_ = nullptr;
+  Counter* ctr_rotations_ = nullptr;
+  Counter* ctr_restores_ = nullptr;
+  Counter* ctr_digest_mismatch_ = nullptr;
+};
+
+}  // namespace mrp::recovery

@@ -1,0 +1,154 @@
+// Simulation glue for the checkpoint & recovery subsystem: helpers that
+// drop a CheckpointCoordinator and RecoverableLearners into a
+// multiring::SimDeployment, plus HashApp — a tiny deterministic
+// Snapshottable used by the fuzzer, the determinism probe and the
+// recovery bench. Header-only; including src/sim here is fine (only
+// src/runtime is off-limits to protocol code — tools/lint/mrp_lint).
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "multiring/sim_deployment.h"
+#include "paxos/value.h"
+#include "recovery/checkpoint.h"
+#include "recovery/recoverable_learner.h"
+#include "sim/snapshot_disk.h"
+
+namespace mrp::recovery {
+
+// Deterministic application state: an FNV-1a chain over every delivered
+// message plus a counter. Two learners with identical subscriptions
+// reach identical (count, digest) at the same delivery index, and a
+// restored HashApp continues the chain exactly where the snapshot cut
+// it — which makes divergence after recovery loudly visible.
+class HashApp final : public Snapshottable {
+ public:
+  void Apply(GroupId group, const paxos::ClientMsg& m) {
+    Mix(group);
+    Mix(m.proposer);
+    Mix(m.seq);
+    for (std::uint8_t b : m.payload) {
+      digest_ ^= b;
+      digest_ *= 1099511628211ULL;
+    }
+    ++count_;
+  }
+
+  Bytes SnapshotState() const override {
+    ByteWriter w(16);
+    w.u64(count_);
+    w.u64(digest_);
+    return w.take();
+  }
+
+  bool RestoreState(const Bytes& bytes) override {
+    ByteReader r(bytes);
+    auto count = r.u64();
+    auto digest = r.u64();
+    if (!count || !digest || !r.done()) return false;
+    count_ = *count;
+    digest_ = *digest;
+    return true;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t digest() const { return digest_; }
+
+ private:
+  void Mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      digest_ ^= (v >> (8 * i)) & 0xff;
+      digest_ *= 1099511628211ULL;
+    }
+  }
+
+  std::uint64_t count_ = 0;
+  std::uint64_t digest_ = 14695981039346656037ULL;
+};
+
+// One recovery-enabled learner living on a sim node. `disk` (the
+// simulated snapshot persistence) is owned here so it survives
+// crash-replacing the protocol object — like a real disk would.
+struct SimRecoveryNode {
+  sim::SimNode* node = nullptr;
+  RecoverableLearner* learner = nullptr;  // owned by the node
+  std::unique_ptr<sim::SimSnapshotPersistence> disk;
+};
+
+// Fills `mo.groups` with one LearnerOptions per listed ring of `d` and
+// subscribes `node` to those rings' data + control channels.
+inline void SubscribeLearnerRings(multiring::SimDeployment& d,
+                                  sim::SimNode& node,
+                                  const std::vector<int>& rings,
+                                  multiring::MergeLearner::Options& mo) {
+  for (int r : rings) {
+    ringpaxos::LearnerOptions lo;
+    lo.ring = d.ring(r);
+    mo.groups.push_back(lo);
+    d.net().Subscribe(node.self(), d.ring(r).data_channel);
+    d.net().Subscribe(node.self(), d.ring(r).control_channel);
+  }
+}
+
+// Adds a RecoverableLearner subscribed to `rings`. `opts.merge.groups`
+// must be empty (the harness fills it); callers pre-set taps, app,
+// coordinator and fetch peers. With `with_sim_disk`, checkpoint
+// durability runs through the simulated disk's cost model.
+inline SimRecoveryNode AddRecoverableLearner(multiring::SimDeployment& d,
+                                             const std::vector<int>& rings,
+                                             RecoverableLearner::Options opts,
+                                             bool with_sim_disk = true) {
+  SimRecoveryNode out;
+  out.node = &d.net().AddNode();
+  if (with_sim_disk) {
+    out.disk = std::make_unique<sim::SimSnapshotPersistence>(*out.node);
+    opts.persistence = out.disk.get();
+  }
+  SubscribeLearnerRings(d, *out.node, rings, opts.merge);
+  auto learner = std::make_unique<RecoverableLearner>(std::move(opts));
+  out.learner = learner.get();
+  out.node->BindProtocol(std::move(learner));
+  return out;
+}
+
+// Crash-revives `h` with a fresh protocol object that bootstraps from
+// `opts.fetch.peers` before going live (subscriptions and the sim disk
+// survive the crash; in-memory protocol state does not).
+inline RecoverableLearner* ReviveRecoverableLearner(
+    multiring::SimDeployment& d, SimRecoveryNode& h,
+    const std::vector<int>& rings, RecoverableLearner::Options opts) {
+  opts.recover_on_start = true;
+  if (h.disk) opts.persistence = h.disk.get();
+  for (int r : rings) {
+    ringpaxos::LearnerOptions lo;
+    lo.ring = d.ring(r);
+    opts.merge.groups.push_back(lo);
+  }
+  auto learner = std::make_unique<RecoverableLearner>(std::move(opts));
+  auto* raw = learner.get();
+  h.learner = raw;
+  h.node->ReplaceProtocol(std::move(learner));
+  return raw;
+}
+
+// Binds a CheckpointCoordinator driving `learners` onto `node` (create
+// the node first so the learners' Options can name it). Adverts go out
+// on every ring's control channel.
+inline CheckpointCoordinator* BindCheckpointCoordinator(
+    multiring::SimDeployment& d, sim::SimNode& node,
+    std::vector<NodeId> learners, Duration interval = Millis(250)) {
+  CheckpointCoordinator::Options co;
+  co.interval = interval;
+  co.learners = std::move(learners);
+  for (int r = 0; r < d.n_rings(); ++r) {
+    co.rings.emplace_back(d.ring(r).ring, d.ring(r).control_channel);
+  }
+  auto coord = std::make_unique<CheckpointCoordinator>(std::move(co));
+  auto* raw = coord.get();
+  node.BindProtocol(std::move(coord));
+  return raw;
+}
+
+}  // namespace mrp::recovery

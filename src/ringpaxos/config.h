@@ -78,6 +78,14 @@ struct RingConfig {
 
   // Acceptors keep this many decided instances for learner recovery.
   std::size_t trim_keep = 50'000;
+  // Safety-tied trimming (docs/RECOVERY.md): when true, the acceptor
+  // additionally never trims at or above the cluster-wide stable
+  // checkpoint frontier advertised by the CheckpointCoordinator on the
+  // control channel (recovery::FrontierAdvert). Until a frontier is
+  // heard NOTHING is trimmed — a recovering learner must always find
+  // every instance its restored checkpoint does not cover. False keeps
+  // the unconditional trim_keep retention policy.
+  bool frontier_gated_trim = false;
 
   std::vector<NodeId> Universe() const {
     std::vector<NodeId> u = ring_members;

@@ -90,6 +90,14 @@ class LearnerCore {
 
   InstanceId next_instance() const { return window_.next(); }
 
+  // Positions a FRESH core at `at`: every instance below is covered by a
+  // checkpoint (docs/RECOVERY.md) and will never be popped. Must be
+  // called before any message is consumed; a no-op for targets at or
+  // behind the window.
+  void StartAt(InstanceId at) {
+    if (at > window_.next()) window_.Skip(at - window_.next());
+  }
+
   // Messages buffered: decided-but-unconsumed plus cached-undecided.
   std::size_t buffered_msgs() const { return buffered_msgs_; }
   std::size_t cache_entries() const { return cache_.size(); }

@@ -6,6 +6,8 @@
 
 #include "common/logging.h"
 #include "common/trace.h"
+// Header-only message definitions; no link dependency on mrp_recovery.
+#include "recovery/messages.h"
 
 namespace mrp::ringpaxos {
 
@@ -63,6 +65,21 @@ ValueId RingNode::NextVid() {
 // ---------------------------------------------------------- message pump
 
 void RingNode::OnMessage(Env& env, NodeId from, const MessagePtr& m) {
+  // Frontier adverts are cluster-scoped (one message lists every ring)
+  // rather than RingMessages, so they are dispatched before the ring
+  // filter below.
+  if (const auto* advert = Cast<recovery::FrontierAdvert>(m)) {
+    if (!cfg_.frontier_gated_trim) return;
+    for (const auto& f : advert->frontiers) {
+      if (f.ring == cfg_.ring && f.next_instance > stable_frontier_) {
+        stable_frontier_ = f.next_instance;
+        TraceProtocolEvent(env.now(), env.self(), cfg_.ring, stable_frontier_,
+                           "acceptor", "stable_frontier", advert->epoch);
+      }
+    }
+    AdvanceDecidedWatermark();
+    return;
+  }
   const auto* rm = dynamic_cast<const RingMessage*>(m.get());
   if (rm == nullptr || rm->ring != cfg_.ring) return;
 
@@ -191,7 +208,15 @@ void RingNode::AdvanceDecidedWatermark() {
     decided_watermark_ += rec->accepted->LogicalInstances();
   }
   if (decided_watermark_ > cfg_.trim_keep) {
-    const InstanceId below = decided_watermark_ - cfg_.trim_keep;
+    InstanceId below = decided_watermark_ - cfg_.trim_keep;
+    // Safety-tied trimming (docs/RECOVERY.md): with frontier gating the
+    // trim point is capped by the cluster-wide stable checkpoint
+    // frontier, so a recovering learner can always replay from its
+    // restored cut. Until a frontier is advertised nothing is trimmed.
+    if (cfg_.frontier_gated_trim && below > stable_frontier_) {
+      below = stable_frontier_;
+    }
+    if (below == 0) return;
     core_.storage().Trim(below);
     decided_vids_.erase(decided_vids_.begin(), decided_vids_.lower_bound(below));
     accept_marks_.erase(accept_marks_.begin(), accept_marks_.lower_bound(below));
@@ -202,12 +227,13 @@ void RingNode::AdvanceDecidedWatermark() {
 void RingNode::OnLearnReq(Env& env, NodeId from, const LearnReq& msg) {
   // History below the trim point is gone: report the replayable window
   // so the learner can fast-forward into it (applications recover the
-  // earlier state from snapshots).
-  const InstanceId log_base =
-      decided_watermark_ > cfg_.trim_keep ? decided_watermark_ - cfg_.trim_keep : 0;
-  if (msg.from_instance < log_base) {
+  // earlier state from snapshots). With frontier-gated trimming the
+  // window extends down to the stable checkpoint frontier (log_base()
+  // applies the clamp), so a restored learner never fast-forwards.
+  const InstanceId base = log_base();
+  if (msg.from_instance < base) {
     env.Send(from,
-             MakeMessage<TrimNotice>(cfg_.ring, log_base, decided_watermark_));
+             MakeMessage<TrimNotice>(cfg_.ring, base, decided_watermark_));
     return;
   }
   std::vector<LearnRep::Entry> entries;

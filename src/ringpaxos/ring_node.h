@@ -63,6 +63,19 @@ class RingNode final : public Protocol {
   std::size_t pending_msgs() const { return pending_.size(); }
   const RingConfig& config() const { return cfg_; }
   InstanceId decided_watermark() const { return decided_watermark_; }
+  // Stable checkpoint frontier heard from the coordinator; only
+  // meaningful with cfg.frontier_gated_trim (docs/RECOVERY.md).
+  InstanceId stable_frontier() const { return stable_frontier_; }
+  // The lowest instance this acceptor can still serve to learners.
+  InstanceId log_base() const {
+    InstanceId base = decided_watermark_ > cfg_.trim_keep
+                          ? decided_watermark_ - cfg_.trim_keep
+                          : 0;
+    if (cfg_.frontier_gated_trim && base > stable_frontier_) {
+      base = stable_frontier_;
+    }
+    return base;
+  }
   // Debug/diagnostic view of one instance's acceptor-side state.
   struct InstanceDebug {
     bool has_decided_vid = false;
@@ -152,6 +165,9 @@ class RingNode final : public Protocol {
   std::map<InstanceId, P2B> pending_p2b_;
   std::map<InstanceId, ValueId> decided_vids_;
   InstanceId decided_watermark_ = 0;  // everything below is decided
+  // Highest stable checkpoint frontier advertised by the coordinator
+  // (monotone; trimming is capped by it when frontier_gated_trim).
+  InstanceId stable_frontier_ = 0;
 
   // Coordinator state.
   std::deque<paxos::ClientMsg> pending_;

@@ -140,6 +140,15 @@ const paxos::AcceptorRecord* FileStorage::Get(InstanceId instance) const {
 }
 
 void FileStorage::Trim(InstanceId below) {
+  // Safety-tied trimming: never discard records a recovering learner
+  // can still need — everything at or above the stable checkpoint
+  // frontier stays, whatever the caller's trim policy computed
+  // (docs/RECOVERY.md). Compact() rewrites from records_, so the
+  // retained entries also survive every future compaction.
+  if (frontier_set_ && below > checkpoint_frontier_) {
+    below = checkpoint_frontier_;
+    ++trims_clamped_;
+  }
   // In-memory trim; the on-disk log keeps superseded records until
   // Compact() rewrites it with only the retained state.
   records_.erase(records_.begin(), records_.lower_bound(below));

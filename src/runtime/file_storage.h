@@ -49,11 +49,32 @@ class FileStorage final : public paxos::Storage {
   // since the last compaction AND more than half of the appended records
   // are garbage (superseded by re-Puts or erased by Trim). Returns true
   // if a compaction ran. NodeRuntime::EnableLogCompaction calls this on
-  // a timer; tests and tools may call it directly.
+  // a timer; tests and tools may call it directly. Records at or above
+  // the stable checkpoint frontier are never dropped: Trim() clamps to
+  // it, so the rewrite retains everything a recovering learner can
+  // still ask for (docs/RECOVERY.md).
   bool MaybeCompact(std::uint64_t min_bytes = 1 << 20);
+
+  // Safety-tied trimming (docs/RECOVERY.md): once set, Trim() refuses
+  // to discard records at or above `frontier` — the cluster-wide stable
+  // checkpoint frontier advertised by the CheckpointCoordinator —
+  // regardless of what the caller asks for, and MaybeCompact therefore
+  // cannot persist their removal either. Monotone: a lower frontier
+  // than the current one is ignored. Unset (the default) keeps the
+  // caller-driven policy for deployments without the recovery
+  // subsystem.
+  void SetCheckpointFrontier(InstanceId frontier) {
+    if (!frontier_set_ || frontier > checkpoint_frontier_) {
+      checkpoint_frontier_ = frontier;
+    }
+    frontier_set_ = true;
+  }
+  bool has_checkpoint_frontier() const { return frontier_set_; }
+  InstanceId checkpoint_frontier() const { return checkpoint_frontier_; }
 
   std::uint64_t bytes_written() const { return bytes_written_; }
   std::uint64_t compactions() const { return compactions_; }
+  std::uint64_t trims_clamped() const { return trims_clamped_; }
 
  private:
   void Append(InstanceId instance, const paxos::AcceptorRecord& record);
@@ -67,6 +88,10 @@ class FileStorage final : public paxos::Storage {
   // garbage fraction is appends_in_log_ vs live records_.size().
   std::uint64_t appends_in_log_ = 0;
   std::uint64_t bytes_in_log_ = 0;
+  // Stable checkpoint frontier guard (docs/RECOVERY.md).
+  bool frontier_set_ = false;
+  InstanceId checkpoint_frontier_ = 0;
+  std::uint64_t trims_clamped_ = 0;
 };
 
 }  // namespace mrp::runtime

@@ -1,0 +1,44 @@
+#include "runtime/snapshot_persistence.h"
+
+#include <utility>
+
+#include "paxos/value.h"
+
+namespace mrp::runtime {
+
+FileSnapshotPersistence::FileSnapshotPersistence(std::string path,
+                                                std::size_t keep)
+    : keep_(keep < 1 ? 1 : keep), storage_(std::move(path)) {}
+
+std::size_t FileSnapshotPersistence::Load() { return storage_.Load(); }
+
+void FileSnapshotPersistence::Persist(std::uint64_t id, const Bytes& bytes,
+                                      std::function<void()> done) {
+  paxos::ClientMsg carrier;
+  carrier.seq = id;
+  carrier.payload_size = static_cast<std::uint32_t>(bytes.size());
+  carrier.payload = bytes;
+  paxos::AcceptorRecord rec;
+  rec.accepted = paxos::Value::Batch({std::move(carrier)});
+  storage_.Put(id, std::move(rec), bytes.size(), std::move(done));
+  // Retain the last `keep_` checkpoints; the frontier guard does not
+  // apply here (the archive's instances are checkpoint ids, not
+  // consensus instances), so set no frontier on `storage_`.
+  if (id > keep_) storage_.Trim(id - keep_);
+  storage_.MaybeCompact();
+  storage_.Flush();
+}
+
+std::optional<Bytes> FileSnapshotPersistence::LoadLatest() {
+  std::uint64_t best_id = 0;
+  const Bytes* best = nullptr;
+  storage_.ForEachFrom(0, [&](InstanceId id, paxos::AcceptorRecord& rec) {
+    if (id < best_id || !rec.accepted || rec.accepted->msgs.size() != 1) return;
+    best_id = id;
+    best = &rec.accepted->msgs[0].payload;
+  });
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+}  // namespace mrp::runtime

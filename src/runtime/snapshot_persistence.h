@@ -1,0 +1,39 @@
+// FileSnapshotPersistence: durable checkpoint archive for the real
+// runtime, persisted through runtime/file_storage (docs/RECOVERY.md).
+// Each encoded checkpoint is framed as one AcceptorRecord whose accepted
+// value carries the blob as a single client-message payload, keyed by
+// the checkpoint id as the instance — which buys the append-only log,
+// crash-safe replay (Load) and atomic compaction FileStorage already
+// implements. Older checkpoints are trimmed as new ones land so the
+// archive holds the last `keep` blobs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "recovery/snapshot_store.h"
+#include "runtime/file_storage.h"
+
+namespace mrp::runtime {
+
+class FileSnapshotPersistence final : public recovery::SnapshotPersistence {
+ public:
+  explicit FileSnapshotPersistence(std::string path, std::size_t keep = 2);
+
+  // Replays an existing archive; returns the number of checkpoints
+  // recovered. Call before serving (mirrors FileStorage::Load).
+  std::size_t Load();
+
+  // ---- recovery::SnapshotPersistence ----
+  void Persist(std::uint64_t id, const Bytes& bytes,
+               std::function<void()> done) override;
+  std::optional<Bytes> LoadLatest() override;
+
+  FileStorage& storage() { return storage_; }
+
+ private:
+  std::size_t keep_;
+  FileStorage storage_;
+};
+
+}  // namespace mrp::runtime

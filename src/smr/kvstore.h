@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/bytes.h"
 #include "smr/command.h"
 
 namespace mrp::smr {
@@ -32,6 +33,37 @@ class KvStore {
   }
 
   std::size_t size() const { return data_.size(); }
+
+  // Full-store serialization for checkpoints (docs/RECOVERY.md):
+  // deterministic (map order) and round-trip exact, so a restored
+  // store's Fingerprint matches the source's.
+  Bytes Serialize() const {
+    ByteWriter w;
+    w.varint(data_.size());
+    for (const auto& [k, v] : data_) {
+      w.u64(k);
+      w.str(v);
+    }
+    return w.take();
+  }
+
+  // Replaces the store contents; false (store untouched) on malformed
+  // input.
+  bool Deserialize(const Bytes& bytes) {
+    ByteReader r(bytes);
+    auto n = r.varint();
+    if (!n || *n > 50'000'000) return false;
+    std::map<Key, std::string> fresh;
+    for (std::uint64_t i = 0; i < *n; ++i) {
+      auto k = r.u64();
+      auto v = r.str();
+      if (!k || !v) return false;
+      fresh.emplace_hint(fresh.end(), *k, std::move(*v));
+    }
+    if (!r.done()) return false;
+    data_ = std::move(fresh);
+    return true;
+  }
 
   // Order-sensitive content hash (FNV-1a over keys and values).
   std::uint64_t Fingerprint() const {

@@ -131,4 +131,24 @@ void Replica::Execute(Env& env, const Command& cmd) {
   }
 }
 
+Bytes Replica::SnapshotState() const {
+  ByteWriter w;
+  w.u64(applied_);
+  w.bytes(store_.Serialize());
+  return w.take();
+}
+
+bool Replica::RestoreState(const Bytes& bytes) {
+  ByteReader r(bytes);
+  auto applied = r.u64();
+  auto rows = r.bytes();
+  if (!applied || !rows || !r.done()) return false;
+  if (!store_.Deserialize(*rows)) return false;
+  applied_ = *applied;
+  // A restored replica is by definition caught up to the checkpoint; it
+  // does not need the peer bootstrap path.
+  bootstrapped_ = true;
+  return true;
+}
+
 }  // namespace mrp::smr

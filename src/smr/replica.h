@@ -15,6 +15,7 @@
 
 #include "common/env.h"
 #include "multiring/merge_learner.h"
+#include "recovery/snapshottable.h"
 #include "smr/command.h"
 #include "smr/kvstore.h"
 
@@ -44,12 +45,18 @@ struct ReplicaConfig {
   std::function<void(const Command&)> on_apply;
 };
 
-class Replica final : public Protocol {
+class Replica final : public Protocol, public recovery::Snapshottable {
  public:
   explicit Replica(ReplicaConfig cfg);
 
   void OnStart(Env& env) override;
   void OnMessage(Env& env, NodeId from, const MessagePtr& m) override;
+
+  // ---- recovery::Snapshottable (docs/RECOVERY.md) ----
+  // Captures/installs the applied counter plus the full KV store; a
+  // restored replica's store Fingerprint equals the source's.
+  Bytes SnapshotState() const override;
+  bool RestoreState(const Bytes& bytes) override;
 
   const KvStore& store() const { return store_; }
   std::uint64_t applied() const { return applied_; }

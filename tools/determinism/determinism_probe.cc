@@ -17,6 +17,13 @@
 //   --perturb-heap <u64> allocate a salted pattern of decoy blocks before
 //                        building the deployment, so every node lands at
 //                        a different heap address than in a plain run
+//   --recovery           enable the checkpoint & recovery subsystem: a
+//                        CheckpointCoordinator + two recoverable
+//                        learners, one of which crash-loses its state
+//                        mid-run and bootstraps back from its peer's
+//                        snapshot — the gate then proves checkpointing,
+//                        snapshot transfer and restore are themselves
+//                        byte-deterministic (docs/RECOVERY.md)
 //   --out-trace <file>   JSONL trace output (required)
 //   --out-metrics <file> metrics JSON output (required)
 #include <cstdint>
@@ -31,6 +38,7 @@
 #include "common/rand.h"
 #include "common/trace.h"
 #include "multiring/sim_deployment.h"
+#include "recovery/sim_harness.h"
 #include "ringpaxos/proposer.h"
 
 namespace {
@@ -40,6 +48,13 @@ const char* FlagValue(int argc, char** argv, const char* flag) {
     if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
   }
   return nullptr;
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
 }
 
 std::uint64_t FlagU64(int argc, char** argv, const char* flag,
@@ -86,6 +101,7 @@ int main(int argc, char** argv) {
   const int sites = static_cast<int>(FlagU64(argc, argv, "--sites", 1));
   const auto run_ms =
       static_cast<std::int64_t>(FlagU64(argc, argv, "--run-ms", 500));
+  const bool recovery = HasFlag(argc, argv, "--recovery");
 
   std::vector<std::unique_ptr<char[]>> ballast;
   if (FlagValue(argc, argv, "--perturb-heap") != nullptr) {
@@ -110,6 +126,7 @@ int main(int argc, char** argv) {
       opts.ring_sites.push_back(static_cast<mrp::sim::SiteId>(r % sites));
     }
   }
+  if (recovery) opts.frontier_gated_trim = true;
   mrp::multiring::SimDeployment d(opts);
 
   // One merge learner over all rings plus a single-ring learner, so both
@@ -118,6 +135,52 @@ int main(int argc, char** argv) {
   for (int r = 0; r < rings; ++r) all_rings.push_back(r);
   d.AddMergeLearner(all_rings);
   d.AddRingLearner(0);
+
+  // --recovery: coordinator + two recoverable learners; rec-b crash-loses
+  // its state at 40% of the run and bootstraps from rec-a at 60%. All of
+  // it lands in the same trace/metrics outputs the gate byte-compares.
+  std::vector<std::unique_ptr<mrp::recovery::HashApp>> apps;
+  mrp::recovery::SimRecoveryNode rec_a;
+  mrp::recovery::SimRecoveryNode rec_b;
+  auto make_rec_opts = [&](bool target) {
+    mrp::recovery::RecoverableLearner::Options ro;
+    apps.push_back(std::make_unique<mrp::recovery::HashApp>());
+    auto* app = apps.back().get();
+    ro.app = app;
+    ro.merge.on_deliver = [app](mrp::GroupId g,
+                                const mrp::paxos::ClientMsg& m) {
+      app->Apply(g, m);
+    };
+    if (target) ro.fetch.peers = {rec_a.node->self()};
+    return ro;
+  };
+  if (recovery) {
+    auto& coord_node = d.net().AddNode();
+    auto opts_a = make_rec_opts(false);
+    opts_a.coordinator = coord_node.self();
+    rec_a = mrp::recovery::AddRecoverableLearner(d, all_rings,
+                                                 std::move(opts_a));
+    auto opts_b = make_rec_opts(true);
+    opts_b.coordinator = coord_node.self();
+    rec_b = mrp::recovery::AddRecoverableLearner(d, all_rings,
+                                                 std::move(opts_b));
+    mrp::recovery::BindCheckpointCoordinator(
+        d, coord_node, {rec_a.node->self(), rec_b.node->self()},
+        mrp::Millis(100));
+    auto& sched = d.net().scheduler();
+    const mrp::NodeId coord_id = coord_node.self();
+    sched.At(mrp::TimePoint(mrp::Millis(run_ms * 2 / 5).count()),
+             [&rec_b] { rec_b.node->SetDown(true); });
+    sched.At(mrp::TimePoint(mrp::Millis(run_ms * 3 / 5).count()),
+             [&d, &rec_b, &make_rec_opts, &all_rings, coord_id] {
+               auto ro = make_rec_opts(true);
+               ro.coordinator = coord_id;
+               mrp::recovery::ReviveRecoverableLearner(d, rec_b, all_rings,
+                                                       std::move(ro));
+               rec_b.node->SetDown(false);
+               rec_b.node->Start();
+             });
+  }
 
   // Two closed-loop clients per ring.
   for (int r = 0; r < rings; ++r) {

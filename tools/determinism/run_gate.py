@@ -28,12 +28,15 @@ def first_diff(path_a, path_b):
     return "files differ in length"
 
 
-def run_probe(probe, out_base, seed, rings, run_ms, sites, perturb):
+def run_probe(probe, out_base, seed, rings, run_ms, sites, recovery,
+              perturb):
     trace = out_base + ".trace.jsonl"
     metrics = out_base + ".metrics.json"
     cmd = [probe, "--seed", str(seed), "--rings", str(rings),
            "--run-ms", str(run_ms), "--sites", str(sites),
            "--out-trace", trace, "--out-metrics", metrics]
+    if recovery:
+        cmd.append("--recovery")
     env = dict(os.environ)
     if perturb:
         cmd += ["--perturb-heap", str(0x9E3779B9 ^ seed)]
@@ -59,6 +62,9 @@ def main():
     # >1 deploys the rings across a WAN full mesh (sim/topology.h), so
     # the gate also covers the topology layer's routing and RNG draws.
     ap.add_argument("--sites", type=int, default=1)
+    # Adds a checkpoint coordinator + two recoverable learners, with a
+    # mid-run crash/recover cycle of one of them (docs/RECOVERY.md).
+    ap.add_argument("--recovery", action="store_true")
     args = ap.parse_args()
 
     os.makedirs(args.workdir, exist_ok=True)
@@ -66,10 +72,12 @@ def main():
     for seed in [int(s) for s in args.seeds.split(",")]:
         base = os.path.join(args.workdir, f"seed{seed}")
         ref = run_probe(args.probe, base + ".a", seed, args.rings,
-                        args.run_ms, args.sites, perturb=False)
+                        args.run_ms, args.sites, args.recovery,
+                        perturb=False)
         for tag, perturb in (("rerun", False), ("perturbed", True)):
             got = run_probe(args.probe, f"{base}.{tag}", seed, args.rings,
-                            args.run_ms, args.sites, perturb=perturb)
+                            args.run_ms, args.sites, args.recovery,
+                            perturb=perturb)
             for kind, a, b in (("trace", ref[0], got[0]),
                                ("metrics", ref[1], got[1])):
                 if not filecmp.cmp(a, b, shallow=False):

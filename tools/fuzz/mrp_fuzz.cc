@@ -33,6 +33,7 @@
 
 #include "check/fault_plan.h"
 #include "check/oracles.h"
+#include "check/recovery_oracle.h"
 #include "common/rand.h"
 #include "common/trace.h"
 #include "common/types.h"
@@ -40,6 +41,7 @@
 #include "multiring/sim_deployment.h"
 #include "net/codec.h"
 #include "paxos/messages.h"
+#include "recovery/sim_harness.h"
 #include "ringpaxos/proposer.h"
 #include "ringpaxos/ring_node.h"
 #include "sim/topology.h"
@@ -132,6 +134,10 @@ RunStats RunPlan(const FaultPlan& plan, InstanceId inject_corrupt,
   opts.ring_size = shape.ring_size;
   opts.n_spares = shape.n_spares;
   opts.disk = true;  // recoverable acceptors; enables disk-stall faults
+  // Safety-tied trimming: acceptors only trim below the coordinator's
+  // stable checkpoint frontier (exercises the recovery subsystem's
+  // retention guarantee on every fuzz run).
+  opts.frontier_gated_trim = true;
   opts.net.seed = plan.seed;
   opts.net.loss_probability = kBaseLoss;
   opts.lambda_per_sec = 4000;
@@ -195,6 +201,58 @@ RunStats RunPlan(const FaultPlan& plan, InstanceId inject_corrupt,
   add_learner("merge-a", all_rings, /*acks=*/true, 0);
   add_learner("merge-b", all_rings, /*acks=*/false, inject_corrupt);
   add_learner("ring0-only", {0}, /*acks=*/false, 0);
+
+  // Two recovery-enabled learners (docs/RECOVERY.md): rec-a is the
+  // never-crashed reference (and snapshot server), rec-b the crash
+  // target of kLearnerCrash faults. Their checkpoints drive the
+  // coordinator's stable frontier, which gates all acceptor trimming.
+  check::RecoveryOracle recovery_oracle(&oracle);
+  auto& coord_node = d.net().AddNode();
+  // HashApps outlive crash-replaced protocol objects; revives push a
+  // fresh one (state loss) that the restore repopulates.
+  std::vector<std::unique_ptr<recovery::HashApp>> apps;
+  const int rec_a_idx = oracle.RegisterLearner(
+      "rec-a", std::vector<GroupId>(all_rings.begin(), all_rings.end()));
+  recovery::RecoverableLearner::Options ra;
+  ra.coordinator = coord_node.self();
+  apps.push_back(std::make_unique<recovery::HashApp>());
+  recovery::HashApp* app_a = apps.back().get();
+  ra.app = app_a;
+  ra.merge.on_decide = [&oracle, rec_a_idx](RingId ring, InstanceId inst,
+                                            const paxos::Value& v) {
+    MaybeProbe("rec-a", ring, inst, v);
+    oracle.OnDecide(rec_a_idx, ring, inst, v);
+  };
+  ra.merge.on_deliver = [&oracle, &recovery_oracle, rec_a_idx,
+                         app_a](GroupId g, const paxos::ClientMsg& m) {
+    oracle.OnDeliver(rec_a_idx, g, m);
+    recovery_oracle.OnReferenceDeliver(g, m);
+    app_a->Apply(g, m);
+  };
+  auto rec_a = recovery::AddRecoverableLearner(d, all_rings, std::move(ra));
+
+  auto make_rec_b_opts = [&]() {
+    recovery::RecoverableLearner::Options rb;
+    rb.coordinator = coord_node.self();
+    rb.fetch.peers = {rec_a.node->self()};
+    apps.push_back(std::make_unique<recovery::HashApp>());
+    auto* app = apps.back().get();
+    rb.app = app;
+    rb.merge.on_deliver = [&recovery_oracle, app](GroupId g,
+                                                  const paxos::ClientMsg& m) {
+      recovery_oracle.OnRecoveredDeliver(g, m);
+      app->Apply(g, m);
+    };
+    rb.on_restore = [&recovery_oracle](std::uint64_t resume_index,
+                                       const recovery::Checkpoint&) {
+      recovery_oracle.BeginRecovered(resume_index);
+    };
+    return rb;
+  };
+  auto rec_b = recovery::AddRecoverableLearner(d, all_rings, make_rec_b_opts());
+
+  recovery::BindCheckpointCoordinator(
+      d, coord_node, {rec_a.node->self(), rec_b.node->self()}, Millis(200));
 
   // Two closed-loop proposers per ring.
   std::vector<ringpaxos::Proposer*> props;
@@ -308,6 +366,21 @@ RunStats RunPlan(const FaultPlan& plan, InstanceId inject_corrupt,
         sched.At(heal_at, [&d, a, b] { d.net().SetLinkUp(a, b, true); });
         break;
       }
+      case FaultEvent::Kind::kLearnerCrash: {
+        // Crash-with-state-loss of the recovery target: at heal time a
+        // FRESH protocol object bootstraps from rec-a's snapshot. The
+        // replace happens while still down (clears timers without
+        // running OnStart), then the node resumes and starts.
+        rec_b.node->SetDown(true);
+        sched.At(heal_at, [&d, &rec_b, &make_rec_b_opts, &all_rings] {
+          if (!rec_b.node->down()) return;  // overlapping crash healed us
+          recovery::ReviveRecoverableLearner(d, rec_b, all_rings,
+                                             make_rec_b_opts());
+          rec_b.node->SetDown(false);
+          rec_b.node->Start();
+        });
+        break;
+      }
     }
   }
   d.net().RunUntil(std::max(plan.budget.horizon, last_end));
@@ -328,6 +401,9 @@ RunStats RunPlan(const FaultPlan& plan, InstanceId inject_corrupt,
   d.RunFor(kQuiesce);
 
   oracle.Finish();
+  // Restored-stream comparison: every crash-recovered segment of rec-b
+  // must be byte-identical to rec-a's stream from its resume index.
+  recovery_oracle.Finish();
 
   if (plan.budget.assert_liveness) {
     if (delivered_by_a.size() < kMinProgress) {
@@ -451,6 +527,12 @@ std::vector<Bytes> CodecCorpus() {
   add(TrimNotice(0, 100, 200));
   add(smr::SnapshotReq(0));
   add(smr::SnapshotRep(0, 12, {{1, "one"}, {2, "two"}}));
+  add(recovery::SnapshotRequest(0, 0, 16));
+  add(recovery::SnapshotChunk(3, 1, 4, {0x01, 0x02, 0x03}));
+  add(recovery::SnapshotDone(3, 4, 4096, 0xfeedfacecafebeefULL));
+  add(recovery::CheckpointRequest(7));
+  add(recovery::CheckpointReport(7, 7, {{0, 1200}, {1, 900}}));
+  add(recovery::FrontierAdvert(7, {{0, 1000}, {1, 800}}));
   add(smr::Response(9, 0, true, {{1, "one"}}));
   add(paxos::SubmitReq(cm));
   add(paxos::Phase1A(4, 2));
