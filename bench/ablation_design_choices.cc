@@ -45,7 +45,7 @@ void AblationBatchSize(Duration warm, Duration measure) {
     d.RunFor(measure);
     const auto w = learner->delivered().TakeWindow();
     std::printf("%-10zu %12.1f %10.0f %12.2f %14.0f\n", batch, w.Mbps(measure),
-                w.MsgPerSec(measure), learner->latency().TrimmedMean(0.05) / 1e6,
+                w.MsgPerSec(measure), Summarize(learner->latency()).trimmed_mean_ms,
                 static_cast<double>(d.coordinator(0)->decided_instances() - inst_before) /
                     ToSeconds(measure));
   }
@@ -84,7 +84,7 @@ void AblationSkipBatching(Duration warm, Duration measure) {
                 d.coordinator_node(0)->TakeCpuUtilisation() * 100,
                 static_cast<double>(d.coordinator(0)->skip_proposals() - props_before) /
                     ToSeconds(measure),
-                lat.TrimmedMean(0.05) / 1e6, mbps);
+                Summarize(lat).trimmed_mean_ms, mbps);
   }
 }
 
@@ -108,8 +108,8 @@ void AblationRingSize(Duration warm, Duration measure) {
       learner->latency().Reset();
       d.coordinator(0)->decide_latency().Reset();
       d.RunFor(measure);
-      light_lat = learner->latency().TrimmedMean(0.05) / 1e6;
-      decide_lat = d.coordinator(0)->decide_latency().TrimmedMean(0.05) / 1e6;
+      light_lat = Summarize(learner->latency()).trimmed_mean_ms;
+      decide_lat = Summarize(d.coordinator(0)->decide_latency()).trimmed_mean_ms;
     }
     {
       DeploymentOptions opts;

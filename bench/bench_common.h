@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.h"
 #include "common/trace.h"
 #include "multiring/merge_learner.h"
 #include "multiring/sim_deployment.h"
@@ -114,6 +115,35 @@ inline void PrintHeader(const std::string& title, const std::string& what) {
   std::printf("\n================================================================\n");
   std::printf("%s\n%s\n", title.c_str(), what.c_str());
   std::printf("================================================================\n");
+}
+
+// Latency percentiles of a Histogram of nanosecond samples. The single
+// place where benches (and the perf suite) turn histograms into
+// reported numbers, so the quantile set, the trim policy (5% highest
+// discarded, as in the paper) and the ns->ms scaling stay consistent.
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double p10_ms = 0;
+  double p50_ms = 0;
+  double p90_ms = 0;
+  double p99_ms = 0;
+  double trimmed_mean_ms = 0;
+  double p50_ns = 0;
+  double p99_ns = 0;
+};
+
+inline LatencySummary Summarize(const Histogram& h) {
+  LatencySummary s;
+  s.count = h.count();
+  if (s.count == 0) return s;
+  s.p50_ns = h.Quantile(0.50);
+  s.p99_ns = h.Quantile(0.99);
+  s.p10_ms = h.Quantile(0.10) / 1e6;
+  s.p50_ms = s.p50_ns / 1e6;
+  s.p90_ms = h.Quantile(0.90) / 1e6;
+  s.p99_ms = s.p99_ns / 1e6;
+  s.trimmed_mean_ms = h.TrimmedMean(0.05) / 1e6;
+  return s;
 }
 
 // One throughput/latency measurement of a deployment.

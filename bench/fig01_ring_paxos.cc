@@ -36,7 +36,7 @@ Measurement RunPoint(bool disk, int clients, Duration warm, Duration measure) {
   Measurement m;
   m.mbps = w.Mbps(measure);
   m.msg_per_s = w.MsgPerSec(measure);
-  m.latency_ms = learner->latency().TrimmedMean(0.05) / 1e6;
+  m.latency_ms = Summarize(learner->latency()).trimmed_mean_ms;
   m.max_cpu = std::max(d.coordinator_node(0)->TakeCpuUtilisation(),
                        d.acceptor_node(0, 1)->TakeCpuUtilisation());
   return m;

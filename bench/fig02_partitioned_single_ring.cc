@@ -82,7 +82,7 @@ Result RunPartitions(int partitions, Duration warm, Duration measure) {
   for (auto& pl : parts) total_bytes += pl->my_bytes;
   r.total_mbps = static_cast<double>(total_bytes) * 8 / ToSeconds(measure) / 1e6;
   r.per_partition_mbps = r.total_mbps / partitions;
-  r.latency_ms = parts[0]->learner->latency().TrimmedMean(0.05) / 1e6;
+  r.latency_ms = Summarize(parts[0]->learner->latency()).trimmed_mean_ms;
   return r;
 }
 

@@ -70,7 +70,7 @@ Measurement RunMultiRing(int partitions, bool disk, int clients_per_ring,
     m.msg_per_s += w.MsgPerSec(measure);
     lat.Merge(l->latency());
   }
-  m.latency_ms = lat.TrimmedMean(0.05) / 1e6;
+  m.latency_ms = Summarize(lat).trimmed_mean_ms;
   for (int r = 0; r < partitions; ++r) {
     m.max_cpu = std::max(m.max_cpu, d.coordinator_node(r)->TakeCpuUtilisation());
   }
@@ -95,7 +95,7 @@ Measurement RunSingleRing(int /*partitions*/, Duration warm, Duration measure) {
   const auto w = learner->delivered().TakeWindow();
   m.mbps = w.Mbps(measure);
   m.msg_per_s = w.MsgPerSec(measure);
-  m.latency_ms = learner->latency().TrimmedMean(0.05) / 1e6;
+  m.latency_ms = Summarize(learner->latency()).trimmed_mean_ms;
   m.max_cpu = d.coordinator_node(0)->TakeCpuUtilisation();
   return m;
 }
@@ -164,7 +164,7 @@ Measurement RunSpread(int daemons, Duration warm, Duration measure) {
     m.msg_per_s += w.MsgPerSec(measure);
     lat.Merge(c->latency());
   }
-  m.latency_ms = lat.TrimmedMean(0.05) / 1e6;
+  m.latency_ms = Summarize(lat).trimmed_mean_ms;
   for (auto* dn : daemon_nodes) {
     m.max_cpu = std::max(m.max_cpu, dn->TakeCpuUtilisation());
   }
@@ -203,7 +203,7 @@ Measurement RunLcr(int nodes, Duration warm, Duration measure) {
   const auto w = protos[0]->delivered().TakeWindow();
   m.mbps = w.Mbps(measure);
   m.msg_per_s = w.MsgPerSec(measure);
-  m.latency_ms = protos[0]->latency().TrimmedMean(0.05) / 1e6;
+  m.latency_ms = Summarize(protos[0]->latency()).trimmed_mean_ms;
   for (auto* n : ring_nodes) m.max_cpu = std::max(m.max_cpu, n->TakeCpuUtilisation());
   return m;
 }

@@ -50,7 +50,7 @@ Measurement RunPoint(int rings, bool disk, Duration warm, Duration measure) {
     m.msg_per_s += w.MsgPerSec(measure);
     lat.Merge(learner->stats(g).latency);
   }
-  m.latency_ms = lat.TrimmedMean(0.05) / 1e6;
+  m.latency_ms = Summarize(lat).trimmed_mean_ms;
   m.max_cpu = lnode->TakeCpuUtilisation();
   return m;
 }

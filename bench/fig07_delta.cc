@@ -48,7 +48,7 @@ Point RunPoint(Duration delta, double per_ring_rate, Duration warm, Duration mea
     p.total_mbps += learner->stats(g).delivered.TakeWindow().Mbps(measure);
     lat.Merge(learner->stats(g).latency);
   }
-  p.latency_ms = lat.TrimmedMean(0.05) / 1e6;
+  p.latency_ms = Summarize(lat).trimmed_mean_ms;
   p.coord_cpu = d.coordinator_node(0)->TakeCpuUtilisation();
   return p;
 }

@@ -46,7 +46,7 @@ Point RunPoint(std::uint32_t m, double per_ring_rate, Duration warm,
     p.total_mbps += learner->stats(g).delivered.TakeWindow().Mbps(measure);
     lat.Merge(learner->stats(g).latency);
   }
-  p.latency_ms = lat.TrimmedMean(0.05) / 1e6;
+  p.latency_ms = Summarize(lat).trimmed_mean_ms;
   p.learner_cpu = lnode->TakeCpuUtilisation();
   return p;
 }

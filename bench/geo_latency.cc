@@ -43,10 +43,9 @@ void PrintCdfRow(const char* site, const char* kind,
   for (std::size_t g = 0; g < l.group_count(); ++g) {
     all.Merge(const_cast<MergeLearner&>(l).stats(g).latency);
   }
+  const bench::LatencySummary ls = bench::Summarize(all);
   std::printf("  %-6s %-12s %8" PRIu64 "  %8.2f %8.2f %8.2f %8.2f\n", site,
-              kind, all.count(), all.Quantile(0.10) / 1e6,
-              all.Quantile(0.50) / 1e6, all.Quantile(0.90) / 1e6,
-              all.Quantile(0.99) / 1e6);
+              kind, ls.count, ls.p10_ms, ls.p50_ms, ls.p90_ms, ls.p99_ms);
 }
 
 void RunPerSiteCdfs(bool quick, const char* csv_dir) {
@@ -168,7 +167,7 @@ void RunThroughputVsRtt(bool quick, const char* csv_dir) {
     for (std::size_t g = 0; g < learner->group_count(); ++g) {
       all.Merge(learner->stats(g).latency);
     }
-    const double lat_ms = all.TrimmedMean(0.05) / 1e6;
+    const double lat_ms = bench::Summarize(all).trimmed_mean_ms;
     std::printf("  %8.0f %10.0f %10.2f %10.2f\n", rtt_ms, msg_s, mbps,
                 lat_ms);
     if (f != nullptr) {

@@ -69,10 +69,10 @@ inline void RunLambdaSeries(double lambda, const LambdaScenario& sc,
       learner->stats(g).latency.Reset();
     }
     const auto secs = (t + sc.sample).count() / 1'000'000'000;
+    const LatencySummary ls = Summarize(lat);
     if (csv.is_open()) {
       csv << secs << ',' << mbps[0] << ',' << mbps[1] << ','
-          << mbps[0] + mbps[1] << ','
-          << (lat.count() ? lat.TrimmedMean(0.05) / 1e6 : 0.0) << ','
+          << mbps[0] + mbps[1] << ',' << ls.trimmed_mean_ms << ','
           << learner->buffered_msgs() << ',' << (learner->halted() ? 1 : 0)
           << '\n';
     }
@@ -80,7 +80,7 @@ inline void RunLambdaSeries(double lambda, const LambdaScenario& sc,
     if (secs % 2 == 0) {
       std::printf("%6lld %10.1f %10.1f %10.1f %12.2f %10zu %7s\n",
                   static_cast<long long>(secs), mbps[0], mbps[1],
-                  mbps[0] + mbps[1], lat.count() ? lat.TrimmedMean(0.05) / 1e6 : 0.0,
+                  mbps[0] + mbps[1], ls.trimmed_mean_ms,
                   learner->buffered_msgs(), learner->halted() ? "HALT" : "-");
     }
   }

@@ -45,7 +45,7 @@ struct BankOp {
     w.i64(amount);
     return w.take();
   }
-  static BankOp Decode(const Bytes& b) {
+  static BankOp Decode(std::span<const std::uint8_t> b) {
     ByteReader r(b);
     BankOp op;
     op.kind = static_cast<Kind>(r.u8().value_or(0));

@@ -12,6 +12,10 @@
 #   scripts/check.sh --fuzz       chaos-fuzz sweep (docs/CHECKING.md):
 #                                 FUZZ_SEEDS seeds (default 25) under the
 #                                 majority budget + the replay self-check
+#   scripts/check.sh --perf       perf smoke (docs/PERF.md): quick run of
+#                                 bench/perf_suite compared against the
+#                                 committed BENCH_core.json baseline
+#                                 (PERF_THRESHOLD, default 0.35)
 # Each mode uses its own build directory so they never poison each other.
 set -euo pipefail
 
@@ -24,9 +28,10 @@ case "${1:-}" in
   --lint) mode=lint ;;
   --format) mode=format ;;
   --fuzz) mode=fuzz ;;
+  --perf) mode=perf ;;
   "") ;;
   *)
-    echo "usage: $0 [--sanitize|--werror|--lint|--format|--fuzz]" >&2
+    echo "usage: $0 [--sanitize|--werror|--lint|--format|--fuzz|--perf]" >&2
     exit 2
     ;;
 esac
@@ -86,11 +91,25 @@ case "$mode" in
       exit 0
     fi
     # Only files this branch touches: formatting the whole tree at once
-    # would bury real diffs in churn.
+    # would bury real diffs in churn. The base ref can be missing or
+    # unrelated after a force-push / rebase / shallow fetch, so fall
+    # back: configured base -> its merge-base with HEAD -> HEAD~1 ->
+    # empty tree (full check).
     base="${CHECK_FORMAT_BASE:-origin/main}"
-    if ! git rev-parse --verify -q "$base" >/dev/null; then base=HEAD~1; fi
+    if ! git rev-parse --verify -q "$base^{commit}" >/dev/null; then
+      base=HEAD~1
+    fi
+    if merge_base="$(git merge-base "$base" HEAD 2>/dev/null)"; then
+      base="$merge_base"
+    elif git rev-parse --verify -q HEAD~1 >/dev/null; then
+      echo "check.sh: no merge-base with $base (force-push/shallow clone?); using HEAD~1"
+      base="$(git rev-parse HEAD~1)"
+    else
+      echo "check.sh: single-commit history; checking all tracked C++ files"
+      base="$(git hash-object -t tree /dev/null)"
+    fi
     mapfile -t changed < <(
-      git diff --name-only --diff-filter=ACMR "$base"...HEAD -- \
+      git diff --name-only --diff-filter=ACMR "$base" HEAD -- \
         '*.cc' '*.cpp' '*.cxx' '*.h' '*.hpp' | grep -v '^tools/lint/testdata/' || true)
     if [ "${#changed[@]}" -eq 0 ]; then
       echo "check.sh: no C++ files changed vs $base"
@@ -106,6 +125,16 @@ case "$mode" in
     ./build/tools/fuzz/mrp_fuzz --self-check --artifact-dir "$artifacts"
     ./build/tools/fuzz/mrp_fuzz --seeds "${FUZZ_SEEDS:-25}" \
       --start-seed "${FUZZ_START_SEED:-0}" --artifact-dir "$artifacts"
+    ;;
+  perf)
+    cmake -B build -S .
+    cmake --build build -j "$jobs" --target perf_suite
+    python3 tools/perf/compare.py --self-test
+    ./build/bench/perf_suite --quick --out build/BENCH_core.candidate.json
+    # Quick mode is noisy; the local gate mirrors CI's lenient threshold.
+    python3 tools/perf/compare.py --baseline BENCH_core.json \
+      --candidate build/BENCH_core.candidate.json \
+      --threshold "${PERF_THRESHOLD:-0.35}"
     ;;
 esac
 

@@ -1,9 +1,11 @@
 #include "check/recovery_oracle.h"
 
+#include <span>
+
 namespace mrp::check {
 namespace {
 
-std::uint64_t Fnv1a(const Bytes& bytes) {
+std::uint64_t Fnv1a(std::span<const std::uint8_t> bytes) {
   std::uint64_t h = 1469598103934665603ULL;
   for (std::uint8_t b : bytes) {
     h ^= b;

@@ -76,7 +76,7 @@ std::optional<ClientMsg> GetClientMsg(ByteReader& r) {
   auto seq = r.u64();
   auto sent = r.i64();
   auto psize = r.u32();
-  auto payload = r.bytes();
+  auto payload = r.payload();
   if (!group || !proposer || !seq || !sent || !psize || !payload) return std::nullopt;
   // Invariant from paxos::ClientMsg: payload is either elided (accounting
   // only) or its length matches payload_size exactly.
@@ -182,6 +182,11 @@ std::optional<std::vector<NodeId>> GetNodeList(ByteReader& r) {
 
 Bytes EncodeMessage(const MessageBase& msg) {
   ByteWriter w(msg.WireSize() + 16);
+  if (!EncodeMessageTo(w, msg)) return {};
+  return w.take();
+}
+
+bool EncodeMessageTo(ByteWriter& w, const MessageBase& msg) {
   if (const auto* m = dynamic_cast<const Submit*>(&msg)) {
     w.u8(static_cast<std::uint8_t>(Tag::kSubmit));
     w.u32(m->ring);
@@ -343,13 +348,14 @@ Bytes EncodeMessage(const MessageBase& msg) {
       w.str(v);
     }
   } else {
-    return {};
+    return false;
   }
-  return w.take();
+  return true;
 }
 
-MessagePtr DecodeMessage(std::span<const std::uint8_t> frame) {
-  ByteReader r(frame);
+namespace {
+
+MessagePtr DecodeFrame(ByteReader& r) {
   auto tag = r.u8();
   if (!tag) return nullptr;
   switch (static_cast<Tag>(*tag)) {
@@ -605,6 +611,19 @@ MessagePtr DecodeMessage(std::span<const std::uint8_t> frame) {
     }
   }
   return nullptr;
+}
+
+}  // namespace
+
+MessagePtr DecodeMessage(std::span<const std::uint8_t> frame) {
+  ByteReader r(frame);
+  return DecodeFrame(r);
+}
+
+MessagePtr DecodeMessage(SharedFrame frame, std::size_t offset) {
+  if (frame == nullptr) return nullptr;
+  ByteReader r(std::move(frame), offset);
+  return DecodeFrame(r);
 }
 
 }  // namespace mrp::net

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 
 #include "common/bytes.h"
@@ -13,11 +14,28 @@
 
 namespace mrp::net {
 
+// A receive frame whose ownership can be shared with decoded messages
+// (zero-copy decode below).
+using SharedFrame = std::shared_ptr<const Bytes>;
+
 // Returns an empty buffer if the concrete message type is not part of
 // the wire protocol.
 Bytes EncodeMessage(const MessageBase& msg);
 
-// Returns nullptr on malformed input.
+// Appends the encoding of `msg` to `w`, so transports can frame
+// (header + message) in one buffer without an intermediate copy.
+// Returns false if the concrete type is not part of the wire protocol.
+bool EncodeMessageTo(ByteWriter& w, const MessageBase& msg);
+
+// Returns nullptr on malformed input. Payload bytes are copied out of
+// the frame.
 MessagePtr DecodeMessage(std::span<const std::uint8_t> frame);
+
+// Zero-copy decode: ClientMsg payloads in the returned message are
+// ConstByteView views into *frame, which the message keeps alive by
+// shared ownership. Byte-identical to the copying overload for every
+// message type (tests/plumbing_test.cc asserts this). `offset` skips a
+// transport header sharing the frame buffer (UDP's sender-id prefix).
+MessagePtr DecodeMessage(SharedFrame frame, std::size_t offset = 0);
 
 }  // namespace mrp::net

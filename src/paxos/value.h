@@ -25,7 +25,9 @@ struct ClientMsg {
   std::uint64_t seq = 0;        // proposer-local sequence number
   TimePoint sent_at{0};         // multicast() call time, for latency
   std::uint32_t payload_size = 0;
-  Bytes payload;                // empty or payload.size() == payload_size
+  // Empty or payload.size() == payload_size. PayloadBuf so a zero-copy
+  // decode can view the receive frame instead of copying (net/codec.h).
+  PayloadBuf payload;
 
   static constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 8 + 4;
   std::size_t WireSize() const { return kHeaderBytes + payload_size; }

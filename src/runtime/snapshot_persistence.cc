@@ -31,14 +31,14 @@ void FileSnapshotPersistence::Persist(std::uint64_t id, const Bytes& bytes,
 
 std::optional<Bytes> FileSnapshotPersistence::LoadLatest() {
   std::uint64_t best_id = 0;
-  const Bytes* best = nullptr;
+  const PayloadBuf* best = nullptr;
   storage_.ForEachFrom(0, [&](InstanceId id, paxos::AcceptorRecord& rec) {
     if (id < best_id || !rec.accepted || rec.accepted->msgs.size() != 1) return;
     best_id = id;
     best = &rec.accepted->msgs[0].payload;
   });
   if (best == nullptr) return std::nullopt;
-  return *best;
+  return best->ToBytes();
 }
 
 }  // namespace mrp::runtime

@@ -3,9 +3,11 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <poll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 #include <stdexcept>
 
@@ -17,6 +19,7 @@ namespace mrp::runtime {
 namespace {
 
 constexpr std::size_t kMaxFrame = 60 * 1024;
+constexpr std::size_t kHeaderBytes = 4;  // u32 sender id
 
 sockaddr_in MakeAddr(const std::string& ip, std::uint16_t port) {
   sockaddr_in addr{};
@@ -31,7 +34,9 @@ sockaddr_in MakeAddr(const std::string& ip, std::uint16_t port) {
 }  // namespace
 
 UdpTransport::UdpTransport(NodeId self, UdpConfig cfg)
-    : self_(self), cfg_(std::move(cfg)) {
+    : self_(self), cfg_(std::move(cfg)), rx_pool_(kMaxFrame) {
+  if (cfg_.rx_batch < 1) cfg_.rx_batch = 1;
+  if (cfg_.tx_batch < 1) cfg_.tx_batch = 1;
   unicast_fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (unicast_fd_ < 0) throw std::runtime_error("socket() failed");
   int one = 1;
@@ -47,12 +52,18 @@ UdpTransport::UdpTransport(NodeId self, UdpConfig cfg)
   ::setsockopt(mcast_tx_fd_, IPPROTO_IP, IP_MULTICAST_IF, &iface, sizeof iface);
   int loop = 1;
   ::setsockopt(mcast_tx_fd_, IPPROTO_IP, IP_MULTICAST_LOOP, &loop, sizeof loop);
+
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  if (wake_fd_ < 0) throw std::runtime_error("eventfd() failed");
+
+  rx_bufs_.resize(static_cast<std::size_t>(cfg_.rx_batch));
 }
 
 UdpTransport::~UdpTransport() {
   Stop();
   if (unicast_fd_ >= 0) ::close(unicast_fd_);
   if (mcast_tx_fd_ >= 0) ::close(mcast_tx_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
   for (auto& [ch, fd] : mcast_rx_fds_) ::close(fd);
 }
 
@@ -88,31 +99,132 @@ void UdpTransport::Subscribe(ChannelId channel) {
 
 void UdpTransport::SetReceiver(RxFn rx) { rx_ = std::move(rx); }
 
-void UdpTransport::Send(NodeId to, MessagePtr msg) {
-  Bytes frame = net::EncodeMessage(*msg);
-  if (frame.empty() || frame.size() + 4 > kMaxFrame) return;
-  ByteWriter w(frame.size() + 4);
+Bytes UdpTransport::FrameMessage(const MessageBase& msg) const {
+  // Header and message encode into one buffer: no intermediate frame
+  // copy on the send path.
+  ByteWriter w(msg.WireSize() + kHeaderBytes + 16);
   w.u32(self_);
-  Bytes out = w.take();
-  out.insert(out.end(), frame.begin(), frame.end());
+  if (!net::EncodeMessageTo(w, msg)) return {};
+  if (w.size() <= kHeaderBytes || w.size() > kMaxFrame) return {};
+  return w.take();
+}
+
+void UdpTransport::EnqueueTx(int fd, const sockaddr_in& addr, Bytes frame) {
+  if (!running_.load(std::memory_order_relaxed)) {
+    // Poll thread not running (pre-Start or during Stop's final flush):
+    // send inline, preserving the old synchronous behaviour.
+    ::sendto(fd, frame.data(), frame.size(), 0,
+             reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+    ++tx_frames_;
+    return;
+  }
+  {
+    std::scoped_lock lock(tx_mu_);
+    tx_queue_.push_back(TxEntry{fd, addr, std::move(frame)});
+  }
+  std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof one);
+}
+
+void UdpTransport::Send(NodeId to, MessagePtr msg) {
+  Bytes frame = FrameMessage(*msg);
+  if (frame.empty()) return;
   auto addr = MakeAddr(cfg_.bind_ip, static_cast<std::uint16_t>(cfg_.base_port + to));
-  ::sendto(unicast_fd_, out.data(), out.size(), 0,
-           reinterpret_cast<sockaddr*>(&addr), sizeof addr);
-  ++tx_frames_;
+  EnqueueTx(unicast_fd_, addr, std::move(frame));
 }
 
 void UdpTransport::Multicast(ChannelId channel, MessagePtr msg) {
-  Bytes frame = net::EncodeMessage(*msg);
-  if (frame.empty() || frame.size() + 4 > kMaxFrame) return;
-  ByteWriter w(frame.size() + 4);
-  w.u32(self_);
-  Bytes out = w.take();
-  out.insert(out.end(), frame.begin(), frame.end());
+  Bytes frame = FrameMessage(*msg);
+  if (frame.empty()) return;
   const std::string group = cfg_.mcast_prefix + std::to_string(1 + channel);
   auto addr = MakeAddr(group, static_cast<std::uint16_t>(cfg_.mcast_port_base + channel));
-  ::sendto(mcast_tx_fd_, out.data(), out.size(), 0,
-           reinterpret_cast<sockaddr*>(&addr), sizeof addr);
-  ++tx_frames_;
+  EnqueueTx(mcast_tx_fd_, addr, std::move(frame));
+}
+
+void UdpTransport::SendBatch(TxEntry* entries, std::size_t count) {
+  std::vector<mmsghdr> hdrs(count);
+  std::vector<iovec> iovs(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    iovs[k] = {entries[k].frame.data(), entries[k].frame.size()};
+    msghdr& h = hdrs[k].msg_hdr;
+    h.msg_name = &entries[k].addr;
+    h.msg_namelen = sizeof(sockaddr_in);
+    h.msg_iov = &iovs[k];
+    h.msg_iovlen = 1;
+  }
+  std::size_t sent = 0;
+  while (sent < count) {
+    const int n = ::sendmmsg(entries[0].fd, hdrs.data() + sent,
+                             static_cast<unsigned>(count - sent), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // UDP is best-effort: drop the rest of this run, as the
+              // old per-frame sendto did on error
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  tx_frames_ += sent;
+  ++tx_batches_;
+}
+
+void UdpTransport::DrainTxQueue() {
+  std::vector<TxEntry> batch;
+  {
+    std::scoped_lock lock(tx_mu_);
+    batch.swap(tx_queue_);
+  }
+  if (batch.empty()) return;
+  // Group the longest run of consecutive frames to one socket: order
+  // within the queue (and thus per-destination FIFO) is preserved.
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    std::size_t j = i + 1;
+    while (j < batch.size() && batch[j].fd == batch[i].fd &&
+           j - i < static_cast<std::size_t>(cfg_.tx_batch)) {
+      ++j;
+    }
+    SendBatch(batch.data() + i, j - i);
+    i = j;
+  }
+}
+
+void UdpTransport::ReadSocket(int fd) {
+  const auto batch = static_cast<std::size_t>(cfg_.rx_batch);
+  std::vector<mmsghdr> hdrs(batch);
+  std::vector<iovec> iovs(batch);
+  for (;;) {
+    for (std::size_t k = 0; k < batch; ++k) {
+      if (rx_bufs_[k] == nullptr) rx_bufs_[k] = rx_pool_.Acquire();
+      iovs[k] = {rx_bufs_[k]->data(), rx_bufs_[k]->size()};
+      hdrs[k] = {};
+      hdrs[k].msg_hdr.msg_iov = &iovs[k];
+      hdrs[k].msg_hdr.msg_iovlen = 1;
+    }
+    const int got = ::recvmmsg(fd, hdrs.data(), static_cast<unsigned>(batch),
+                               MSG_DONTWAIT, nullptr);
+    if (got <= 0) return;
+    ++rx_batches_;
+    for (int k = 0; k < got; ++k) {
+      const std::size_t len = hdrs[static_cast<std::size_t>(k)].msg_len;
+      std::shared_ptr<Bytes> frame = std::move(rx_bufs_[static_cast<std::size_t>(k)]);
+      if (len <= kHeaderBytes) continue;
+      frame->resize(len);  // sole owner here; shared only after decode
+      ByteReader r(std::span<const std::uint8_t>(frame->data(), kHeaderBytes));
+      auto from = r.u32();
+      if (!from || *from == self_) continue;  // multicast self-loop filter
+      // Zero-copy decode: payload fields of the message alias `frame`,
+      // which returns to rx_pool_ when the last such message dies.
+      MessagePtr msg = net::DecodeMessage(
+          net::SharedFrame(std::move(frame)), kHeaderBytes);
+      if (msg == nullptr) {
+        MRP_WARN << "udp: dropping undecodable frame of " << len << " bytes";
+        continue;
+      }
+      ++rx_frames_;
+      if (rx_) rx_(*from, std::move(msg));
+    }
+    if (got < static_cast<int>(batch)) return;
+  }
 }
 
 void UdpTransport::Start() {
@@ -122,36 +234,33 @@ void UdpTransport::Start() {
 
 void UdpTransport::Stop() {
   if (!running_.exchange(false)) return;
+  std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof one);
   if (poll_thread_.joinable()) poll_thread_.join();
+  DrainTxQueue();  // flush frames enqueued before running_ flipped
 }
 
 void UdpTransport::PollLoop() {
   std::vector<pollfd> fds;
+  fds.push_back({wake_fd_, POLLIN, 0});
   fds.push_back({unicast_fd_, POLLIN, 0});
   for (const auto& [ch, fd] : mcast_rx_fds_) fds.push_back({fd, POLLIN, 0});
 
-  std::vector<std::uint8_t> buf(kMaxFrame);
   while (running_.load(std::memory_order_relaxed)) {
     const int n = ::poll(fds.data(), fds.size(), /*timeout_ms=*/50);
-    if (n <= 0) continue;
-    for (auto& pfd : fds) {
-      if (!(pfd.revents & POLLIN)) continue;
-      for (;;) {
-        const ssize_t got = ::recv(pfd.fd, buf.data(), buf.size(), MSG_DONTWAIT);
-        if (got <= 4) break;
-        ByteReader r(std::span<const std::uint8_t>(buf.data(), static_cast<std::size_t>(got)));
-        auto from = r.u32();
-        if (!from || *from == self_) continue;  // multicast self-loop filter
-        MessagePtr msg = net::DecodeMessage(
-            std::span<const std::uint8_t>(buf.data() + 4, static_cast<std::size_t>(got) - 4));
-        if (msg == nullptr) {
-          MRP_WARN << "udp: dropping undecodable frame of " << got << " bytes";
-          continue;
+    if (n > 0) {
+      for (auto& pfd : fds) {
+        if (!(pfd.revents & POLLIN)) continue;
+        if (pfd.fd == wake_fd_) {
+          std::uint64_t drained;
+          while (::read(wake_fd_, &drained, sizeof drained) > 0) {
+          }
+          continue;  // tx flush happens below, once per poll round
         }
-        ++rx_frames_;
-        if (rx_) rx_(*from, std::move(msg));
+        ReadSocket(pfd.fd);
       }
     }
+    DrainTxQueue();
   }
 }
 

@@ -4,18 +4,31 @@
 // is filtered out on receive (frames carry the sender id). A background
 // thread polls all sockets and hands decoded messages to the receiver.
 //
+// Hot-path batching: sends are queued and flushed by the poll thread in
+// sendmmsg() batches (one syscall for a run of frames to the same
+// socket), and receives drain each socket with recvmmsg() into pooled
+// per-datagram frame buffers that feed the zero-copy decode path
+// (net/codec.h) — ClientMsg payloads alias the receive buffer instead
+// of being copied out. Per-destination FIFO is preserved: the tx queue
+// keeps submission order and batches never reorder across it.
+//
 // Defaults target loopback so a whole cluster runs on one machine; with
 // bind_ip / interface set to a real NIC the same code runs a distributed
 // deployment (see examples/mrp_node.cc).
 #pragma once
 
+#include <netinet/in.h>
+
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/pool.h"
 #include "runtime/transport.h"
 
 namespace mrp::runtime {
@@ -26,6 +39,9 @@ struct UdpConfig {
   std::string mcast_prefix = "239.255.77.";  // + (1 + channel)
   std::uint16_t mcast_port_base = 46500;  // + channel
   std::string mcast_if = "127.0.0.1";
+  // Max datagrams per recvmmsg() / sendmmsg() syscall.
+  int rx_batch = 32;
+  int tx_batch = 32;
 };
 
 class UdpTransport final : public Transport {
@@ -47,21 +63,51 @@ class UdpTransport final : public Transport {
 
   std::uint64_t tx_frames() const { return tx_frames_.load(); }
   std::uint64_t rx_frames() const { return rx_frames_.load(); }
+  // Syscall-batching effectiveness: frames per batch = frames/batches.
+  std::uint64_t tx_batches() const { return tx_batches_.load(); }
+  std::uint64_t rx_batches() const { return rx_batches_.load(); }
 
  private:
+  struct TxEntry {
+    int fd = -1;
+    sockaddr_in addr{};
+    Bytes frame;
+  };
+
   void PollLoop();
   int OpenMulticastRx(ChannelId channel);
+  // Frames `msg` (sender-id header + encoding) in one buffer; empty on
+  // unencodable or oversized messages.
+  Bytes FrameMessage(const MessageBase& msg) const;
+  // Queues a frame for the poll thread (or sends inline when the poll
+  // thread is not running, e.g. before Start()).
+  void EnqueueTx(int fd, const sockaddr_in& addr, Bytes frame);
+  // Swaps out the queue and flushes it in sendmmsg() runs.
+  void DrainTxQueue();
+  void SendBatch(TxEntry* entries, std::size_t count);
+  // Drains `fd` with recvmmsg() into pooled buffers and dispatches.
+  void ReadSocket(int fd);
 
   NodeId self_;
   UdpConfig cfg_;
   RxFn rx_;
   int unicast_fd_ = -1;
   int mcast_tx_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: Send() wakes the poll thread to flush tx
   std::vector<std::pair<ChannelId, int>> mcast_rx_fds_;
   std::thread poll_thread_;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> tx_frames_{0};
   std::atomic<std::uint64_t> rx_frames_{0};
+  std::atomic<std::uint64_t> tx_batches_{0};
+  std::atomic<std::uint64_t> rx_batches_{0};
+
+  std::mutex tx_mu_;
+  std::vector<TxEntry> tx_queue_;  // guarded by tx_mu_
+
+  // Poll-thread state (also used by the Stop() flush after join).
+  BufferPool rx_pool_;
+  std::vector<std::shared_ptr<Bytes>> rx_bufs_;
 };
 
 }  // namespace mrp::runtime

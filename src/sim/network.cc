@@ -268,8 +268,16 @@ void SimNetwork::ScheduleArrival(NodeId from, NodeId to, MessagePtr m,
   TimePoint& last = fifo_clamp_[(static_cast<std::uint64_t>(from) << 32) | to];
   if (arrival < last) arrival = last;
   last = arrival;
-  sched_.At(arrival, [this, from, to, m = std::move(m), wire_bytes, arrival] {
-    nodes_[to]->DeliverPacket(from, m, wire_bytes, arrival);
+  Packet* p = packet_pool_.Acquire();
+  p->from = from;
+  p->to = to;
+  p->m = std::move(m);
+  p->wire_bytes = wire_bytes;
+  p->arrival = arrival;
+  sched_.At(arrival, [this, p] {
+    nodes_[p->to]->DeliverPacket(p->from, std::move(p->m), p->wire_bytes,
+                                 p->arrival);
+    packet_pool_.Release(p);
   });
 }
 

@@ -63,7 +63,7 @@ struct Command {
     return w.take();
   }
 
-  static std::optional<Command> Decode(const Bytes& data) {
+  static std::optional<Command> Decode(std::span<const std::uint8_t> data) {
     ByteReader r(data);
     Command c;
     auto op = r.u8();

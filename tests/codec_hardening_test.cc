@@ -27,7 +27,7 @@ ClientMsg SampleMsg() {
   m.proposer = 2;
   m.seq = 3;
   m.sent_at = Millis(4);
-  m.payload = {0xAA, 0xBB, 0xCC, 0xDD};
+  m.payload = Bytes{0xAA, 0xBB, 0xCC, 0xDD};
   m.payload_size = 4;
   return m;
 }

@@ -12,6 +12,7 @@
 #include "multiring/merge_learner.h"
 #include "multiring/ring_dispatch.h"
 #include "multiring/sim_deployment.h"
+#include "common/pool.h"
 #include "net/codec.h"
 #include "paxos/messages.h"
 #include "paxos/value.h"
@@ -207,6 +208,17 @@ std::shared_ptr<const T> Roundtrip(const T& msg) {
   EXPECT_FALSE(frame.empty()) << msg.TypeName() << " not encodable";
   MessagePtr decoded = net::DecodeMessage(frame);
   EXPECT_NE(decoded, nullptr) << msg.TypeName() << " not decodable";
+  // The zero-copy overload must be byte-identical to the copying one
+  // for every covered message type: re-encoding either decode
+  // reproduces the original frame exactly.
+  MessagePtr viewed = net::DecodeMessage(std::make_shared<const Bytes>(frame));
+  EXPECT_NE(viewed, nullptr) << msg.TypeName() << " not view-decodable";
+  if (decoded != nullptr && viewed != nullptr) {
+    EXPECT_EQ(net::EncodeMessage(*decoded), frame)
+        << msg.TypeName() << " copying decode not canonical";
+    EXPECT_EQ(net::EncodeMessage(*viewed), frame)
+        << msg.TypeName() << " view decode differs from copying decode";
+  }
   auto typed = std::dynamic_pointer_cast<const T>(decoded);
   EXPECT_NE(typed, nullptr) << msg.TypeName() << " decoded to wrong type";
   return typed;
@@ -303,7 +315,90 @@ TEST(CodecCoverage, RingPaxosControlMessagesRoundtrip) {
   EXPECT_EQ(Roundtrip(ringpaxos::DeliveryAck{1, 2, 7})->seq, 7u);
 }
 
+// Zero-copy decode plumbing: payloads must alias the shared frame (no
+// copy), and the frame must stay alive for as long as any decoded
+// message views it.
+TEST(CodecCoverage, ViewDecodeAliasesAndKeepsFrameAlive) {
+  const paxos::ClientMsg m = MsgOfSize(4096);
+  auto frame =
+      std::make_shared<const Bytes>(net::EncodeMessage(ringpaxos::Submit{4, m}));
+  const std::uint8_t* lo = frame->data();
+  const std::uint8_t* hi = frame->data() + frame->size();
+
+  auto viewed = std::dynamic_pointer_cast<const ringpaxos::Submit>(
+      net::DecodeMessage(frame));
+  ASSERT_NE(viewed, nullptr);
+  EXPECT_FALSE(viewed->msg.payload.owning());
+  EXPECT_GE(viewed->msg.payload.data(), lo);
+  EXPECT_LE(viewed->msg.payload.data() + viewed->msg.payload.size(), hi);
+  EXPECT_EQ(viewed->msg, m);
+
+  // Copying decode owns its payload and does not alias the frame.
+  auto copied = std::dynamic_pointer_cast<const ringpaxos::Submit>(
+      net::DecodeMessage(std::span<const std::uint8_t>(*frame)));
+  ASSERT_NE(copied, nullptr);
+  EXPECT_TRUE(copied->msg.payload.owning());
+  EXPECT_EQ(copied->msg, viewed->msg);
+
+  // The message is now the frame's only ref; the bytes must stay valid.
+  const long refs_before = frame.use_count();
+  EXPECT_GT(refs_before, 1);
+  frame.reset();
+  EXPECT_EQ(viewed->msg.payload, m.payload);
+}
+
 }  // namespace codec_coverage
+
+// ---- Allocation pools (common/pool.h) ----
+
+TEST(ObjectPool, ReusesReleasedObjectsLifo) {
+  ObjectPool<int> pool;
+  int* a = pool.Acquire();
+  int* b = pool.Acquire();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.allocated(), 2u);
+  pool.Release(a);
+  pool.Release(b);
+  EXPECT_EQ(pool.free_count(), 2u);
+  // LIFO: the most recently released object comes back first.
+  EXPECT_EQ(pool.Acquire(), b);
+  EXPECT_EQ(pool.Acquire(), a);
+  EXPECT_EQ(pool.allocated(), 2u);
+  EXPECT_EQ(pool.acquired(), 4u);
+  EXPECT_EQ(pool.reused(), 2u);
+  // Un-released objects are reclaimed by the pool's destructor (arena
+  // ownership) — nothing to assert here beyond "no leak" under ASan.
+}
+
+TEST(BufferPool, RecyclesAndPoisonsReturnedBuffers) {
+  BufferPool pool(/*buffer_capacity=*/64);
+  pool.set_poison(true);
+  std::shared_ptr<Bytes> buf = pool.Acquire();
+  ASSERT_EQ(buf->size(), 64u);
+  Bytes* raw = buf.get();
+  (*buf)[0] = 0x11;
+  buf.reset();  // returns to the pool and poisons
+  EXPECT_EQ(pool.free_count(), 1u);
+
+  std::shared_ptr<Bytes> again = pool.Acquire();
+  EXPECT_EQ(again.get(), raw);  // recycled, not reallocated
+  EXPECT_EQ((*again)[0], BufferPool::kPoisonByte);
+  EXPECT_EQ(pool.acquired(), 2u);
+  EXPECT_EQ(pool.reused(), 1u);
+}
+
+TEST(BufferPool, BuffersOutliveThePool) {
+  std::shared_ptr<Bytes> survivor;
+  {
+    BufferPool pool(32);
+    survivor = pool.Acquire();
+    (*survivor)[0] = 0x77;
+  }
+  // The pool died first: releasing the buffer must plain-delete it
+  // (weak_ptr-guarded return path), not touch freed pool state.
+  EXPECT_EQ((*survivor)[0], 0x77);
+  survivor.reset();
+}
 
 TEST(MergeLearner, GroupsSortedByGroupId) {
   multiring::MergeLearner::Options mo;

@@ -33,7 +33,7 @@ ClientMsg SampleMsg() {
   m.proposer = 9;
   m.seq = 77;
   m.sent_at = Millis(5);
-  m.payload = {1, 2, 3, 4};
+  m.payload = Bytes{1, 2, 3, 4};
   m.payload_size = 4;
   return m;
 }
@@ -267,7 +267,7 @@ TEST(FileStorage, ReplayAfterRestart) {
       paxos::ClientMsg m;
       m.proposer = 5;
       m.seq = i;
-      m.payload = {1, 2, 3};
+      m.payload = Bytes{1, 2, 3};
       m.payload_size = 3;
       rec.accepted = paxos::Value::Batch({m});
       st.Put(i, std::move(rec), 100, nullptr);
@@ -441,7 +441,7 @@ TEST(LocalClusterUdp, PaxosBackedGroupOverRealSockets) {
       m.proposer = 0;
       m.seq = static_cast<std::uint64_t>(i + 1);
       m.sent_at = pnode.now();
-      m.payload = {9, 9, 9};
+      m.payload = Bytes{9, 9, 9};
       m.payload_size = 3;
       prop_raw->Submit(pnode, std::move(m));
     });

@@ -503,7 +503,7 @@ std::vector<Bytes> CodecCorpus() {
   cm.seq = 42;
   cm.sent_at = Millis(3);
   cm.payload_size = 4;
-  cm.payload = {0xde, 0xad, 0xbe, 0xef};
+  cm.payload = Bytes{0xde, 0xad, 0xbe, 0xef};
   paxos::Value val;
   val.kind = paxos::Value::Kind::kBatch;
   val.msgs = {cm, cm};

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Perf-gate comparator for the core benchmark suite.
+
+Diffs a candidate BENCH_core.json (bench/perf_suite output) against the
+committed baseline and fails when any scenario's rate regressed by more
+than the threshold. Latency percentiles are reported and warned on, but
+only rates gate: p50/p99 of the short CI runs are too noisy to block on.
+
+Usage:
+  tools/perf/compare.py --baseline BENCH_core.json --candidate new.json \
+      [--threshold 0.25] [--lat-threshold 1.0]
+  tools/perf/compare.py --self-test
+
+Exit codes: 0 ok, 1 regression (or malformed input), 2 usage error.
+
+--self-test verifies the gate has teeth: it injects a synthetic
+regression into a copy of a fixture and asserts the comparison fails,
+then asserts an identical copy passes. CI runs this before trusting a
+green comparison.
+"""
+
+import argparse
+import copy
+import json
+import sys
+
+SCHEMA = "mrp-bench-core/v1"
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"perf-compare: cannot read {path}: {e}")
+    if doc.get("schema") != SCHEMA:
+        raise SystemExit(
+            f"perf-compare: {path}: schema {doc.get('schema')!r}, want {SCHEMA!r}")
+    scenarios = doc.get("scenarios")
+    if not isinstance(scenarios, dict) or not scenarios:
+        raise SystemExit(f"perf-compare: {path}: no scenarios")
+    return doc
+
+
+def compare(baseline, candidate, threshold, lat_threshold):
+    """Returns (failures, warnings, report_lines)."""
+    failures, warnings, lines = [], [], []
+    base = baseline["scenarios"]
+    cand = candidate["scenarios"]
+    lines.append(f"{'scenario':<28} {'baseline':>14} {'candidate':>14} "
+                 f"{'delta':>8}  unit")
+    for name, b in sorted(base.items()):
+        c = cand.get(name)
+        if c is None:
+            failures.append(f"{name}: missing from candidate")
+            continue
+        if c.get("unit") != b.get("unit"):
+            failures.append(f"{name}: unit changed "
+                            f"{b.get('unit')!r} -> {c.get('unit')!r}")
+            continue
+        b_rate, c_rate = float(b["rate"]), float(c["rate"])
+        delta = (c_rate - b_rate) / b_rate if b_rate > 0 else 0.0
+        lines.append(f"{name:<28} {b_rate:>14.0f} {c_rate:>14.0f} "
+                     f"{delta:>+7.1%}  {b['unit']}")
+        if b_rate > 0 and c_rate < b_rate * (1.0 - threshold):
+            failures.append(
+                f"{name}: rate regressed {delta:+.1%} "
+                f"({b_rate:.0f} -> {c_rate:.0f} {b['unit']}, "
+                f"threshold -{threshold:.0%})")
+        for q in ("p50_ns", "p99_ns"):
+            bq, cq = float(b.get(q, 0)), float(c.get(q, 0))
+            if bq > 0 and cq > bq * (1.0 + lat_threshold):
+                warnings.append(
+                    f"{name}: {q} {bq:.0f} -> {cq:.0f} "
+                    f"(+{(cq - bq) / bq:.0%}, warn-only)")
+    for name in sorted(set(cand) - set(base)):
+        warnings.append(f"{name}: new scenario, not in baseline "
+                        "(refresh the baseline to start gating it)")
+    return failures, warnings, lines
+
+
+def run_compare(args):
+    baseline = load(args.baseline)
+    candidate = load(args.candidate)
+    failures, warnings, lines = compare(
+        baseline, candidate, args.threshold, args.lat_threshold)
+    print("\n".join(lines))
+    for w in warnings:
+        print(f"warning: {w}")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print(f"perf-compare: OK ({len(baseline['scenarios'])} scenarios, "
+          f"threshold -{args.threshold:.0%})")
+    return 0
+
+
+def self_test():
+    fixture = {
+        "schema": SCHEMA,
+        "mode": "quick",
+        "scenarios": {
+            "codec_encode": {"unit": "bytes/s", "rate": 1e9,
+                             "p50_ns": 100, "p99_ns": 200, "ops": 1000},
+            "sim_events": {"unit": "events/s", "rate": 5e7,
+                           "p50_ns": 20, "p99_ns": 40, "ops": 100000},
+        },
+    }
+    # Identical copy must pass.
+    ok_fail, _, _ = compare(fixture, copy.deepcopy(fixture), 0.25, 1.0)
+    if ok_fail:
+        print("self-test: identical runs flagged as regression:", ok_fail)
+        return 1
+    # A 50% rate drop on one scenario must fail a 25% gate.
+    slow = copy.deepcopy(fixture)
+    slow["scenarios"]["codec_encode"]["rate"] = 0.5e9
+    fail, _, _ = compare(fixture, slow, 0.25, 1.0)
+    if not fail:
+        print("self-test: injected 50% regression was not caught")
+        return 1
+    # A missing scenario must fail.
+    missing = copy.deepcopy(fixture)
+    del missing["scenarios"]["sim_events"]
+    fail, _, _ = compare(fixture, missing, 0.25, 1.0)
+    if not fail:
+        print("self-test: missing scenario was not caught")
+        return 1
+    # A small wobble inside the threshold must pass.
+    wobble = copy.deepcopy(fixture)
+    wobble["scenarios"]["codec_encode"]["rate"] = 0.9e9
+    fail, _, _ = compare(fixture, wobble, 0.25, 1.0)
+    if fail:
+        print("self-test: -10% wobble failed a 25% gate:", fail)
+        return 1
+    print("self-test: OK (gate catches regressions and missing scenarios)")
+    return 0
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__,
+                                formatter_class=argparse.RawDescriptionHelpFormatter)
+    p.add_argument("--baseline", help="committed BENCH_core.json")
+    p.add_argument("--candidate", help="freshly produced BENCH_core.json")
+    p.add_argument("--threshold", type=float, default=0.25,
+                   help="max tolerated fractional rate drop (default 0.25)")
+    p.add_argument("--lat-threshold", type=float, default=1.0,
+                   help="fractional p50/p99 growth that triggers a "
+                        "warning (default 1.0 = 2x)")
+    p.add_argument("--self-test", action="store_true",
+                   help="verify the gate fails on an injected regression")
+    args = p.parse_args()
+    if args.self_test:
+        sys.exit(self_test())
+    if not args.baseline or not args.candidate:
+        p.error("--baseline and --candidate are required (or --self-test)")
+    sys.exit(run_compare(args))
+
+
+if __name__ == "__main__":
+    main()
