@@ -2,6 +2,16 @@
 # Tier-1 verification, exactly as CI runs it (see .github/workflows/ci.yml):
 #   scripts/check.sh              plain build + ctest (the tier-1 gate)
 #   scripts/check.sh --sanitize   ASan/UBSan build + ctest
+#   scripts/check.sh --tsan       ThreadSanitizer build + the thread-
+#                                 bearing tests (src/runtime event loop
+#                                 and UDP transport); suppressions live
+#                                 in tsan.supp (audited, currently empty)
+#   scripts/check.sh --coverage   gcov line-coverage build + ctest +
+#                                 tools/coverage/report.py gate (soft
+#                                 floor on src/paxos+ringpaxos+multiring)
+#   scripts/check.sh --mc         model-checker gate (docs/MODEL_CHECKING.md):
+#                                 mrp_mc self-check + exhaustive ring1
+#                                 run with the DPOR-vs-naive comparison
 #   scripts/check.sh --werror     warnings-as-errors build (no tests)
 #   scripts/check.sh --lint       mrp_lint + clang-tidy + cppcheck
 #                                 (docs/STATIC_ANALYSIS.md; tools that are
@@ -24,6 +34,9 @@ cd "$(dirname "$0")/.."
 mode=plain
 case "${1:-}" in
   --sanitize) mode=sanitize ;;
+  --tsan) mode=tsan ;;
+  --coverage) mode=coverage ;;
+  --mc) mode=mc ;;
   --werror) mode=werror ;;
   --lint) mode=lint ;;
   --format) mode=format ;;
@@ -31,7 +44,7 @@ case "${1:-}" in
   --perf) mode=perf ;;
   "") ;;
   *)
-    echo "usage: $0 [--sanitize|--werror|--lint|--format|--fuzz|--perf]" >&2
+    echo "usage: $0 [--sanitize|--tsan|--coverage|--mc|--werror|--lint|--format|--fuzz|--perf]" >&2
     exit 2
     ;;
 esac
@@ -49,6 +62,31 @@ case "$mode" in
     cmake --build build-asan -j "$jobs"
     ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
       ctest --test-dir build-asan --output-on-failure -j "$jobs"
+    ;;
+  tsan)
+    cmake -B build-tsan -S . -DMRP_SANITIZE=thread
+    cmake --build build-tsan -j "$jobs" --target runtime_test plumbing_test
+    # Only the thread-bearing binaries: the sim suite is single-threaded
+    # by construction, so running it under TSan would cost 10x for no
+    # signal. halt_on_error so the first race fails the gate.
+    TSAN_OPTIONS="suppressions=$PWD/tsan.supp halt_on_error=1 second_deadlock_stack=1" \
+      ./build-tsan/tests/runtime_test
+    TSAN_OPTIONS="suppressions=$PWD/tsan.supp halt_on_error=1 second_deadlock_stack=1" \
+      ./build-tsan/tests/plumbing_test
+    ;;
+  coverage)
+    cmake -B build-cov -S . -DMRP_COVERAGE=ON
+    cmake --build build-cov -j "$jobs"
+    ctest --test-dir build-cov --output-on-failure -j "$jobs" \
+      -E 'mc_ring1_exhaustive|mc_self_check'  # minutes-long; no extra coverage
+    python3 tools/coverage/report.py --build-dir build-cov \
+      --out build-cov/coverage.txt
+    ;;
+  mc)
+    cmake -B build -S .
+    cmake --build build -j "$jobs" --target mrp_mc
+    ./build/tools/mc/mrp_mc --self-check
+    ./build/tools/mc/mrp_mc --config ring1 --compare
     ;;
   werror)
     cmake -B build-werror -S . -DMRP_WERROR=ON

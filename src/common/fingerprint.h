@@ -1,0 +1,53 @@
+// Incremental FNV-1a state digest, the building block of the protocol
+// roles' Fingerprint() methods (docs/MODEL_CHECKING.md). The model
+// checker hashes every role's decision state plus the environment
+// (in-flight messages, timers, clock) into one 64-bit global-state
+// fingerprint and prunes revisited states; test assertions compare
+// fingerprints across runs. Mixing is strictly order-sensitive, so
+// callers must fold fields in a deterministic (declaration) order.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mrp {
+
+class Fingerprinter {
+ public:
+  static constexpr std::uint64_t kOffset = 1469598103934665603ULL;
+  static constexpr std::uint64_t kPrime = 1099511628211ULL;
+
+  void Bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= b[i];
+      h_ *= kPrime;
+    }
+  }
+
+  void U64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= static_cast<unsigned char>(v >> (8 * i));
+      h_ *= kPrime;
+    }
+  }
+
+  void U32(std::uint32_t v) { U64(v); }
+  void Bool(bool v) { U64(v ? 1 : 0); }
+  // Bit-pattern mix: doubles in protocol state (skip quotas) are
+  // deterministic under the seeded simulator, so the pattern is stable.
+  void F64(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof v);
+    __builtin_memcpy(&bits, &v, sizeof bits);
+    U64(bits);
+  }
+  void Str(std::string_view s) { Bytes(s.data(), s.size()); }
+
+  std::uint64_t digest() const { return h_; }
+
+ private:
+  std::uint64_t h_ = kOffset;
+};
+
+}  // namespace mrp

@@ -88,6 +88,16 @@ class InstanceWindow {
     return discarded;
   }
 
+  // Visits every buffered (instance, value) pair in instance order.
+  // Read-only; the model checker folds the pairs into state fingerprints
+  // (docs/MODEL_CHECKING.md).
+  template <typename F>
+  void ForEachPresent(F&& fn) const {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].has_value()) fn(base_ + i, *slots_[i]);
+    }
+  }
+
   // Smallest instance >= next() that is missing (not buffered). Used to
   // drive recovery requests for gaps.
   InstanceId FirstGap() const {

@@ -24,28 +24,34 @@ void WriteJsonKey(std::ostream& os, const std::string& key) {
 }  // namespace
 
 Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   return FindOrCreate(counters_, name, [] { return std::make_unique<Counter>(); });
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   return FindOrCreate(gauges_, name, [] { return std::make_unique<Gauge>(); });
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   return FindOrCreate(histograms_, name, [] { return std::make_unique<Histogram>(); });
 }
 
 std::uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second->value();
 }
 
 std::int64_t MetricsRegistry::GaugeValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? 0 : it->second->value();
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   Snapshot s;
   for (const auto& [name, c] : counters_) s.counters.emplace(name, c->value());
   for (const auto& [name, g] : gauges_) s.gauges.emplace(name, g->value());
@@ -72,6 +78,7 @@ MetricsRegistry::Snapshot MetricsRegistry::Delta(const Snapshot& later,
 }
 
 void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();

@@ -8,9 +8,11 @@
 // bench output files (docs/OBSERVABILITY.md describes the schema).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -20,26 +22,29 @@
 namespace mrp {
 
 // Monotonically increasing event count. Stable address once created.
+// Relaxed atomics: the Global() registry is shared by the runtime's
+// event-loop threads, and per-counter totals must not lose increments;
+// no cross-counter ordering is implied (snapshots are advisory).
 class Counter {
  public:
-  void Inc(std::uint64_t n = 1) { value_ += n; }
-  std::uint64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 // Point-in-time level (queue depth, buffered messages, ...).
 class Gauge {
  public:
-  void Set(std::int64_t v) { value_ = v; }
-  void Add(std::int64_t d) { value_ += d; }
-  std::int64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::int64_t value_ = 0;
+  std::atomic<std::int64_t> value_{0};
 };
 
 class MetricsRegistry {
@@ -93,7 +98,10 @@ class MetricsRegistry {
 
  private:
   // std::map: deterministic iteration for export; unique_ptr: stable
-  // addresses across rehash-free inserts.
+  // addresses across rehash-free inserts. The mutex guards the maps
+  // (find-or-create vs. concurrent resolve on the shared Global()
+  // registry) -- instrument updates themselves are lock-free atomics.
+  mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;

@@ -66,6 +66,11 @@ class GroupSource {
   // restored checkpoint). Called before OnStart, never after messages
   // were consumed. Sources that cannot resume ignore it and replay.
   virtual void StartAt(InstanceId at) { (void)at; }
+
+  // State digest for the model checker (docs/MODEL_CHECKING.md). The
+  // default covers only the consumption cursor; sources with internal
+  // buffering override with a digest of their full decision state.
+  virtual std::uint64_t Fingerprint() const { return next_instance(); }
 };
 
 }  // namespace mrp::multiring

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/env.h"
+#include "common/fingerprint.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "multiring/group_source.h"
@@ -55,6 +56,7 @@ class RingGroupSource final : public GroupSource {
   RingId ack_ring() const override { return opts_.ring.ring; }
   InstanceId next_instance() const override { return core_.next_instance(); }
   void StartAt(InstanceId at) override { core_.StartAt(at); }
+  std::uint64_t Fingerprint() const override { return core_.Fingerprint(); }
   const ringpaxos::LearnerCore& core() const { return core_; }
 
  private:
@@ -155,6 +157,29 @@ class MergeLearner final : public Protocol {
   // OnStart. Entries whose ring no group matches are ignored.
   void RestoreCut(const std::vector<CutEntry>& cut,
                   std::uint64_t delivered_count);
+
+  // State digest for the model checker (docs/MODEL_CHECKING.md): every
+  // source's decision state plus the merge cursor and the compensation
+  // hold queue (release times are timing, not state, and excluded).
+  std::uint64_t Fingerprint() const {
+    Fingerprinter f;
+    f.U64(groups_.size());
+    for (const auto& g : groups_) {
+      f.U32(g->source->group());
+      f.U64(g->source->Fingerprint());
+      f.U64(g->pending_skip);
+    }
+    f.U64(current_);
+    f.U32(consumed_);
+    f.Bool(halted_);
+    f.U64(total_delivered_);
+    f.U64(comp_queue_.size());
+    for (const auto& held : comp_queue_) {
+      f.U64(held.idx);
+      f.U64(held.msg.Fingerprint());
+    }
+    return f.digest();
+  }
 
  private:
   struct GroupState {

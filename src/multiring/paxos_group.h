@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/fingerprint.h"
 #include "common/instance_window.h"
 #include "multiring/group_source.h"
 #include "paxos/messages.h"
@@ -62,6 +63,18 @@ class PaxosGroupSource final : public GroupSource {
   }
 
   GroupId group() const override { return opts_.group; }
+
+  // State digest for the model checker (docs/MODEL_CHECKING.md).
+  std::uint64_t Fingerprint() const override {
+    Fingerprinter f;
+    f.U64(window_.next());
+    f.U64(window_.buffered());
+    window_.ForEachPresent([&f](InstanceId i, const paxos::Value& v) {
+      f.U64(i);
+      f.U64(v.Fingerprint());
+    });
+    return f.digest();
+  }
 
  private:
   Options opts_;

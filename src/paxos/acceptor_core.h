@@ -9,6 +9,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/fingerprint.h"
 #include "common/types.h"
 #include "paxos/storage.h"
 #include "paxos/value.h"
@@ -87,6 +88,24 @@ class AcceptorCore {
   }
   Round min_promised() const { return min_promised_; }
   Storage& storage() { return storage_; }
+
+  // Digest of the acceptor's durable decision state: the open-ended
+  // promise plus every retained (instance, rnd, vrnd, vval) record, in
+  // instance order (docs/MODEL_CHECKING.md).
+  std::uint64_t Fingerprint() const {
+    Fingerprinter f;
+    f.U32(min_promised_);
+    // ForEachFrom is non-const because Phase 1 raises promises in
+    // place; this visitor only reads.
+    storage_.ForEachFrom(0, [&f](InstanceId i, AcceptorRecord& rec) {
+      f.U64(i);
+      f.U32(rec.promised);
+      f.U32(rec.accepted_round);
+      f.Bool(rec.accepted.has_value());
+      if (rec.accepted) f.U64(rec.accepted->Fingerprint());
+    });
+    return f.digest();
+  }
 
  private:
   static constexpr std::size_t kPromiseBytes = 24;

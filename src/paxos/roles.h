@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/env.h"
+#include "common/fingerprint.h"
 #include "common/instance_window.h"
 #include "common/types.h"
 #include "paxos/acceptor_core.h"
@@ -56,6 +57,10 @@ class PaxosAcceptor final : public Protocol {
 
   AcceptorCore& core() { return core_; }
 
+  // State digest for the model checker (docs/MODEL_CHECKING.md): all
+  // decision state lives in the core.
+  std::uint64_t Fingerprint() const { return core_.Fingerprint(); }
+
  private:
   std::unique_ptr<Storage> owned_storage_;
   AcceptorCore core_;
@@ -79,6 +84,40 @@ class PaxosProposer final : public Protocol {
   void Submit(Env& env, ClientMsg msg);
 
   std::uint64_t decided_count() const { return decided_count_; }
+
+  // State digest for the model checker (docs/MODEL_CHECKING.md). Folds
+  // the decision-relevant fields in declaration order; timer ids are
+  // environment bookkeeping and excluded.
+  std::uint64_t Fingerprint() const {
+    Fingerprinter f;
+    f.U64(pending_.size());
+    for (const auto& m : pending_) f.U64(m.Fingerprint());
+    f.U64(running_.size());
+    for (const auto& [inst, r] : running_) {
+      f.U64(inst);
+      f.U32(r.round);
+      f.U32(r.attempt);
+      f.U64(r.own.Fingerprint());
+      f.U64(r.promises);
+      f.U32(r.best_vrnd);
+      f.Bool(r.adopted.has_value());
+      if (r.adopted) f.U64(r.adopted->Fingerprint());
+      f.Bool(r.phase2);
+      f.U64(r.accepts);
+      f.U64(r.proposing.Fingerprint());
+      f.Bool(r.decided);
+    }
+    f.U64(decided_log_.size());
+    for (const auto& [inst, v] : decided_log_) {
+      f.U64(inst);
+      f.U64(v.Fingerprint());
+    }
+    f.U64(next_instance_);
+    f.U64(decided_count_);
+    f.F64(logical_k_);
+    f.F64(prev_k_);
+    return f.digest();
+  }
 
  private:
   struct Running {
@@ -140,6 +179,19 @@ class PaxosLearner final : public Protocol {
   void OnMessage(Env& env, NodeId from, const MessagePtr& m) override;
 
   InstanceId next_instance() const { return window_.next(); }
+
+  // State digest for the model checker (docs/MODEL_CHECKING.md).
+  std::uint64_t Fingerprint() const {
+    Fingerprinter f;
+    f.U64(window_.next());
+    f.U64(window_.buffered());
+    window_.ForEachPresent([&f](InstanceId i, const Value& v) {
+      f.U64(i);
+      f.U64(v.Fingerprint());
+    });
+    f.U64(stuck_at_);
+    return f.digest();
+  }
 
  private:
   void Drain(Env& env);

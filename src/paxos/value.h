@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/fingerprint.h"
 #include "common/types.h"
 
 namespace mrp::paxos {
@@ -35,6 +36,19 @@ struct ClientMsg {
   friend bool operator==(const ClientMsg& a, const ClientMsg& b) {
     return a.group == b.group && a.proposer == b.proposer && a.seq == b.seq &&
            a.payload_size == b.payload_size && a.payload == b.payload;
+  }
+
+  // Content digest over the fields operator== compares (sent_at is
+  // timing, not identity). Used by the protocol roles' state
+  // fingerprints (docs/MODEL_CHECKING.md).
+  std::uint64_t Fingerprint() const {
+    Fingerprinter f;
+    f.U32(group);
+    f.U32(proposer);
+    f.U64(seq);
+    f.U32(payload_size);
+    f.Bytes(payload.data(), payload.size());
+    return f.digest();
   }
 };
 
@@ -81,6 +95,16 @@ struct Value {
 
   friend bool operator==(const Value& a, const Value& b) {
     return a.kind == b.kind && a.skip_count == b.skip_count && a.msgs == b.msgs;
+  }
+
+  // Content digest mirroring operator==.
+  std::uint64_t Fingerprint() const {
+    Fingerprinter f;
+    f.U64(static_cast<std::uint64_t>(kind));
+    f.U64(skip_count);
+    f.U64(msgs.size());
+    for (const auto& m : msgs) f.U64(m.Fingerprint());
+    return f.digest();
   }
 };
 

@@ -87,6 +87,17 @@ struct RingConfig {
   // the unconditional trim_keep retention policy.
   bool frontier_gated_trim = false;
 
+  // Test-only bug re-injection (model-checker fixture, satellite of
+  // docs/MODEL_CHECKING.md): when true, a takeover coordinator builds
+  // its layout from the alive ring members WITHOUT padding it to a
+  // universe majority, and skips the sub-majority guards on the decision
+  // paths — reverting the fix for the historical CurrentLayoutAlive bug
+  // the chaos fuzzer found (see ring_node.cc). A sub-majority layout can
+  // then decide without a universe-majority quorum, which a later
+  // takeover may not observe: the agreement oracle must fire. Never set
+  // outside tests/tools.
+  bool test_unsafe_submajority_layout = false;
+
   std::vector<NodeId> Universe() const {
     std::vector<NodeId> u = ring_members;
     u.insert(u.end(), spares.begin(), spares.end());

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/env.h"
+#include "common/fingerprint.h"
 #include "common/instance_window.h"
 #include "common/stats.h"
 #include "common/types.h"
@@ -112,6 +113,32 @@ class LearnerCore {
   RingId ring() const { return opts_.ring.ring; }
   GroupId group() const { return opts_.ring.group; }
 
+  // State digest for the model checker (docs/MODEL_CHECKING.md): the
+  // instance window, the value cache, and the recovery cursor state.
+  std::uint64_t Fingerprint() const {
+    Fingerprinter f;
+    f.U64(window_.next());
+    f.U64(window_.buffered());
+    window_.ForEachPresent([&f](InstanceId i, const Cell& c) {
+      f.U64(i);
+      f.U64(c.vid);
+      f.Bool(c.value.has_value());
+      if (c.value) f.U64(c.value->Fingerprint());
+    });
+    f.U64(cache_.size());
+    for (const auto& [i, cached] : cache_) {
+      f.U64(i);
+      f.U32(cached.round);
+      f.U64(cached.vid);
+      f.U64(cached.value.Fingerprint());
+    }
+    f.U32(coordinator_hint_);
+    f.U64(buffered_msgs_);
+    f.U64(last_next_);
+    f.U64(fast_forwarded_);
+    return f.digest();
+  }
+
  private:
   struct Cell {
     ValueId vid = kNoValueId;
@@ -190,6 +217,16 @@ class RingLearner final : public Protocol {
   std::uint64_t delivered_msgs() const { return delivered_.total_count(); }
   std::uint64_t skipped_logical() const { return skipped_logical_; }
   InstanceId next_instance() const { return core_.next_instance(); }
+
+  // State digest for the model checker (docs/MODEL_CHECKING.md): the
+  // embedded core plus delivery progress (rate/latency stats excluded).
+  std::uint64_t Fingerprint() const {
+    Fingerprinter f;
+    f.U64(core_.Fingerprint());
+    f.U64(delivered_.total_count());
+    f.U64(skipped_logical_);
+    return f.digest();
+  }
 
  private:
   void Drain(Env& env);

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/env.h"
+#include "common/fingerprint.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "paxos/value.h"
@@ -89,6 +90,24 @@ class Proposer final : public Protocol {
     return out;
   }
   bool blocked() const { return blocked_; }
+
+  // State digest for the model checker (docs/MODEL_CHECKING.md): the
+  // submission pipeline (coordinator view, sequence cursors, in-flight
+  // window). Timing state (last_progress_, rate meter) is excluded.
+  std::uint64_t Fingerprint() const {
+    Fingerprinter f;
+    f.U32(coordinator_);
+    f.U64(next_seq_);
+    f.U64(acked_seq_);
+    f.U64(outstanding_.size());
+    for (const auto& [seq, msg] : outstanding_) {
+      f.U64(seq);
+      f.U64(msg.Fingerprint());
+    }
+    f.Bool(blocked_);
+    f.U64(pending_submits_);
+    return f.digest();
+  }
 
  private:
   double CurrentRate(TimePoint now) const;

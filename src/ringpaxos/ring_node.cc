@@ -173,7 +173,12 @@ void RingNode::OnP2B(Env& env, NodeId /*from*/, const P2B& msg) {
     if (layout == nullptr) return;
     // A full ring of votes only implies a decision if the ring is itself
     // a majority of the universe — never decide through a smaller one.
-    if (layout->size() < cfg_.UniverseMajority()) return;
+    // (Guard disabled only by the test_unsafe_submajority_layout bug
+    // fixture, config.h.)
+    if (!cfg_.test_unsafe_submajority_layout &&
+        layout->size() < cfg_.UniverseMajority()) {
+      return;
+    }
     if (msg.votes + 1 >= layout->size()) {
       it->second.ring_voted = true;
       CheckInstanceDecided(env, msg.instance);
@@ -374,9 +379,12 @@ void RingNode::CheckInstanceDecided(Env& env, InstanceId instance) {
   const auto* layout = LayoutFor(round_);
   // The solo fast path (no ring round-trip) is only sound when a
   // one-member layout is a majority, i.e. a single-node universe.
-  const bool ring_ok =
-      layout != nullptr && layout->size() >= cfg_.UniverseMajority() &&
-      (out.ring_voted || layout->size() == 1);
+  // (Majority check disabled only by the test_unsafe_submajority_layout
+  // bug fixture, config.h.)
+  const bool ring_ok = layout != nullptr &&
+                       (cfg_.test_unsafe_submajority_layout ||
+                        layout->size() >= cfg_.UniverseMajority()) &&
+                       (out.ring_voted || layout->size() == 1);
   if (out.self_durable && ring_ok) InstanceDecided(env, instance);
 }
 
@@ -555,11 +563,15 @@ std::vector<NodeId> RingNode::CurrentLayoutAlive(TimePoint now) const {
   // until the next reconfiguration, whereas a sub-majority layout once
   // let a leader decide instances all by itself and a later coordinator
   // chose different values for them (found by mrp_fuzz, seed 2 under
-  // --budget anything).
-  for (NodeId n : cfg_.Universe()) {
-    if (layout.size() >= cfg_.UniverseMajority()) break;
-    if (std::find(layout.begin(), layout.end(), n) == layout.end()) {
-      layout.push_back(n);
+  // --budget anything). The test_unsafe_submajority_layout fixture
+  // re-opens exactly that hole so the model checker can rediscover it
+  // (docs/MODEL_CHECKING.md).
+  if (!cfg_.test_unsafe_submajority_layout) {
+    for (NodeId n : cfg_.Universe()) {
+      if (layout.size() >= cfg_.UniverseMajority()) break;
+      if (std::find(layout.begin(), layout.end(), n) == layout.end()) {
+        layout.push_back(n);
+      }
     }
   }
   return layout;

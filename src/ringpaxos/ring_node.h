@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/env.h"
+#include "common/fingerprint.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "paxos/acceptor_core.h"
@@ -84,6 +85,75 @@ class RingNode final : public Protocol {
     bool has_mark = false;
     ValueId mark_vid = kNoValueId;
   };
+  // State digest for the model checker (docs/MODEL_CHECKING.md): round
+  // and layout state, acceptor marks and the durable core, coordinator
+  // pipeline, and in-flight Phase 1 — folded in declaration order.
+  // Timing (timestamps, timer ids, stats) is excluded so states that
+  // differ only in wall-clock history hash alike.
+  std::uint64_t Fingerprint() const {
+    Fingerprinter f;
+    f.U64(static_cast<std::uint64_t>(role_));
+    f.U32(round_);
+    f.U64(layouts_.size());
+    for (const auto& [r, lay] : layouts_) {
+      f.U32(r);
+      f.U64(lay.size());
+      for (NodeId n : lay) f.U32(n);
+    }
+    f.U64(core_.Fingerprint());
+    f.U64(accept_marks_.size());
+    for (const auto& [i, mark] : accept_marks_) {
+      f.U64(i);
+      f.U32(mark.round);
+      f.U64(mark.vid);
+      f.Bool(mark.durable);
+    }
+    f.U64(pending_p2b_.size());
+    for (const auto& [i, p2b] : pending_p2b_) {
+      f.U64(i);
+      f.U32(p2b.round);
+      f.U64(p2b.vid);
+      f.U32(p2b.votes);
+    }
+    f.U64(decided_vids_.size());
+    for (const auto& [i, vid] : decided_vids_) {
+      f.U64(i);
+      f.U64(vid);
+    }
+    f.U64(decided_watermark_);
+    f.U64(stable_frontier_);
+    f.U64(pending_.size());
+    for (const auto& m : pending_) f.U64(m.Fingerprint());
+    f.U64(outstanding_.size());
+    for (const auto& [i, out] : outstanding_) {
+      f.U64(i);
+      f.U64(out.vid);
+      f.U64(out.value.Fingerprint());
+      f.Bool(out.self_durable);
+      f.Bool(out.ring_voted);
+    }
+    f.U64(next_instance_);
+    f.U64(vid_seq_);
+    f.U64(to_announce_.size());
+    for (const auto& d : to_announce_) {
+      f.U64(d.instance);
+      f.U64(d.vid);
+    }
+    f.U32(candidate_round_);
+    f.U64(candidate_layout_.size());
+    for (NodeId n : candidate_layout_) f.U32(n);
+    f.U64(promises_.size());
+    for (NodeId n : promises_) f.U32(n);
+    f.U64(phase1_values_.size());
+    for (const auto& [i, rv] : phase1_values_) {
+      f.U64(i);
+      f.U32(rv.first);
+      f.U64(rv.second.Fingerprint());
+    }
+    f.U64(phase1_from_);
+    return f.digest();
+  }
+
   InstanceDebug DebugInstance(InstanceId i) const {
     InstanceDebug d;
     auto it = decided_vids_.find(i);

@@ -1,5 +1,12 @@
 // Deterministic discrete-event scheduler. Events fire in (time, insertion
 // sequence) order, so identical seeds give bit-identical runs.
+//
+// A pluggable Strategy (tools/mc, docs/MODEL_CHECKING.md) may override
+// the tie-break among events that share the minimal timestamp: the
+// strategy is shown every enabled event at that time and picks which one
+// fires. With no strategy installed the behaviour is exactly the
+// historical (time, insertion sequence) order, so every existing
+// deployment and the determinism gates are unaffected.
 #pragma once
 
 #include <cstdint>
@@ -13,15 +20,53 @@
 
 namespace mrp::sim {
 
+// Metadata a controller needs to reason about an event without seeing its
+// closure: what kind of event it is, which node it targets, and an
+// opaque class discriminator (message codec tag, timer id, ...). Plain
+// data so strategies can hash/compare it.
+struct EventTag {
+  enum class Kind : std::uint8_t {
+    kGeneric = 0,   // untagged work (cost-model stages, test events)
+    kDelivery = 1,  // message delivery to `node`
+    kTimer = 2,     // timer callback on `node`
+  };
+  Kind kind = Kind::kGeneric;
+  NodeId node = kNoNode;
+  std::uint32_t klass = 0;
+};
+
 class Scheduler {
  public:
   using EventId = std::uint64_t;
 
+  // One enabled event as shown to a Strategy: identity, firing time and
+  // the tag it was scheduled with.
+  struct EventInfo {
+    EventId id = 0;
+    TimePoint at{0};
+    EventTag tag;
+  };
+
+  // Controller hook: when >= 2 events are enabled at the minimal
+  // timestamp, PickNext chooses which fires (index into `enabled`,
+  // which is ordered by insertion sequence). The scheduler owns the
+  // tie-break only; strategies must return a valid index.
+  class Strategy {
+   public:
+    virtual ~Strategy() = default;
+    virtual std::size_t PickNext(const std::vector<EventInfo>& enabled) = 0;
+  };
+
   TimePoint now() const { return now_; }
 
   EventId At(TimePoint t, std::function<void()> fn) {
+    return At(t, EventTag{}, std::move(fn));
+  }
+
+  EventId At(TimePoint t, EventTag tag, std::function<void()> fn) {
     const EventId id = ++next_id_;
-    queue_.push(Event{t < now_ ? now_ : t, id, std::move(fn)});
+    queue_.push(Event{t < now_ ? now_ : t, id, tag, std::move(fn)});
+    pending_ids_.insert(id);
     return id;
   }
 
@@ -29,25 +74,39 @@ class Scheduler {
     return At(now_ + d, std::move(fn));
   }
 
+  EventId After(Duration d, EventTag tag, std::function<void()> fn) {
+    return At(now_ + d, tag, std::move(fn));
+  }
+
+  // Cancels a scheduled-but-unfired event. Ids that already ran (or were
+  // never scheduled) are ignored, so empty() stays truthful no matter
+  // how late a caller cancels.
   void Cancel(EventId id) {
+    if (pending_ids_.find(id) == pending_ids_.end()) return;
     if (cancelled_.insert(id).second) ++cancelled_live_;
   }
 
   bool empty() const { return queue_.size() == cancelled_live_; }
 
+  // Installs (or clears, with nullptr) the same-time tie-break strategy.
+  // The pointer is borrowed and must outlive the scheduler or be cleared.
+  void SetStrategy(Strategy* strategy) { strategy_ = strategy; }
+
+  // Earliest live (non-cancelled) event time; kTimeZero - 1 convention is
+  // avoided: returns `fallback` when no live event remains. Prunes
+  // cancelled heap tops as a side effect (they are dead either way).
+  TimePoint NextEventTime(TimePoint fallback) {
+    DiscardCancelledTop();
+    return queue_.empty() ? fallback : queue_.top().at;
+  }
+
   // Runs the next event; returns false if none remain.
   bool RunOne() {
+    if (strategy_ != nullptr) return RunOneWithStrategy();
     while (!queue_.empty()) {
       Event ev = PopTop();
-      if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-        cancelled_.erase(it);
-        --cancelled_live_;
-        ++events_cancelled_;
-        continue;
-      }
-      now_ = ev.at;
-      ev.fn();
-      ++events_run_;
+      if (Cancelled(ev.id)) continue;
+      Fire(std::move(ev));
       return true;
     }
     return false;
@@ -55,7 +114,9 @@ class Scheduler {
 
   // Runs all events with time <= t, then advances the clock to t.
   void RunUntil(TimePoint t) {
-    while (!queue_.empty() && queue_.top().at <= t) {
+    while (true) {
+      DiscardCancelledTop();
+      if (queue_.empty() || queue_.top().at > t) break;
       if (!RunOne()) break;
     }
     if (now_ < t) now_ = t;
@@ -80,6 +141,7 @@ class Scheduler {
   struct Event {
     TimePoint at;
     EventId id;
+    EventTag tag;
     std::function<void()> fn;
   };
   struct Later {
@@ -97,13 +159,71 @@ class Scheduler {
     return ev;
   }
 
+  // True (and accounted) when the popped event was cancelled.
+  bool Cancelled(EventId id) {
+    auto it = cancelled_.find(id);
+    if (it == cancelled_.end()) return false;
+    cancelled_.erase(it);
+    --cancelled_live_;
+    pending_ids_.erase(id);
+    ++events_cancelled_;
+    return true;
+  }
+
+  void DiscardCancelledTop() {
+    while (!queue_.empty() && Cancelled(queue_.top().id)) queue_.pop();
+  }
+
+  void Fire(Event ev) {
+    pending_ids_.erase(ev.id);
+    now_ = ev.at;
+    ev.fn();
+    ++events_run_;
+  }
+
+  bool RunOneWithStrategy() {
+    DiscardCancelledTop();
+    if (queue_.empty()) return false;
+    const TimePoint t = queue_.top().at;
+    // Pop every live event enabled at the minimal time. Insertion order
+    // is preserved (the heap yields them id-ascending at equal times).
+    std::vector<Event> enabled;
+    while (!queue_.empty() && queue_.top().at == t) {
+      Event ev = PopTop();
+      if (Cancelled(ev.id)) continue;
+      enabled.push_back(std::move(ev));
+    }
+    if (enabled.empty()) return RunOneWithStrategy();
+    std::size_t pick = 0;
+    if (enabled.size() > 1) {
+      std::vector<EventInfo> infos;
+      infos.reserve(enabled.size());
+      for (const Event& ev : enabled) infos.push_back({ev.id, ev.at, ev.tag});
+      pick = strategy_->PickNext(infos);
+      if (pick >= enabled.size()) pick = 0;
+    }
+    Event chosen = std::move(enabled[pick]);
+    // Push the rest back; their ids (still in pending_ids_) are unchanged
+    // so relative order and the default tie-break stay stable.
+    for (std::size_t i = 0; i < enabled.size(); ++i) {
+      if (i != pick) queue_.push(std::move(enabled[i]));
+    }
+    Fire(std::move(chosen));
+    return true;
+  }
+
   TimePoint now_{0};
   EventId next_id_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unordered_set<EventId> cancelled_;
+  // Ids scheduled but not yet fired/cancelled. Cancel consults it so a
+  // stale cancellation (id already ran, or never existed) cannot inflate
+  // cancelled_live_ and make empty() lie about live events.
+  std::unordered_set<EventId> pending_ids_;
   // Cancelled-but-unpopped entries still sitting in queue_. Kept in sync
   // by Cancel/RunOne so empty() can subtract them without draining.
   std::size_t cancelled_live_ = 0;
+  Strategy* strategy_ = nullptr;
   std::uint64_t events_run_ = 0;
   std::uint64_t events_cancelled_ = 0;
 };

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/env.h"
+#include "common/fingerprint.h"
 #include "multiring/merge_learner.h"
 #include "recovery/snapshottable.h"
 #include "smr/command.h"
@@ -63,6 +64,20 @@ class Replica final : public Protocol, public recovery::Snapshottable {
   std::uint64_t discarded() const { return discarded_; }
   bool bootstrapped() const { return bootstrapped_; }
   multiring::MergeLearner& merge() { return *merge_; }
+
+  // State digest for the model checker (docs/MODEL_CHECKING.md): the
+  // embedded merge learner, the KV store, and apply progress.
+  std::uint64_t Fingerprint() const {
+    Fingerprinter f;
+    f.U64(merge_->Fingerprint());
+    f.U64(store_.Fingerprint());
+    f.U64(pending_applies_.size());
+    f.Bool(snapshot_requested_);
+    f.U64(applied_);
+    f.U64(discarded_);
+    f.Bool(bootstrapped_);
+    return f.digest();
+  }
 
  private:
   void Apply(Env& env, GroupId group, const paxos::ClientMsg& msg);

@@ -1,0 +1,243 @@
+// Fingerprint coverage (docs/MODEL_CHECKING.md): every protocol role the
+// model checker can host exposes a Fingerprint() state digest. These
+// tests pin the contract the explorer's visited-state table depends on:
+//
+//  * deterministic  — identically-constructed roles digest identically;
+//  * state-sensitive— feeding a message that changes decision state
+//                     changes the digest;
+//  * timing-blind   — wall-clock-only differences (ClientMsg::sent_at
+//                     and friends) do NOT change the digest, so states
+//                     reached at different speeds can merge.
+//
+// This file is also the ledger the mrp_lint fingerprint-coverage rule
+// checks against: exercising a role's Fingerprint() here marks it
+// covered.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/env.h"
+#include "multiring/merge_learner.h"
+#include "multiring/paxos_group.h"
+#include "paxos/messages.h"
+#include "paxos/roles.h"
+#include "ringpaxos/learner.h"
+#include "ringpaxos/messages.h"
+#include "ringpaxos/proposer.h"
+#include "ringpaxos/ring_node.h"
+#include "smr/replica.h"
+
+namespace mrp {
+namespace {
+
+// Minimal Env: records sends, holds timers without firing them.
+class FakeEnv final : public Env {
+ public:
+  explicit FakeEnv(NodeId id = 1) : id_(id), rng_(42) {}
+
+  NodeId self() const override { return id_; }
+  TimePoint now() const override { return now_; }
+  void Send(NodeId to, MessagePtr m) override {
+    sent.emplace_back(to, std::move(m));
+  }
+  void Multicast(ChannelId ch, MessagePtr m) override {
+    cast.emplace_back(ch, std::move(m));
+  }
+  TimerId SetTimer(Duration, std::function<void()> cb) override {
+    timers.push_back(std::move(cb));
+    return static_cast<TimerId>(timers.size());
+  }
+  void CancelTimer(TimerId) override {}
+  Rng& rng() override { return rng_; }
+  MetricsRegistry& metrics() override { return registry_; }
+
+  void Advance(Duration d) { now_ += d; }
+
+  std::vector<std::pair<NodeId, MessagePtr>> sent;
+  std::vector<std::pair<ChannelId, MessagePtr>> cast;
+  std::vector<std::function<void()>> timers;
+
+ private:
+  NodeId id_;
+  TimePoint now_{0};
+  Rng rng_;
+  MetricsRegistry registry_;
+};
+
+paxos::ClientMsg Cmd(std::uint64_t seq, TimePoint sent_at = kTimeZero) {
+  paxos::ClientMsg m;
+  m.group = 0;
+  m.proposer = 20;
+  m.seq = seq;
+  m.sent_at = sent_at;
+  m.payload_size = 8;
+  return m;
+}
+
+ringpaxos::RingConfig Ring() {
+  ringpaxos::RingConfig cfg;
+  cfg.ring = 0;
+  cfg.group = 0;
+  cfg.ring_members = {1, 2, 3};
+  cfg.data_channel = 1;
+  cfg.control_channel = 2;
+  return cfg;
+}
+
+TEST(FingerprintTest, ClientMsgAndValueIgnoreTiming) {
+  // sent_at is latency bookkeeping, not identity.
+  EXPECT_EQ(Cmd(7).Fingerprint(), Cmd(7, Millis(30)).Fingerprint());
+  EXPECT_NE(Cmd(7).Fingerprint(), Cmd(8).Fingerprint());
+  const auto batch = paxos::Value::Batch({Cmd(7)});
+  const auto batch_late = paxos::Value::Batch({Cmd(7, Millis(9))});
+  EXPECT_EQ(batch.Fingerprint(), batch_late.Fingerprint());
+  EXPECT_NE(batch.Fingerprint(), paxos::Value::Skip(3).Fingerprint());
+}
+
+TEST(FingerprintTest, PaxosAcceptor) {
+  paxos::PaxosAcceptor a, b;
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  FakeEnv env(2);
+  a.OnMessage(env, 1, MakeMessage<paxos::Phase1A>(0, 5));
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());  // promise is decision state
+  b.OnMessage(env, 1, MakeMessage<paxos::Phase1A>(0, 5));
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(FingerprintTest, PaxosProposerAndLearner) {
+  paxos::PaxosConfig pc;
+  pc.proposers = {1};
+  pc.acceptors = {2, 3, 4};
+  pc.decision_channel = 9;
+  paxos::PaxosProposer p(pc, 0), q(pc, 0);
+  EXPECT_EQ(p.Fingerprint(), q.Fingerprint());
+  FakeEnv env(1);
+  p.Submit(env, Cmd(1));
+  EXPECT_NE(p.Fingerprint(), q.Fingerprint());
+
+  paxos::PaxosLearner l([](InstanceId, const paxos::Value&) {});
+  paxos::PaxosLearner m([](InstanceId, const paxos::Value&) {});
+  EXPECT_EQ(l.Fingerprint(), m.Fingerprint());
+  l.OnMessage(env, 2,
+              MakeMessage<paxos::DecisionMsg>(0, paxos::Value::Batch({Cmd(1)})));
+  EXPECT_NE(l.Fingerprint(), m.Fingerprint());
+}
+
+TEST(FingerprintTest, RingNode) {
+  const auto cfg = Ring();
+  ringpaxos::RingNode a(cfg), b(cfg);
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  FakeEnv env(1);
+  a.OnStart(env);  // node 1 owns round 0: becomes candidate, self-promises
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  FakeEnv env2(1);
+  b.OnStart(env2);
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(FingerprintTest, RingLearnerAndCore) {
+  ringpaxos::RingLearner::Options lo;
+  lo.learner.ring = Ring();
+  ringpaxos::RingLearner a(lo), b(lo);
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+
+  // LearnerCore digests cached P2As (decision state ahead of delivery).
+  ringpaxos::LearnerCore core(lo.learner);
+  const std::uint64_t fresh = core.Fingerprint();
+  FakeEnv env(10);
+  core.OnRingMessage(
+      env, MakeMessage<ringpaxos::P2A>(0, 0, 0, 1,
+                                       paxos::Value::Batch({Cmd(1)}),
+                                       std::vector<ringpaxos::Decided>{},
+                                       std::vector<NodeId>{1, 2, 3}));
+  EXPECT_NE(core.Fingerprint(), fresh);
+  a.OnMessage(env, 1,
+              MakeMessage<ringpaxos::DecisionMsg>(
+                  0, std::vector<ringpaxos::Decided>{{0, 1}}));
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(FingerprintTest, RingProposer) {
+  ringpaxos::ProposerConfig pc;
+  pc.ring = 0;
+  pc.group = 0;
+  pc.coordinator = 1;
+  ringpaxos::Proposer a(pc), b(pc);
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  FakeEnv env(20);
+  // A control-channel heartbeat from a new coordinator retargets the
+  // proposer — tracked state, so the digest moves.
+  a.OnMessage(env, 2, MakeMessage<ringpaxos::Heartbeat>(0, 1, 2));
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(FingerprintTest, GroupSourcesAndMergeLearner) {
+  ringpaxos::LearnerOptions lo;
+  lo.ring = Ring();
+  multiring::RingGroupSource src(lo), src2(lo);
+  EXPECT_EQ(src.Fingerprint(), src2.Fingerprint());
+  FakeEnv env(10);
+  src.OnMessage(env, 1,
+                MakeMessage<ringpaxos::P2A>(0, 0, 0, 1,
+                                            paxos::Value::Batch({Cmd(1)}),
+                                            std::vector<ringpaxos::Decided>{},
+                                            std::vector<NodeId>{1, 2, 3}));
+  EXPECT_NE(src.Fingerprint(), src2.Fingerprint());
+
+  multiring::PaxosGroupSource::Options po;
+  po.group = 0;
+  multiring::PaxosGroupSource ps(po), ps2(po);
+  EXPECT_EQ(ps.Fingerprint(), ps2.Fingerprint());
+  ps.OnMessage(env, 1,
+               MakeMessage<paxos::DecisionMsg>(0, paxos::Value::Batch({Cmd(1)}),
+                                               0));
+  EXPECT_NE(ps.Fingerprint(), ps2.Fingerprint());
+
+  auto make_merge = [] {
+    multiring::MergeLearner::Options mo;
+    ringpaxos::LearnerOptions glo;
+    glo.ring = Ring();
+    mo.groups.push_back(glo);
+    return std::make_unique<multiring::MergeLearner>(std::move(mo));
+  };
+  auto ml = make_merge();
+  auto ml2 = make_merge();
+  EXPECT_EQ(ml->Fingerprint(), ml2->Fingerprint());
+  ml->OnMessage(env, 1,
+                MakeMessage<ringpaxos::P2A>(0, 0, 0, 1,
+                                            paxos::Value::Batch({Cmd(1)}),
+                                            std::vector<ringpaxos::Decided>{},
+                                            std::vector<NodeId>{1, 2, 3}));
+  ml->OnMessage(env, 1,
+                MakeMessage<ringpaxos::DecisionMsg>(
+                    0, std::vector<ringpaxos::Decided>{{0, 1}}));
+  EXPECT_NE(ml->Fingerprint(), ml2->Fingerprint());
+}
+
+TEST(FingerprintTest, SmrReplica) {
+  auto make_replica = [] {
+    smr::ReplicaConfig rc;
+    rc.partition_ring.ring = Ring();
+    return std::make_unique<smr::Replica>(rc);
+  };
+  auto a = make_replica();
+  auto b = make_replica();
+  EXPECT_EQ(a->Fingerprint(), b->Fingerprint());
+  FakeEnv env(10);
+  a->OnStart(env);
+  a->OnMessage(env, 1,
+               MakeMessage<ringpaxos::P2A>(0, 0, 0, 1,
+                                           paxos::Value::Batch({Cmd(1)}),
+                                           std::vector<ringpaxos::Decided>{},
+                                           std::vector<NodeId>{1, 2, 3}));
+  a->OnMessage(env, 1,
+               MakeMessage<ringpaxos::DecisionMsg>(
+                   0, std::vector<ringpaxos::Decided>{{0, 1}}));
+  EXPECT_NE(a->Fingerprint(), b->Fingerprint());
+}
+
+}  // namespace
+}  // namespace mrp

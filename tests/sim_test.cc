@@ -51,6 +51,90 @@ TEST(Scheduler, EmptyTracksCancelledEvents) {
   EXPECT_EQ(s.events_cancelled(), 2u);
 }
 
+TEST(Scheduler, CancelOfFiredOrUnknownIdKeepsEmptyTruthful) {
+  // Regression: cancelling an id that already ran (or was never
+  // scheduled) used to bump the cancelled-live count forever, so empty()
+  // claimed the queue was drained while live events remained and
+  // RunAll-style loops terminated early.
+  Scheduler s;
+  int fired = 0;
+  auto a = s.At(Millis(1), [&] { ++fired; });
+  ASSERT_TRUE(s.RunOne());  // `a` has fired
+  s.Cancel(a);              // stale cancel: must be a no-op
+  s.Cancel(12345);          // never-scheduled id: must be a no-op
+  EXPECT_TRUE(s.empty());
+  s.At(Millis(2), [&] { ++fired; });
+  EXPECT_FALSE(s.empty());  // the live event must be visible
+  s.RunAll();
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.events_cancelled(), 0u);
+}
+
+TEST(Scheduler, RunUntilSkipsCancelledHeadWithoutOverrunning) {
+  // A cancelled event at the head of the queue inside the RunUntil
+  // horizon must not let a live event beyond the horizon fire early.
+  Scheduler s;
+  int fired = 0;
+  auto a = s.At(Millis(1), [&] { ++fired; });
+  s.At(Millis(5), [&] { ++fired; });
+  s.Cancel(a);
+  s.RunUntil(Millis(2));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(s.now(), Millis(2));
+  s.RunUntil(Millis(5));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, StrategyPicksAmongSameTimeEvents) {
+  Scheduler s;
+  // Reverse-order strategy: always fire the newest enabled event.
+  class Newest final : public Scheduler::Strategy {
+   public:
+    std::size_t PickNext(
+        const std::vector<Scheduler::EventInfo>& enabled) override {
+      seen_sizes.push_back(enabled.size());
+      return enabled.size() - 1;
+    }
+    std::vector<std::size_t> seen_sizes;
+  };
+  Newest newest;
+  s.SetStrategy(&newest);
+  std::vector<int> order;
+  s.At(Millis(1), EventTag{EventTag::Kind::kDelivery, 7, 1},
+       [&] { order.push_back(1); });
+  s.At(Millis(1), EventTag{EventTag::Kind::kDelivery, 8, 2},
+       [&] { order.push_back(2); });
+  s.At(Millis(1), EventTag{EventTag::Kind::kTimer, 9, 3},
+       [&] { order.push_back(3); });
+  s.At(Millis(2), [&] { order.push_back(4); });
+  s.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{3, 2, 1, 4}));
+  // Called only while >= 2 events were enabled at the minimal time.
+  EXPECT_EQ(newest.seen_sizes, (std::vector<std::size_t>{3, 2}));
+  s.SetStrategy(nullptr);
+}
+
+TEST(Scheduler, NullStrategyKeepsDefaultOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.At(Millis(1), [&] { order.push_back(1); });
+  s.At(Millis(1), [&] { order.push_back(2); });
+  s.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Scheduler, NextEventTimeSkipsCancelled) {
+  Scheduler s;
+  auto a = s.At(Millis(1), [] {});
+  s.At(Millis(3), [] {});
+  EXPECT_EQ(s.NextEventTime(Millis(99)), Millis(1));
+  s.Cancel(a);
+  EXPECT_EQ(s.NextEventTime(Millis(99)), Millis(3));
+  s.RunAll();
+  EXPECT_EQ(s.NextEventTime(Millis(99)), Millis(99));
+}
+
 TEST(Scheduler, RunUntilAdvancesClock) {
   Scheduler s;
   int fired = 0;

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Line-coverage gate for the Multi-Ring Paxos reproduction.
+
+Drives gcov (JSON intermediate format, gcc 9+) over every object file in
+an MRP_COVERAGE=ON build tree, merges per-line execution counts across
+translation units (headers appear in many TUs; a line is covered if ANY
+TU executed it), and enforces a soft floor on the protocol core:
+src/paxos, src/ringpaxos, src/multiring.
+
+The floor is "soft" in the sense that it is set below the current actual
+coverage and only moves up deliberately (ratchet, never auto): its job
+is to catch a new subsystem landing with no tests at all, not to fight
+over single percentage points. See docs/STATIC_ANALYSIS.md.
+
+Usage:
+  tools/coverage/report.py --build-dir build-cov [--out coverage.txt]
+                           [--floor 70] [--gcov gcov]
+
+Exit status: 0 floor met, 1 floor missed, 2 usage/tooling error.
+"""
+
+import argparse
+import gzip
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+GATED_DIRS = ("src/paxos", "src/ringpaxos", "src/multiring")
+
+
+def find_repo_root():
+    return os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def collect_gcno(build_dir):
+    out = []
+    for dirpath, _dirs, files in os.walk(build_dir):
+        for fn in files:
+            if fn.endswith(".gcno"):
+                out.append(os.path.join(dirpath, fn))
+    return sorted(out)
+
+
+def run_gcov(gcov, gcno_files, repo_root):
+    """Returns {rel_source_path: {line_no: max_count}} merged across TUs."""
+    merged = {}
+    with tempfile.TemporaryDirectory(prefix="mrp-cov-") as tmp:
+        for i, gcno in enumerate(gcno_files):
+            wd = os.path.join(tmp, str(i))
+            os.mkdir(wd)
+            proc = subprocess.run(
+                [gcov, "--json-format", "--branch-probabilities", gcno],
+                cwd=wd, capture_output=True, text=True, check=False)
+            if proc.returncode != 0:
+                # A stale .gcno (e.g. version skew) should not kill the
+                # whole report; note it and move on.
+                print(f"coverage: gcov failed on {os.path.basename(gcno)}: "
+                      f"{proc.stderr.strip().splitlines()[:1]}", file=sys.stderr)
+                continue
+            for fn in os.listdir(wd):
+                if not fn.endswith(".gcov.json.gz"):
+                    continue
+                with gzip.open(os.path.join(wd, fn), "rt", encoding="utf-8") as f:
+                    doc = json.load(f)
+                for entry in doc.get("files", []):
+                    src = entry.get("file", "")
+                    if not os.path.isabs(src):
+                        src = os.path.normpath(
+                            os.path.join(doc.get("current_working_directory", wd), src))
+                    rel = os.path.relpath(src, repo_root).replace(os.sep, "/")
+                    if rel.startswith(".."):
+                        continue  # system/third-party header
+                    lines = merged.setdefault(rel, {})
+                    for ln in entry.get("lines", []):
+                        no = ln.get("line_number")
+                        cnt = ln.get("count", 0)
+                        if no is not None:
+                            lines[no] = max(lines.get(no, 0), cnt)
+    return merged
+
+
+def summarize(merged, prefix):
+    total = covered = 0
+    for rel, lines in merged.items():
+        if not rel.startswith(prefix):
+            continue
+        total += len(lines)
+        covered += sum(1 for c in lines.values() if c > 0)
+    return covered, total
+
+
+def pct(covered, total):
+    return 100.0 * covered / total if total else 0.0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(prog="coverage/report.py", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--build-dir", required=True,
+                        help="MRP_COVERAGE=ON build tree holding .gcno/.gcda files")
+    parser.add_argument("--out", default=None, help="also write the report to this file")
+    parser.add_argument("--floor", type=float, default=70.0,
+                        help="minimum combined line coverage over "
+                             f"{'+'.join(GATED_DIRS)} (default: %(default)s)")
+    parser.add_argument("--gcov", default=os.environ.get("GCOV", "gcov"),
+                        help="gcov binary (default: $GCOV or 'gcov')")
+    args = parser.parse_args(argv)
+
+    if shutil.which(args.gcov) is None:
+        print(f"coverage: {args.gcov} not installed; skipping (CI enforces it)",
+              file=sys.stderr)
+        return 0
+    # gcov runs from a scratch directory, so the .gcno paths handed to it
+    # must be absolute.
+    args.build_dir = os.path.abspath(args.build_dir)
+    if not os.path.isdir(args.build_dir):
+        print(f"coverage: not a directory: {args.build_dir}", file=sys.stderr)
+        return 2
+    gcno = collect_gcno(args.build_dir)
+    if not gcno:
+        print(f"coverage: no .gcno files under {args.build_dir} -- "
+              "configure with -DMRP_COVERAGE=ON and build first", file=sys.stderr)
+        return 2
+
+    repo_root = find_repo_root()
+    merged = run_gcov(args.gcov, gcno, repo_root)
+
+    rows = []
+    for d in GATED_DIRS:
+        c, t = summarize(merged, d + "/")
+        rows.append((d, c, t))
+    gated_c = sum(r[1] for r in rows)
+    gated_t = sum(r[2] for r in rows)
+    src_c, src_t = summarize(merged, "src/")
+
+    ok = pct(gated_c, gated_t) >= args.floor
+    lines = [f"coverage report ({len(gcno)} object files, gcov json)"]
+    for d, c, t in rows:
+        lines.append(f"  {d:<16} {pct(c, t):6.1f}%  ({c}/{t} lines)")
+    lines.append(f"  {'gated total':<16} {pct(gated_c, gated_t):6.1f}%  "
+                 f"({gated_c}/{gated_t} lines)  floor {args.floor:.1f}%  "
+                 f"-> {'OK' if ok else 'BELOW FLOOR'}")
+    lines.append(f"  {'all of src/':<16} {pct(src_c, src_t):6.1f}%  "
+                 f"({src_c}/{src_t} lines)")
+    report = "\n".join(lines) + "\n"
+    sys.stdout.write(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(report)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

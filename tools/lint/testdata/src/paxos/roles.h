@@ -1,0 +1,32 @@
+// Fixture: protocol role classes for the fingerprint-coverage rule.
+// The fixture tree has no tests/, so a role with a digest is still
+// flagged as unexercised.
+#pragma once
+
+class Protocol {};
+
+namespace fixture {
+
+// Flagged: mutable decision state but no Fingerprint() digest.
+class Opaque final : public Protocol {
+ public:
+  void Step() { ++state_; }
+
+ private:
+  int state_ = 0;
+};
+
+// Flagged: has a Fingerprint() but no tests/ file exercises it.
+class Unexercised final : public Protocol {
+ public:
+  unsigned long long Fingerprint() const { return state_; }
+
+ private:
+  unsigned long long state_ = 0;
+};
+
+// Suppressed with an audited rationale: not flagged.
+// mrp-lint: allow(fingerprint-coverage) -- stateless pass-through adapter, no decision state to digest
+class PassThrough final : public Protocol {};
+
+}  // namespace fixture

@@ -1,0 +1,400 @@
+// Explicit-state exploration engine (docs/MODEL_CHECKING.md). The
+// explorer is a Controller: each run is the deterministic function of
+// the integer sequence returned by Choose(), so the search tree over
+// runs is the tree over choice vectors. A depth-first walk with
+//
+//   * sleep sets        — DPOR-style partial-order reduction. Two events
+//                         are independent iff they target different
+//                         nodes (each event mutates exactly one node's
+//                         state plus the message soup, and soup
+//                         insertions commute). When the subtree firing
+//                         event e at a choice point has been explored,
+//                         e is put to sleep in the sibling subtrees and
+//                         stays asleep until a dependent (same-node)
+//                         event fires; a choice point whose every
+//                         enabled event sleeps is cut.
+//   * visited states    — fingerprint table keyed on world digest XOR
+//                         sleep-set digest, consulted only in fresh
+//                         territory (past the replayed prefix).
+//   * iterative deepening — the choice-depth budget doubles until a
+//                         sweep finishes without hitting it; a sweep
+//                         with zero depth cuts makes the result
+//                         "exhausted" (tables are cleared per level, so
+//                         a cut subtree can never poison a deeper
+//                         sweep).
+//
+// The oracle verdict is polled after every transition, so a violation
+// is caught at the step it happens and the offending choice vector is
+// the counterexample. Shrinking greedily rewrites choices toward 0 (the
+// benign default: first enabled event, fault policy off) and truncates,
+// replaying after each edit — the result is a minimal replayable trace.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/fingerprint.h"
+#include "tools/mc/mc_env.h"
+
+namespace mrp::mc {
+
+// What the explorer needs from a model-checked deployment. A fresh World
+// is built per run (the factory receives the Controller so policy
+// choices can be taken during construction).
+class World {
+ public:
+  virtual ~World() = default;
+  // Fires one event within the config's horizon; false once quiesced.
+  virtual bool Step() = 0;
+  virtual std::uint64_t Fingerprint() const = 0;
+  virtual bool OracleOk() const = 0;
+  virtual void Finish() = 0;  // end-of-run cross-learner oracle checks
+  virtual std::string FirstOracle() const = 0;
+  virtual std::uint64_t FeedDigest() const = 0;
+  virtual std::string OracleReport() const = 0;
+};
+
+struct ExploreStats {
+  std::uint64_t runs = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t distinct_states = 0;  // visited-table size, final sweep
+  std::uint64_t sleep_cuts = 0;
+  std::uint64_t visited_cuts = 0;
+  std::uint64_t depth_cuts = 0;
+  std::size_t final_depth_limit = 0;
+  bool exhausted = false;        // a sweep completed with zero depth cuts
+  bool budget_exhausted = false; // run budget hit first
+  bool violation = false;
+  std::vector<std::size_t> violating_choices;
+  std::string violated_oracle;
+  std::uint64_t feed_digest = 0;
+  std::string report;
+
+  std::string StatusWord() const {
+    if (violation) return "violation";
+    if (exhausted) return "exhausted";
+    if (budget_exhausted) return "budget-exhausted";
+    return "depth-capped";
+  }
+};
+
+class Explorer final : public Controller {
+ public:
+  using WorldFactory =
+      std::function<std::unique_ptr<World>(Controller* controller)>;
+
+  struct Options {
+    std::uint64_t max_runs = 200000;
+    std::size_t initial_depth = 16;
+    std::size_t max_depth = 1 << 14;
+    bool sleep_sets = true;   // false + visited=false => naive enumeration
+    bool visited = true;
+  };
+
+  Explorer(WorldFactory factory, Options opts)
+      : factory_(std::move(factory)), opts_(opts) {}
+
+  // ---- Exhaustive / bounded search ----
+  ExploreStats Explore() {
+    ExploreStats st;
+    for (std::size_t depth = opts_.initial_depth;; depth *= 2) {
+      depth_limit_ = depth;
+      st.final_depth_limit = depth;
+      visited_table_.clear();
+      path_.clear();
+      level_depth_cuts_ = 0;
+      bool budget_hit = false;
+      while (true) {
+        const RunOutcome out = RunOnce(&st);
+        if (out.violated) {
+          st.violation = true;
+          st.violating_choices = CurrentChoices();
+          st.violated_oracle = out.oracle;
+          st.feed_digest = out.digest;
+          st.report = out.report;
+          return st;
+        }
+        if (st.runs >= opts_.max_runs) {
+          budget_hit = true;
+          break;
+        }
+        if (!Backtrack()) break;
+      }
+      st.distinct_states = visited_table_.size();
+      st.depth_cuts += level_depth_cuts_;
+      if (budget_hit) {
+        st.budget_exhausted = true;
+        return st;
+      }
+      if (level_depth_cuts_ == 0) {
+        st.exhausted = true;
+        return st;
+      }
+      if (depth * 2 > opts_.max_depth) return st;
+    }
+  }
+
+  // ---- Single-run replay of a fixed choice vector ----
+  struct RunResult {
+    bool violated = false;
+    std::string oracle;
+    std::uint64_t feed_digest = 0;
+    std::uint64_t transitions = 0;
+    std::string report;
+  };
+
+  RunResult Replay(const std::vector<std::size_t>& choices) {
+    fixed_mode_ = true;
+    fixed_ = choices;
+    cursor_ = 0;
+    abort_run_ = false;
+    std::unique_ptr<World> world = factory_(this);
+    RunResult r;
+    bool violated = false;
+    while (world->Step()) {
+      ++r.transitions;
+      if (!world->OracleOk()) {
+        violated = true;
+        break;
+      }
+    }
+    if (!violated) {
+      world->Finish();
+      violated = !world->OracleOk();
+    }
+    r.violated = violated;
+    r.oracle = world->FirstOracle();
+    r.feed_digest = world->FeedDigest();
+    r.report = world->OracleReport();
+    fixed_mode_ = false;
+    fixed_.clear();
+    return r;
+  }
+
+  // Greedy counterexample minimisation: rewrite every choice toward 0,
+  // keep each edit that still violates `oracle`, iterate to a fixpoint,
+  // then drop the trailing zeros (absent choices default to 0).
+  std::vector<std::size_t> Shrink(std::vector<std::size_t> choices,
+                                  const std::string& oracle) {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t i = 0; i < choices.size(); ++i) {
+        if (choices[i] == 0) continue;
+        for (std::size_t v = 0; v < choices[i]; ++v) {
+          auto trial = choices;
+          trial[i] = v;
+          const RunResult r = Replay(trial);
+          if (r.violated && r.oracle == oracle) {
+            choices = trial;
+            progress = true;
+            break;
+          }
+        }
+      }
+    }
+    while (!choices.empty() && choices.back() == 0) choices.pop_back();
+    return choices;
+  }
+
+  // ---- Controller ----
+  std::size_t Choose(std::size_t n, Kind kind,
+                     const std::vector<sim::Scheduler::EventInfo>* enabled)
+      override {
+    if (n == 0) return 0;
+    if (fixed_mode_) {
+      std::size_t c = cursor_ < fixed_.size() ? fixed_[cursor_] : 0;
+      ++cursor_;
+      return c < n ? c : 0;
+    }
+    if (abort_run_) return 0;
+    if (cursor_ == path_.size()) {
+      // Fresh choice point: open a frame (or cut).
+      if (path_.size() >= depth_limit_) {
+        ++level_depth_cuts_;
+        abort_run_ = true;
+        return 0;
+      }
+      Frame fr;
+      fr.n = n;
+      fr.kind = kind;
+      fr.sleep_in = cur_sleep_;
+      if (kind == Kind::kOrder && enabled != nullptr) {
+        fr.sigs.reserve(enabled->size());
+        for (const auto& e : *enabled) fr.sigs.push_back(Sig(e.tag));
+      }
+      std::size_t first = 0;
+      if (kind == Kind::kOrder && opts_.sleep_sets) {
+        while (first < n && Sleeping(fr.sleep_in, fr.sigs[first])) ++first;
+        if (first == n) {
+          ++sleep_cuts_;
+          abort_run_ = true;
+          return 0;
+        }
+      }
+      fr.chosen = first;
+      path_.push_back(std::move(fr));
+    }
+    return Consume();
+  }
+
+  void OnFired(const sim::EventTag& tag) override {
+    if (fixed_mode_ || !opts_.sleep_sets || cur_sleep_.empty()) return;
+    // A fired event wakes every sleeping event on the same node (they
+    // are dependent; the commuting argument no longer applies).
+    const NodeId node = tag.node;
+    cur_sleep_.erase(
+        std::remove_if(cur_sleep_.begin(), cur_sleep_.end(),
+                       [node](std::uint64_t s) { return NodeOf(s) == node; }),
+        cur_sleep_.end());
+  }
+
+ private:
+  struct Frame {
+    std::size_t n = 0;
+    std::size_t chosen = 0;
+    Kind kind = Kind::kOrder;
+    std::vector<std::uint64_t> sigs;      // kOrder only
+    std::vector<std::uint64_t> sleep_in;  // sleep set entering this point
+  };
+
+  struct RunOutcome {
+    bool violated = false;
+    std::string oracle;
+    std::uint64_t digest = 0;
+    std::string report;
+  };
+
+  static std::uint64_t Sig(const sim::EventTag& tag) {
+    const std::uint32_t mix =
+        tag.klass ^ (static_cast<std::uint32_t>(tag.kind) * 0x9e3779b9u);
+    return (static_cast<std::uint64_t>(tag.node) << 32) | mix;
+  }
+  static NodeId NodeOf(std::uint64_t sig) {
+    return static_cast<NodeId>(sig >> 32);
+  }
+  static bool Sleeping(const std::vector<std::uint64_t>& sleep,
+                       std::uint64_t sig) {
+    return std::find(sleep.begin(), sleep.end(), sig) != sleep.end();
+  }
+
+  // Consumes the frame at cursor_ (replayed or fresh) and evolves the
+  // running sleep set: the chosen event's siblings to its left — already
+  // explored here, or inherited asleep — sleep in its subtree until a
+  // same-node event fires.
+  std::size_t Consume() {
+    const Frame& f = path_[cursor_];
+    if (f.kind == Kind::kOrder && opts_.sleep_sets) {
+      const NodeId chosen_node = NodeOf(f.sigs[f.chosen]);
+      std::vector<std::uint64_t> next;
+      next.reserve(f.sleep_in.size() + f.chosen);
+      for (std::uint64_t s : f.sleep_in) {
+        if (NodeOf(s) != chosen_node) next.push_back(s);
+      }
+      for (std::size_t k = 0; k < f.chosen; ++k) {
+        if (NodeOf(f.sigs[k]) != chosen_node &&
+            !Sleeping(next, f.sigs[k])) {
+          next.push_back(f.sigs[k]);
+        }
+      }
+      cur_sleep_ = std::move(next);
+    }
+    ++cursor_;
+    return f.chosen;
+  }
+
+  std::uint64_t SleepHash() const {
+    std::vector<std::uint64_t> sorted = cur_sleep_;
+    std::sort(sorted.begin(), sorted.end());
+    Fingerprinter f;
+    for (std::uint64_t s : sorted) f.U64(s);
+    return f.digest();
+  }
+
+  std::vector<std::size_t> CurrentChoices() const {
+    std::vector<std::size_t> out;
+    out.reserve(path_.size());
+    for (const Frame& f : path_) out.push_back(f.chosen);
+    return out;
+  }
+
+  RunOutcome RunOnce(ExploreStats* st) {
+    cursor_ = 0;
+    cur_sleep_.clear();
+    abort_run_ = false;
+    const std::size_t replay_len = path_.size();
+    std::unique_ptr<World> world = factory_(this);
+    ++st->runs;
+    RunOutcome out;
+    bool cut = false;
+    while (!abort_run_) {
+      if (!world->Step()) break;
+      ++st->transitions;
+      if (!world->OracleOk()) {
+        out.violated = true;
+        break;
+      }
+      if (abort_run_) break;  // depth/sleep cut inside this step
+      if (opts_.visited && cursor_ >= replay_len) {
+        const std::uint64_t key = world->Fingerprint() ^ SleepHash();
+        if (!visited_table_.insert(key).second) {
+          ++st->visited_cuts;
+          cut = true;
+          break;
+        }
+      }
+    }
+    if (!out.violated && !cut && !abort_run_) {
+      world->Finish();
+      out.violated = !world->OracleOk();
+    }
+    if (out.violated) {
+      out.oracle = world->FirstOracle();
+      out.digest = world->FeedDigest();
+      out.report = world->OracleReport();
+    }
+    st->sleep_cuts = sleep_cuts_;
+    return out;
+  }
+
+  // Advances the deepest frame to its next unslept alternative; pops
+  // finished frames. False when the tree is exhausted.
+  bool Backtrack() {
+    while (!path_.empty()) {
+      Frame& f = path_.back();
+      std::size_t next = f.chosen + 1;
+      if (f.kind == Kind::kOrder && opts_.sleep_sets) {
+        while (next < f.n && Sleeping(f.sleep_in, f.sigs[next])) ++next;
+      }
+      if (next < f.n) {
+        f.chosen = next;
+        return true;
+      }
+      path_.pop_back();
+    }
+    return false;
+  }
+
+  WorldFactory factory_;
+  Options opts_;
+
+  std::vector<Frame> path_;
+  std::size_t cursor_ = 0;
+  std::vector<std::uint64_t> cur_sleep_;
+  bool abort_run_ = false;
+  std::size_t depth_limit_ = 0;
+  std::uint64_t level_depth_cuts_ = 0;
+  std::uint64_t sleep_cuts_ = 0;
+  std::unordered_set<std::uint64_t> visited_table_;
+
+  bool fixed_mode_ = false;
+  std::vector<std::size_t> fixed_;
+};
+
+}  // namespace mrp::mc

@@ -1,0 +1,385 @@
+// Model-checking environment (docs/MODEL_CHECKING.md): a lean, fully
+// controller-driven implementation of Env for exhaustive interleaving
+// exploration. Unlike sim::SimNetwork — which models latency, loss rates
+// and bandwidth — McNet delivers every message with ZERO delay, so the
+// set of in-flight messages at the current simulated time IS the enabled
+// set, and every ordering decision among same-time events is delegated
+// to a Controller through the sim::Scheduler Strategy hook. Timers are
+// the only thing that advances the clock.
+//
+// Branch-point vocabulary (mirrors src/check/fault_plan.h):
+//   * event order      — which enabled event fires next (Kind::kOrder);
+//   * message drop     — a sticky DropPolicy (message type, from, to)
+//                        evaluated at send time, enabled or not by one
+//                        binary Kind::kPolicy choice at world setup;
+//   * message duplicate— the same, with DropPolicy::duplicate;
+//   * crash/restart    — a scheduled node crash + restart pair, enabled
+//                        by one binary Kind::kPolicy choice.
+//
+// Everything that can influence future behaviour — node up/down state,
+// role state (via registered fingerprint thunks), in-flight messages,
+// pending timer deadlines, active policies, the crash schedule and the
+// clock itself — folds into McNet::Fingerprint(), the digest the
+// explorer's visited-state table is keyed on.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/env.h"
+#include "common/fingerprint.h"
+#include "common/message.h"
+#include "common/metrics.h"
+#include "common/rand.h"
+#include "common/types.h"
+#include "net/codec.h"
+#include "sim/scheduler.h"
+
+namespace mrp::mc {
+
+// The exploration driver's decision hook. One Controller instance serves
+// a whole run: the world asks it which enabled event fires (kOrder, with
+// the enabled set attached) and whether optional faults are active
+// (kPolicy, binary, asked once each during world construction). OnFired
+// observes every event that actually fires, chosen or forced, so the
+// controller can maintain sleep sets.
+class Controller {
+ public:
+  enum class Kind : std::uint8_t { kOrder = 0, kPolicy = 1 };
+
+  virtual ~Controller() = default;
+  virtual std::size_t Choose(std::size_t n, Kind kind,
+                             const std::vector<sim::Scheduler::EventInfo>*
+                                 enabled) = 0;
+  virtual void OnFired(const sim::EventTag& tag) { (void)tag; }
+};
+
+// A sticky message fault, matched at send time. kNoNode = wildcard.
+struct DropPolicy {
+  std::string type_name;
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  bool duplicate = false;  // false = drop, true = deliver twice
+
+  bool Matches(const char* type, NodeId f, NodeId t) const {
+    return type_name == type && (from == kNoNode || from == f) &&
+           (to == kNoNode || to == t);
+  }
+};
+
+// One crash/restart pair in the schedule (restart_at past the horizon
+// models a crash without recovery).
+struct CrashPoint {
+  NodeId node = kNoNode;
+  TimePoint at{0};
+  TimePoint restart_at{0};
+};
+
+class McNet;
+
+// Env implementation for one model-checked node. All sends route through
+// the owning McNet; timers are tagged scheduler events that are dropped
+// (not deferred) when they fire while the node is down.
+class McNode final : public Env {
+ public:
+  McNode(McNet* net, NodeId id)
+      : net_(net), id_(id), rng_(0x9e3779b97f4a7c15ULL + id) {}
+
+  NodeId self() const override { return id_; }
+  TimePoint now() const override;
+  void Send(NodeId to, MessagePtr m) override;
+  void Multicast(ChannelId channel, MessagePtr m) override;
+  TimerId SetTimer(Duration delay, std::function<void()> callback) override;
+  void CancelTimer(TimerId id) override;
+  Rng& rng() override { return rng_; }
+  MetricsRegistry& metrics() override { return registry_; }
+
+  bool up() const { return up_; }
+
+ private:
+  friend class McNet;
+
+  McNet* net_;
+  NodeId id_;
+  bool up_ = true;
+  Rng rng_;
+  MetricsRegistry registry_;
+  TimerId next_timer_ = 0;
+  // Live timers: id -> (scheduler event, absolute deadline). The
+  // deadline multiset is part of the node's fingerprint; the ids are
+  // run-local bookkeeping and are not.
+  std::map<TimerId, std::pair<sim::Scheduler::EventId, TimePoint>> timers_;
+  std::vector<Protocol*> protocols_;
+  std::vector<std::function<std::uint64_t()>> fingerprints_;
+};
+
+class McNet {
+ public:
+  // order_branching = false keeps the scheduler's historical
+  // (time, insertion) order: no kOrder choice points are generated, so
+  // a config can restrict its branching to the policy vocabulary.
+  McNet(Controller* controller, bool order_branching)
+      : controller_(controller) {
+    if (order_branching) {
+      strategy_ = std::make_unique<Bridge>(this);
+      sched_.SetStrategy(strategy_.get());
+    }
+  }
+  McNet(const McNet&) = delete;
+  McNet& operator=(const McNet&) = delete;
+
+  Env& AddNode(NodeId id) {
+    auto [it, inserted] = nodes_.try_emplace(id, nullptr);
+    if (inserted) it->second = std::make_unique<McNode>(this, id);
+    return *it->second;
+  }
+
+  // Hosts a role on `id` (borrowed; the harness owns protocol objects)
+  // with the state-digest thunk folded into the global fingerprint.
+  void AddRole(NodeId id, Protocol* proto,
+               std::function<std::uint64_t()> fingerprint) {
+    McNode& n = Node(id);
+    n.protocols_.push_back(proto);
+    if (fingerprint) n.fingerprints_.push_back(std::move(fingerprint));
+  }
+
+  void Subscribe(ChannelId channel, NodeId id) {
+    auto& subs = channels_[channel];
+    if (std::find(subs.begin(), subs.end(), id) == subs.end())
+      subs.push_back(id);
+  }
+
+  void AddPolicy(DropPolicy p) { policies_.push_back(std::move(p)); }
+
+  // Schedules a crash (+ restart, when within reach) as generic tagged
+  // events; both the schedule and the resulting up/down bits fingerprint.
+  void ScheduleCrash(const CrashPoint& cp) {
+    crash_schedule_.push_back(cp);
+    sched_.At(cp.at, sim::EventTag{sim::EventTag::Kind::kGeneric, cp.node, 1},
+              Wrap({sim::EventTag::Kind::kGeneric, cp.node, 1},
+                   [this, cp] { SetDown(cp.node); }));
+    sched_.At(cp.restart_at,
+              sim::EventTag{sim::EventTag::Kind::kGeneric, cp.node, 2},
+              Wrap({sim::EventTag::Kind::kGeneric, cp.node, 2},
+                   [this, cp] { Restart(cp.node); }));
+  }
+
+  // Calls OnStart on every hosted role, in node-id order.
+  void Start() {
+    for (auto& [id, node] : nodes_) {
+      for (Protocol* p : node->protocols_) p->OnStart(*node);
+    }
+  }
+
+  TimePoint now() const { return sched_.now(); }
+  TimePoint NextEventTime(TimePoint fallback) {
+    return sched_.NextEventTime(fallback);
+  }
+
+  // Fires exactly one event (the controller picks among ties when order
+  // branching is on). False when nothing is pending.
+  bool Step() { return sched_.RunOne(); }
+
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t duplicated() const { return duplicated_; }
+
+  // Global state digest. Deliberately EXCLUDES: timer ids (run-local
+  // sequence numbers), rng cursors, metrics, and timestamps protocols
+  // stashed internally (role fingerprints exclude timing state) — see
+  // docs/MODEL_CHECKING.md for the soundness discussion.
+  std::uint64_t Fingerprint() const {
+    Fingerprinter f;
+    f.U64(static_cast<std::uint64_t>(sched_.now().count()));
+    for (const auto& [id, node] : nodes_) {
+      f.U32(id);
+      f.Bool(node->up_);
+      for (const auto& fp : node->fingerprints_) f.U64(fp());
+      f.U64(node->timers_.size());
+      std::vector<std::uint64_t> deadlines;
+      deadlines.reserve(node->timers_.size());
+      for (const auto& [tid, ev] : node->timers_)
+        deadlines.push_back(static_cast<std::uint64_t>(ev.second.count()));
+      std::sort(deadlines.begin(), deadlines.end());
+      for (std::uint64_t d : deadlines) f.U64(d);
+    }
+    std::vector<std::uint64_t> flight;
+    flight.reserve(in_flight_.size());
+    for (const auto& [key, h] : in_flight_) {
+      Fingerprinter g;
+      g.U32(key.first);
+      g.U32(key.second);
+      g.U64(h);
+      flight.push_back(g.digest());
+    }
+    std::sort(flight.begin(), flight.end());
+    f.U64(flight.size());
+    for (std::uint64_t h : flight) f.U64(h);
+    for (const auto& p : policies_) {
+      f.Str(p.type_name);
+      f.U32(p.from);
+      f.U32(p.to);
+      f.Bool(p.duplicate);
+    }
+    for (const auto& cp : crash_schedule_) {
+      f.U32(cp.node);
+      f.U64(static_cast<std::uint64_t>(cp.at.count()));
+      f.U64(static_cast<std::uint64_t>(cp.restart_at.count()));
+    }
+    return f.digest();
+  }
+
+  void SetDown(NodeId id) {
+    McNode& n = Node(id);
+    n.up_ = false;
+    // Timers die with the process; a restarted node re-arms its own in
+    // OnStart (the sim::SimNode crash semantics).
+    for (auto& [tid, ev] : n.timers_) sched_.Cancel(ev.first);
+    n.timers_.clear();
+  }
+
+  void Restart(NodeId id) {
+    McNode& n = Node(id);
+    if (n.up_) return;
+    n.up_ = true;
+    for (Protocol* p : n.protocols_) p->OnStart(n);
+  }
+
+ private:
+  friend class McNode;
+
+  struct Bridge final : sim::Scheduler::Strategy {
+    explicit Bridge(McNet* net) : net(net) {}
+    std::size_t PickNext(
+        const std::vector<sim::Scheduler::EventInfo>& enabled) override {
+      return net->controller_->Choose(enabled.size(), Controller::Kind::kOrder,
+                                      &enabled);
+    }
+    McNet* net;
+  };
+
+  McNode& Node(NodeId id) {
+    auto it = nodes_.find(id);
+    if (it == nodes_.end()) {
+      AddNode(id);
+      it = nodes_.find(id);
+    }
+    return *it->second;
+  }
+
+  // 32-bit content class of a message: wire bytes when encodable, else
+  // type name + size. Same content => same class, across runs.
+  static std::uint32_t ClassOf(const MessageBase& m, std::uint64_t* full) {
+    Fingerprinter f;
+    const Bytes bytes = net::EncodeMessage(m);
+    if (!bytes.empty()) {
+      f.Bytes(bytes.data(), bytes.size());
+    } else {
+      f.Str(m.TypeName());
+      f.U64(m.WireSize());
+    }
+    const std::uint64_t h = f.digest();
+    if (full != nullptr) *full = h;
+    return static_cast<std::uint32_t>(h ^ (h >> 32));
+  }
+
+  // Wraps an event body so the controller observes every firing.
+  std::function<void()> Wrap(sim::EventTag tag, std::function<void()> body) {
+    return [this, tag, body = std::move(body)] {
+      controller_->OnFired(tag);
+      body();
+    };
+  }
+
+  void Deliver(NodeId from, NodeId to, const MessagePtr& m) {
+    std::uint64_t content = 0;
+    const std::uint32_t klass = ClassOf(*m, &content);
+    int copies = 1;
+    for (const auto& p : policies_) {
+      if (!p.Matches(m->TypeName(), from, to)) continue;
+      if (p.duplicate) {
+        copies = 2;
+      } else {
+        ++dropped_;
+        return;
+      }
+    }
+    if (!Node(to).up_) {
+      ++dropped_;
+      return;
+    }
+    for (int c = 0; c < copies; ++c) {
+      if (c > 0) ++duplicated_;
+      in_flight_.push_back({{from, to}, content});
+      const sim::EventTag tag{sim::EventTag::Kind::kDelivery, to, klass};
+      sched_.At(sched_.now(), tag, Wrap(tag, [this, from, to, content, m] {
+                  auto it = std::find(in_flight_.begin(), in_flight_.end(),
+                                      Flight{{from, to}, content});
+                  if (it != in_flight_.end()) in_flight_.erase(it);
+                  McNode& n = Node(to);
+                  if (!n.up_) {
+                    ++dropped_;
+                    return;
+                  }
+                  for (Protocol* p : n.protocols_) p->OnMessage(n, from, m);
+                }));
+    }
+  }
+
+  using Flight = std::pair<std::pair<NodeId, NodeId>, std::uint64_t>;
+
+  Controller* controller_;
+  sim::Scheduler sched_;
+  std::unique_ptr<Bridge> strategy_;
+  std::map<NodeId, std::unique_ptr<McNode>> nodes_;
+  std::map<ChannelId, std::vector<NodeId>> channels_;
+  std::vector<DropPolicy> policies_;
+  std::vector<CrashPoint> crash_schedule_;
+  std::vector<Flight> in_flight_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+};
+
+inline TimePoint McNode::now() const { return net_->sched_.now(); }
+
+inline void McNode::Send(NodeId to, MessagePtr m) {
+  net_->Deliver(id_, to, m);
+}
+
+inline void McNode::Multicast(ChannelId channel, MessagePtr m) {
+  auto it = net_->channels_.find(channel);
+  if (it == net_->channels_.end()) return;
+  for (NodeId sub : it->second) {
+    if (sub != id_) net_->Deliver(id_, sub, m);
+  }
+}
+
+inline TimerId McNode::SetTimer(Duration delay, std::function<void()> cb) {
+  const TimerId tid = ++next_timer_;
+  const TimePoint deadline = net_->sched_.now() + delay;
+  const sim::EventTag tag{sim::EventTag::Kind::kTimer, id_,
+                          static_cast<std::uint32_t>(tid)};
+  const sim::Scheduler::EventId ev = net_->sched_.At(
+      deadline, tag, net_->Wrap(tag, [this, tid, cb = std::move(cb)] {
+        auto it = timers_.find(tid);
+        if (it == timers_.end()) return;  // cancelled or node restarted
+        timers_.erase(it);
+        if (up_) cb();
+      }));
+  timers_[tid] = {ev, deadline};
+  return tid;
+}
+
+inline void McNode::CancelTimer(TimerId id) {
+  auto it = timers_.find(id);
+  if (it == timers_.end()) return;
+  net_->sched_.Cancel(it->second.first);
+  timers_.erase(it);
+}
+
+}  // namespace mrp::mc

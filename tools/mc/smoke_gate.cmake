@@ -1,0 +1,20 @@
+# Two-run determinism gate for the bounded ring2 exploration: the full
+# stdout of `mrp_mc --config ring2 --max-runs 200` must be byte-identical
+# across runs (docs/MODEL_CHECKING.md).
+foreach(run 1 2)
+  execute_process(
+    COMMAND ${MRP_MC} --config ring2 --max-runs 200
+    OUTPUT_FILE ${WORKDIR}/ring2_run${run}.txt
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "mrp_mc --config ring2 failed (exit ${rc})")
+  endif()
+endforeach()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORKDIR}/ring2_run1.txt ${WORKDIR}/ring2_run2.txt
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "ring2 exploration output differs between runs")
+endif()
+message(STATUS "mc-smoke: ring2 bounded exploration is deterministic")
