@@ -21,7 +21,10 @@
 #include "net/codec.h"
 #include "paxos/value.h"
 #include "ringpaxos/messages.h"
+#include "session/client.h"
+#include "session/lease.h"
 #include "sim/scheduler.h"
+#include "smr/replica.h"
 
 namespace {
 
@@ -201,6 +204,80 @@ ScenarioResult Deployment(const char* name, int n_rings, bool quick) {
   return Finish(name, "msgs/s", ops, static_cast<double>(ops), wall, per_op);
 }
 
+// ---- session scenario: lease-local reads/s of the control plane ----
+// Pins the session subsystem (SessionRead round-trips, SessionTable
+// bookkeeping, lease renewal chain) into the committed baseline so
+// tools/perf/compare.py catches both rate regressions and unit/schema
+// drift in the session path (docs/SESSIONS.md).
+
+ScenarioResult SessionLocalReads(bool quick) {
+  multiring::DeploymentOptions opts;
+  opts.n_rings = 1;
+  opts.lambda_per_sec = 8000;
+  opts.batch_timeout = Millis(1);
+  multiring::SimDeployment d(opts);
+  std::vector<sim::SimNode*> replica_nodes;
+  for (int r = 0; r < 2; ++r) {
+    auto& node = d.net().AddNode();
+    smr::ReplicaConfig rc;
+    rc.partition = 0;
+    rc.partition_ring.ring = d.ring(0);
+    rc.respond = (r == 0);
+    rc.sessions = true;
+    rc.serve_local_reads = (r == 1);
+    node.BindProtocol(std::make_unique<smr::Replica>(rc));
+    replica_nodes.push_back(&node);
+    d.net().Subscribe(node.self(), d.ring(0).data_channel);
+    d.net().Subscribe(node.self(), d.ring(0).control_channel);
+  }
+  {
+    auto& node = d.net().AddNode();
+    session::LeaseGrantorConfig lc;
+    lc.ring = d.ring(0).ring;
+    lc.group = d.ring(0).group;
+    lc.holder = replica_nodes[1]->self();
+    node.BindProtocol(std::make_unique<session::LeaseGrantor>(lc));
+    d.net().Subscribe(node.self(), d.ring(0).data_channel);
+    d.net().Subscribe(node.self(), d.ring(0).control_channel);
+  }
+  AddOpenLoopClient(d, 0, {{TimePoint(0), 1000}}, /*payload=*/512);
+  session::SessionClient* client = nullptr;
+  {
+    sim::NodeSpec spec;
+    spec.infinite_cpu = true;
+    auto& node = d.net().AddNode(spec);
+    session::SessionClientConfig sc;
+    sc.session_id = 1;
+    sc.ring = d.ring(0);
+    sc.read_replica = replica_nodes[1]->self();
+    sc.window = 8;
+    sc.read_ratio = 1.0;
+    auto cl = std::make_unique<session::SessionClient>(sc);
+    client = cl.get();
+    node.BindProtocol(std::move(cl));
+  }
+  d.Start();
+  d.RunFor(Seconds(1));  // session open + first lease grant + warmup
+  const int chunks = quick ? 10 : 60;
+  Histogram per_op;
+  std::uint64_t ops = 0;
+  std::uint64_t last = client->local_reads();
+  const std::uint64_t t0 = WallNowNs();
+  for (int c = 0; c < chunks; ++c) {
+    const std::uint64_t c0 = WallNowNs();
+    d.RunFor(Millis(100));
+    const std::uint64_t c1 = WallNowNs();
+    const std::uint64_t now = client->local_reads();
+    const std::uint64_t served = now - last;
+    last = now;
+    if (served > 0) per_op.RecordValue((c1 - c0) / served);
+    ops += served;
+  }
+  const std::uint64_t wall = WallNowNs() - t0;
+  return Finish("session_local_reads", "reads/s", ops,
+                static_cast<double>(ops), wall, per_op);
+}
+
 void WriteJson(const char* path, const char* mode,
                const std::vector<ScenarioResult>& results) {
   std::FILE* f = std::fopen(path, "w");
@@ -240,6 +317,7 @@ int main(int argc, char** argv) {
   results.push_back(SchedulerEvents(quick));
   results.push_back(Deployment("ring_single", 1, quick));
   results.push_back(Deployment("multiring_merge", 2, quick));
+  results.push_back(SessionLocalReads(quick));
 
   std::printf("%-26s %14s %10s %12s %12s %10s\n", "scenario", "rate", "unit",
               "p50(ns)", "p99(ns)", "ops");

@@ -33,6 +33,14 @@ const char* KindName(FaultEvent::Kind kind) {
       return "coord_kill";
     case FaultEvent::Kind::kLearnerCrash:
       return "learner_crash";
+    case FaultEvent::Kind::kDuplicateSubmit:
+      return "duplicate_submit";
+    case FaultEvent::Kind::kRetryStorm:
+      return "retry_storm";
+    case FaultEvent::Kind::kSessionAbandon:
+      return "session_abandon";
+    case FaultEvent::Kind::kLeaseDrop:
+      return "lease_drop";
   }
   return "?";
 }
@@ -74,6 +82,14 @@ FaultPlan GeneratePlan(std::uint64_t seed, const DeploymentShape& shape,
       {FaultEvent::Kind::kLearnerCrash, 12},
   };
   if (shape.n_sites >= 2) kinds.push_back({FaultEvent::Kind::kPartition, 20});
+  if (shape.with_smr) {
+    // Client-side events exercise the session/lease layer; they never
+    // pause acceptors, so all four are budget-free.
+    kinds.push_back({FaultEvent::Kind::kDuplicateSubmit, 10});
+    kinds.push_back({FaultEvent::Kind::kRetryStorm, 8});
+    kinds.push_back({FaultEvent::Kind::kSessionAbandon, 6});
+    kinds.push_back({FaultEvent::Kind::kLeaseDrop, 10});
+  }
   std::uint64_t total_weight = 0;
   for (const auto& k : kinds) total_weight += k.weight;
 
@@ -143,6 +159,14 @@ FaultPlan GeneratePlan(std::uint64_t seed, const DeploymentShape& shape,
       case FaultEvent::Kind::kLearnerCrash: {
         // Targets the driver's designated recoverable learner; ring and
         // member stay 0 so older artifacts keep validating.
+        break;
+      }
+      case FaultEvent::Kind::kDuplicateSubmit:
+      case FaultEvent::Kind::kRetryStorm:
+      case FaultEvent::Kind::kSessionAbandon:
+      case FaultEvent::Kind::kLeaseDrop: {
+        // Target the driver's session client / lease grantor; ring and
+        // member stay 0 so the common field set keeps validating.
         break;
       }
     }
@@ -367,8 +391,11 @@ struct JsonParser {
 std::optional<FaultEvent::Kind> KindFromName(const std::string& name) {
   for (auto k : {FaultEvent::Kind::kCrash, FaultEvent::Kind::kPartition,
                  FaultEvent::Kind::kLossBurst, FaultEvent::Kind::kDiskStall,
-                 FaultEvent::Kind::kCoordKill,
-                 FaultEvent::Kind::kLearnerCrash}) {
+                 FaultEvent::Kind::kCoordKill, FaultEvent::Kind::kLearnerCrash,
+                 FaultEvent::Kind::kDuplicateSubmit,
+                 FaultEvent::Kind::kRetryStorm,
+                 FaultEvent::Kind::kSessionAbandon,
+                 FaultEvent::Kind::kLeaseDrop}) {
     if (name == KindName(k)) return k;
   }
   return std::nullopt;
@@ -477,6 +504,11 @@ std::optional<FaultPlan> PlanFromDom(const JsonValue& dom) {
         e.member >= plan.shape.universe() || e.site_a < 0 ||
         e.site_a >= plan.shape.n_sites || e.site_b < 0 ||
         e.site_b >= plan.shape.n_sites || e.loss < 0 || e.loss > 1) {
+      return std::nullopt;
+    }
+    // Client-side events only make sense against an SMR deployment.
+    if (e.kind >= FaultEvent::Kind::kDuplicateSubmit &&
+        !plan.shape.with_smr) {
       return std::nullopt;
     }
     plan.events.push_back(e);

@@ -29,6 +29,14 @@ struct FaultEvent {
     kLearnerCrash = 5,  // crash a recovery-enabled learner with state
                         // loss; at heal time it bootstraps from a peer
                         // snapshot (docs/RECOVERY.md)
+    // Client-side events (docs/SESSIONS.md); drawn only for with_smr
+    // shapes, where the driver runs a session client and lease grantor.
+    kDuplicateSubmit = 6,  // client re-submits its last command verbatim
+    kRetryStorm = 7,       // client re-sends every pending request 3x
+    kSessionAbandon = 8,   // client abandons its session and reopens
+    kLeaseDrop = 9,        // pause the lease grantor for duration, so
+                           // leases expire and reads fall back to the
+                           // ring; resume re-grants under a new epoch
   };
 
   Kind kind = Kind::kCrash;

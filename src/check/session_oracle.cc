@@ -1,0 +1,49 @@
+#include "check/session_oracle.h"
+
+namespace mrp::check {
+
+SessionOracle::SessionOracle(OracleSuite* suite) : suite_(suite) {}
+
+int SessionOracle::RegisterReplica(std::string name) {
+  replicas_.push_back(ReplicaState{std::move(name), {}});
+  return static_cast<int>(replicas_.size()) - 1;
+}
+
+void SessionOracle::BeginSegment(int replica) {
+  auto& r = replicas_.at(static_cast<std::size_t>(replica));
+  r.applied.clear();
+  ++segments_;
+}
+
+void SessionOracle::OnSessionApply(int replica, std::uint64_t sid,
+                                   std::uint64_t seq) {
+  auto& r = replicas_.at(static_cast<std::size_t>(replica));
+  ++session_applies_;
+  if (!r.applied.insert({sid, seq}).second) {
+    suite_->Flag("session_dup",
+                 r.name + " applied session " + std::to_string(sid) +
+                     " seq " + std::to_string(seq) + " twice in one segment");
+  }
+}
+
+void SessionOracle::OnLocalRead(int replica, std::uint64_t epoch,
+                                bool lease_valid, InstanceId grant_point,
+                                InstanceId frontier) {
+  auto& r = replicas_.at(static_cast<std::size_t>(replica));
+  ++local_reads_;
+  if (!lease_valid) {
+    suite_->Flag("stale_read",
+                 r.name + " served a local read without a live lease (epoch " +
+                     std::to_string(epoch) + ")");
+    return;
+  }
+  if (frontier < grant_point) {
+    suite_->Flag("stale_read",
+                 r.name + " served a local read at frontier " +
+                     std::to_string(frontier) +
+                     " below the lease grant point " +
+                     std::to_string(grant_point));
+  }
+}
+
+}  // namespace mrp::check

@@ -1,0 +1,70 @@
+// SessionOracle (docs/SESSIONS.md, docs/CHECKING.md): asserts the two
+// session-layer safety claims while a chaos run executes.
+//
+//  * exactly-once — within one replica lifetime segment, no
+//    (session_id, session_seq) is applied twice (tapped from
+//    ReplicaConfig::on_session_apply, which fires only for commands
+//    that passed SessionTable dedup). Restoring a checkpoint legally
+//    replays the tail above the cut, so a restore opens a new segment
+//    (BeginSegment) instead of flagging the replay as duplicates.
+//  * lease reads — every locally-served read presented a live lease and
+//    an applied frontier covering the lease's grant point (tapped from
+//    ReplicaConfig::on_local_read with the evidence the serve decision
+//    used); anything else observed possibly-stale state.
+//
+// Violations flow into the shared OracleSuite ("session_dup",
+// "stale_read") so the fuzz driver's report/shrink/replay machinery
+// picks them up unchanged.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/oracles.h"
+#include "common/types.h"
+
+namespace mrp::check {
+
+class SessionOracle {
+ public:
+  // Violations are reported through `suite` (borrowed, required).
+  explicit SessionOracle(OracleSuite* suite);
+
+  // A replica under session checking; the returned handle keys the taps.
+  int RegisterReplica(std::string name);
+
+  // The replica restored a checkpoint and will replay the stream above
+  // the cut: start a fresh dedup segment.
+  void BeginSegment(int replica);
+
+  // ReplicaConfig::on_session_apply tap.
+  void OnSessionApply(int replica, std::uint64_t sid, std::uint64_t seq);
+
+  // ReplicaConfig::on_local_read tap: the replica served a local read
+  // with this evidence.
+  void OnLocalRead(int replica, std::uint64_t epoch, bool lease_valid,
+                   InstanceId grant_point, InstanceId frontier);
+
+  std::uint64_t session_applies() const { return session_applies_; }
+  std::uint64_t local_reads() const { return local_reads_; }
+  std::uint64_t segments() const { return segments_; }
+
+ private:
+  struct ReplicaState {
+    std::string name;
+    // Applied (sid, seq) pairs of the current lifetime segment.
+    std::set<std::pair<std::uint64_t, std::uint64_t>> applied;
+  };
+
+  OracleSuite* suite_;
+  std::vector<ReplicaState> replicas_;
+  std::uint64_t session_applies_ = 0;
+  std::uint64_t local_reads_ = 0;
+  std::uint64_t segments_ = 0;
+};
+
+}  // namespace mrp::check

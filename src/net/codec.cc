@@ -6,6 +6,7 @@
 #include "paxos/value.h"
 #include "recovery/messages.h"
 #include "ringpaxos/messages.h"
+#include "session/messages.h"
 #include "smr/command.h"
 
 namespace mrp::net {
@@ -58,6 +59,13 @@ enum class Tag : std::uint8_t {
   kCheckpointRequest = 27,
   kCheckpointReport = 28,
   kFrontierAdvert = 29,
+  // Session control plane (src/session, docs/SESSIONS.md).
+  kLeaseGrant = 30,
+  kLeaseAck = 31,
+  kLeaseRevoke = 32,
+  kSessionRead = 33,
+  kSessionReadRep = 34,
+  kSessionRejected = 35,
 };
 
 void PutClientMsg(ByteWriter& w, const ClientMsg& m) {
@@ -347,6 +355,43 @@ bool EncodeMessageTo(ByteWriter& w, const MessageBase& msg) {
       w.u64(k);
       w.str(v);
     }
+  } else if (const auto* m = dynamic_cast<const session::LeaseGrant*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kLeaseGrant));
+    w.u32(m->group);
+    w.u64(m->epoch);
+    w.u32(m->holder);
+    w.u64(m->grant_point);
+    w.i64(m->expires_at.count());
+  } else if (const auto* m = dynamic_cast<const session::LeaseAck*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kLeaseAck));
+    w.u32(m->group);
+    w.u64(m->epoch);
+  } else if (const auto* m = dynamic_cast<const session::LeaseRevoke*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kLeaseRevoke));
+    w.u32(m->group);
+    w.u64(m->epoch);
+  } else if (const auto* m = dynamic_cast<const session::SessionRead*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kSessionRead));
+    w.u64(m->session_id);
+    w.u64(m->req_id);
+    w.u64(m->kmin);
+    w.u64(m->kmax);
+  } else if (const auto* m =
+                 dynamic_cast<const session::SessionReadRep*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kSessionReadRep));
+    w.u64(m->req_id);
+    w.u32(m->partition);
+    w.u8(m->status);
+    w.varint(m->rows.size());
+    for (const auto& [k, v] : m->rows) {
+      w.u64(k);
+      w.str(v);
+    }
+  } else if (const auto* m = dynamic_cast<const session::Rejected*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kSessionRejected));
+    w.u64(m->session_id);
+    w.u64(m->req_id);
+    w.u8(m->code);
   } else {
     return false;
   }
@@ -608,6 +653,61 @@ MessagePtr DecodeFrame(ByteReader& r) {
         rows.emplace_back(*k, std::move(*v));
       }
       return MakeMessage<smr::Response>(*req, *part, *ok != 0, std::move(rows));
+    }
+    case Tag::kLeaseGrant: {
+      auto group = r.u32();
+      auto epoch = r.u64();
+      auto holder = r.u32();
+      auto point = r.u64();
+      auto expires = r.i64();
+      if (!group || !epoch || !holder || !point || !expires) return nullptr;
+      return MakeMessage<session::LeaseGrant>(*group, *epoch, *holder, *point,
+                                              TimePoint(Duration(*expires)));
+    }
+    case Tag::kLeaseAck: {
+      auto group = r.u32();
+      auto epoch = r.u64();
+      if (!group || !epoch) return nullptr;
+      return MakeMessage<session::LeaseAck>(*group, *epoch);
+    }
+    case Tag::kLeaseRevoke: {
+      auto group = r.u32();
+      auto epoch = r.u64();
+      if (!group || !epoch) return nullptr;
+      return MakeMessage<session::LeaseRevoke>(*group, *epoch);
+    }
+    case Tag::kSessionRead: {
+      auto sid = r.u64();
+      auto req = r.u64();
+      auto kmin = r.u64();
+      auto kmax = r.u64();
+      if (!sid || !req || !kmin || !kmax) return nullptr;
+      return MakeMessage<session::SessionRead>(*sid, *req, *kmin, *kmax);
+    }
+    case Tag::kSessionReadRep: {
+      auto req = r.u64();
+      auto part = r.u32();
+      auto status = r.u8();
+      auto n = r.varint();
+      if (!req || !part || !status || !n || *n > 1'000'000) return nullptr;
+      if (*status > session::SessionReadRep::kNoLease) return nullptr;
+      std::vector<std::pair<std::uint64_t, std::string>> rows;
+      rows.reserve(ClampReserve(*n, r.remaining(), 9));
+      for (std::uint64_t i = 0; i < *n; ++i) {
+        auto k = r.u64();
+        auto v = r.str();
+        if (!k || !v) return nullptr;
+        rows.emplace_back(*k, std::move(*v));
+      }
+      return MakeMessage<session::SessionReadRep>(*req, *part, *status,
+                                                  std::move(rows));
+    }
+    case Tag::kSessionRejected: {
+      auto sid = r.u64();
+      auto req = r.u64();
+      auto code = r.u8();
+      if (!sid || !req || !code) return nullptr;
+      return MakeMessage<session::Rejected>(*sid, *req, *code);
     }
   }
   return nullptr;

@@ -1,0 +1,239 @@
+#include "session/client.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace mrp::session {
+
+using ringpaxos::Submit;
+using smr::Command;
+
+void SessionClient::OnStart(Env& env) {
+  ctr_completed_ = &env.metrics().counter("session.client.completed");
+  ctr_rejected_ = &env.metrics().counter("session.client.rejected");
+  ctr_local_reads_ = &env.metrics().counter("session.client.local_reads");
+  ctr_fallback_reads_ = &env.metrics().counter("session.client.fallback_reads");
+  Duration jitter{0};
+  if (cfg_.start_jitter.count() > 0) {
+    jitter = Duration(static_cast<std::int64_t>(
+        env.rng().uniform() * static_cast<double>(cfg_.start_jitter.count())));
+  }
+  env.SetTimer(jitter, [this, &env] { OpenSession(env); });
+  env.SetTimer(cfg_.retry_tick, [this, &env] { CheckRetries(env); });
+}
+
+void SessionClient::OpenSession(Env& env) {
+  phase_ = Phase::kOpening;
+  Command cmd = Command::SessionOpen(sid());
+  cmd.req_id = ++next_req_;
+  cmd.client = env.self();
+  auto& pend = pending_[cmd.req_id];
+  pend.cmd = cmd;
+  pend.control = true;
+  pend.issued = env.now();
+  pend.next_retry = env.now() + cfg_.retry_timeout;
+  SubmitThroughRing(env, cmd);
+}
+
+Command SessionClient::RandomCommand(Env& env) {
+  auto& rng = env.rng();
+  const auto [lo, hi] = cfg_.key_range;
+  const std::uint64_t width = hi - lo + 1;
+  if (rng.uniform() < cfg_.read_ratio) {
+    const std::uint64_t qlo = lo + rng.below(width);
+    const std::uint64_t qhi = std::min(qlo + cfg_.query_span, hi);
+    return Command::Query(qlo, qhi);
+  }
+  if (rng.uniform() < cfg_.delete_ratio) {
+    return Command::Delete(lo + rng.below(width));
+  }
+  return Command::Insert(lo + rng.below(width),
+                         std::string(cfg_.value_size, 'v'));
+}
+
+void SessionClient::IssueNext(Env& env) {
+  if (phase_ != Phase::kRunning) return;
+  if (cfg_.ops_limit > 0 && issued_ops_ >= cfg_.ops_limit) return;
+  Command cmd = RandomCommand(env);
+  cmd.req_id = ++next_req_;
+  cmd.client = env.self();
+  cmd.session_id = sid();
+  const bool is_read = cmd.op == Command::Op::kQuery;
+  const bool local = is_read && cfg_.read_replica != kNoNode;
+  if (!local) cmd.session_seq = ++session_seq_;
+  auto& pend = pending_[cmd.req_id];
+  pend.cmd = std::move(cmd);
+  pend.local_read = local;
+  pend.issued = env.now();
+  ++issued_ops_;
+  if (is_read && !local) ++ring_reads_;
+  Dispatch(env, pend.cmd.req_id);
+}
+
+void SessionClient::Dispatch(Env& env, std::uint64_t req_id) {
+  auto it = pending_.find(req_id);
+  if (it == pending_.end()) return;
+  Pending& pend = it->second;
+  pend.next_retry = env.now() + cfg_.retry_timeout;
+  if (pend.local_read) {
+    env.Send(cfg_.read_replica,
+             MakeMessage<SessionRead>(pend.cmd.session_id, pend.cmd.req_id,
+                                      pend.cmd.kmin, pend.cmd.kmax));
+    return;
+  }
+  SubmitThroughRing(env, pend.cmd);
+}
+
+void SessionClient::SubmitThroughRing(Env& env, const Command& cmd) {
+  paxos::ClientMsg msg;
+  msg.group = cfg_.ring.group;
+  msg.proposer = env.self();
+  msg.seq = ++proposer_seq_;
+  msg.sent_at = env.now();
+  msg.payload = cmd.Encode();
+  msg.payload_size = static_cast<std::uint32_t>(msg.payload.size());
+  if (cfg_.on_submit) cfg_.on_submit(msg);
+  if (cmd.op != Command::Op::kSessionOpen &&
+      cmd.op != Command::Op::kSessionClose) {
+    last_command_ = cmd;
+  }
+  const NodeId target = cfg_.gateway != kNoNode ? cfg_.gateway
+                                                : cfg_.ring.ring_members[0];
+  env.Send(target, MakeMessage<Submit>(cfg_.ring.ring, std::move(msg)));
+}
+
+Duration SessionClient::Backoff(std::uint32_t attempts) const {
+  Duration d = cfg_.backoff_base;
+  for (std::uint32_t i = 1; i < attempts && d < cfg_.backoff_max; ++i) d += d;
+  return std::min(d, cfg_.backoff_max);
+}
+
+void SessionClient::CheckRetries(Env& env) {
+  std::vector<std::uint64_t> due;
+  for (const auto& [id, pend] : pending_) {
+    if (env.now() >= pend.next_retry) due.push_back(id);
+  }
+  for (std::uint64_t id : due) {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) continue;
+    Pending& pend = it->second;
+    ++pend.attempts;
+    ++retries_;
+    if (pend.local_read && pend.attempts > cfg_.read_retry_limit) {
+      // Lease holder unreachable: fall back through the ring.
+      pend.local_read = false;
+      pend.cmd.session_seq = ++session_seq_;
+      ++fallback_reads_;
+      if (ctr_fallback_reads_) ctr_fallback_reads_->Inc();
+    }
+    Dispatch(env, id);
+  }
+  env.SetTimer(cfg_.retry_tick, [this, &env] { CheckRetries(env); });
+}
+
+void SessionClient::Complete(Env& env, std::uint64_t req_id, bool read,
+                             TimePoint issued) {
+  (read ? read_latency_ : latency_).Record(env.now() - issued);
+  pending_.erase(req_id);
+  ++completed_;
+  if (ctr_completed_) ctr_completed_->Inc();
+  IssueNext(env);
+}
+
+void SessionClient::OnMessage(Env& env, NodeId /*from*/, const MessagePtr& m) {
+  if (const auto* rej = Cast<Rejected>(m)) {
+    auto it = pending_.find(rej->req_id);
+    if (it == pending_.end()) return;
+    ++rejected_;
+    if (ctr_rejected_) ctr_rejected_->Inc();
+    Pending& pend = it->second;
+    ++pend.attempts;
+    pend.next_retry = env.now() + Backoff(pend.attempts);
+    return;
+  }
+  if (const auto* rep = Cast<SessionReadRep>(m)) {
+    auto it = pending_.find(rep->req_id);
+    if (it == pending_.end() || !it->second.local_read) return;
+    Pending& pend = it->second;
+    if (rep->status == SessionReadRep::kOk) {
+      ++local_reads_;
+      if (ctr_local_reads_) ctr_local_reads_->Inc();
+      Complete(env, rep->req_id, /*read=*/true, pend.issued);
+      return;
+    }
+    // Lease lost at the holder: retry the same req_id through the ring.
+    pend.local_read = false;
+    pend.cmd.session_seq = ++session_seq_;
+    ++fallback_reads_;
+    if (ctr_fallback_reads_) ctr_fallback_reads_->Inc();
+    Dispatch(env, rep->req_id);
+    return;
+  }
+  const auto* resp = Cast<smr::Response>(m);
+  if (resp == nullptr) return;
+  auto it = pending_.find(resp->req_id);
+  if (it == pending_.end()) return;  // duplicate from a sibling replica
+  Pending& pend = it->second;
+  if (pend.control) {
+    const bool opening = pend.cmd.op == Command::Op::kSessionOpen;
+    pending_.erase(it);
+    if (opening && phase_ == Phase::kOpening) {
+      phase_ = Phase::kRunning;
+      for (std::size_t i = 0; i < cfg_.window; ++i) IssueNext(env);
+    } else if (!opening && phase_ == Phase::kClosing) {
+      ++generation_;
+      session_seq_ = 0;
+      OpenSession(env);
+    }
+    return;
+  }
+  const bool read = pend.cmd.op == Command::Op::kQuery;
+  Complete(env, resp->req_id, read, pend.issued);
+}
+
+void SessionClient::TriggerDuplicate(Env& env) {
+  if (last_command_) {
+    SubmitThroughRing(env, *last_command_);
+    return;
+  }
+  for (const auto& [id, pend] : pending_) {
+    if (!pend.control && !pend.local_read) {
+      SubmitThroughRing(env, pend.cmd);
+      return;
+    }
+  }
+}
+
+void SessionClient::TriggerRetryStorm(Env& env) {
+  for (auto& [id, pend] : pending_) {
+    if (pend.control) continue;
+    for (int i = 0; i < 3; ++i) {
+      ++retries_;
+      if (pend.local_read) {
+        env.Send(cfg_.read_replica,
+                 MakeMessage<SessionRead>(pend.cmd.session_id, pend.cmd.req_id,
+                                          pend.cmd.kmin, pend.cmd.kmax));
+      } else {
+        SubmitThroughRing(env, pend.cmd);
+      }
+    }
+  }
+}
+
+void SessionClient::TriggerAbandon(Env& env) {
+  if (phase_ != Phase::kRunning) return;
+  pending_.clear();
+  phase_ = Phase::kClosing;
+  Command cmd = Command::SessionClose(sid());
+  cmd.req_id = ++next_req_;
+  cmd.client = env.self();
+  auto& pend = pending_[cmd.req_id];
+  pend.cmd = cmd;
+  pend.control = true;
+  pend.issued = env.now();
+  pend.next_retry = env.now() + cfg_.retry_timeout;
+  SubmitThroughRing(env, cmd);
+}
+
+}  // namespace mrp::session

@@ -1,0 +1,153 @@
+// SessionClient: a closed-loop client of the partitioned KV service
+// that speaks the session protocol (docs/SESSIONS.md). Every mutating
+// command is stamped with (session_id, session_seq); retries re-issue
+// the SAME stamp under a fresh atomic-multicast submission, so the
+// ordered stream delivers the command at least once and the replicas'
+// SessionTable applies it exactly once. Reads go to the lease-holding
+// replica when one is configured and fall back to a through-the-ring
+// query on lease loss. Rejected(kOverload) from the admission gateway
+// triggers exponential backoff on the same session seqno.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "common/env.h"
+#include "common/fingerprint.h"
+#include "common/stats.h"
+#include "ringpaxos/config.h"
+#include "ringpaxos/messages.h"
+#include "session/messages.h"
+#include "smr/command.h"
+
+namespace mrp::session {
+
+struct SessionClientConfig {
+  // Base session identity; abandoning folds a generation into it, so
+  // give each client a distinct small id.
+  std::uint64_t session_id = 1;
+  // The partition's ring (cfg.ring.group == partition).
+  ringpaxos::RingConfig ring;
+  GroupId partition = 0;
+  std::pair<std::uint64_t, std::uint64_t> key_range{0, 999'999};
+  NodeId gateway = kNoNode;       // admission gateway; kNoNode = direct
+  NodeId read_replica = kNoNode;  // lease holder; kNoNode = ring reads
+  std::size_t window = 4;         // bounded inflight commands
+  double read_ratio = 0.5;
+  double delete_ratio = 0.1;
+  std::uint32_t value_size = 64;
+  std::uint64_t query_span = 64;
+  std::uint64_t ops_limit = 0;  // stop issuing after this many (0 = run on)
+  Duration retry_timeout = Millis(500);
+  Duration retry_tick = Millis(20);
+  Duration backoff_base = Millis(2);   // after Rejected(kOverload)
+  Duration backoff_max = Millis(200);
+  Duration start_jitter = Millis(2);
+  // How many local-read attempts before falling back through the ring
+  // (covers a crashed/unreachable lease holder).
+  std::uint32_t read_retry_limit = 2;
+  // Oracle tap (src/check): every atomic-multicast submission, retries
+  // included (each retry is a fresh submission with a new proposer seq).
+  std::function<void(const paxos::ClientMsg&)> on_submit;
+};
+
+class SessionClient final : public Protocol {
+ public:
+  explicit SessionClient(SessionClientConfig cfg) : cfg_(std::move(cfg)) {}
+
+  void OnStart(Env& env) override;
+  void OnMessage(Env& env, NodeId from, const MessagePtr& m) override;
+
+  // ---- Fault-plan triggers (check::FaultPlan, tools/fuzz) ----
+  // Re-send the most recent command verbatim (same session stamp, fresh
+  // submission): a duplicate the replicas must suppress.
+  void TriggerDuplicate(Env& env);
+  // Re-dispatch every pending command several times at once.
+  void TriggerRetryStorm(Env& env);
+  // Drop all pending work, close the session and reopen under a new
+  // generation (new session_id) through the ordered stream.
+  void TriggerAbandon(Env& env);
+
+  std::uint64_t sid() const { return cfg_.session_id + (generation_ << 32); }
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t local_reads() const { return local_reads_; }
+  std::uint64_t fallback_reads() const { return fallback_reads_; }
+  std::uint64_t ring_reads() const { return ring_reads_; }
+  std::uint64_t rejected() const { return rejected_; }
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t generation() const { return generation_; }
+  std::size_t pending() const { return pending_.size(); }
+  Histogram& latency() { return latency_; }
+  Histogram& read_latency() { return read_latency_; }
+
+  // State digest for the model checker (docs/MODEL_CHECKING.md).
+  std::uint64_t Fingerprint() const {
+    Fingerprinter f;
+    f.U64(static_cast<std::uint64_t>(phase_));
+    f.U64(generation_);
+    f.U64(session_seq_);
+    f.U64(next_req_);
+    f.U64(proposer_seq_);
+    f.U64(completed_);
+    f.U64(rejected_);
+    f.U64(retries_);
+    f.U64(local_reads_);
+    f.U64(fallback_reads_);
+    f.U64(pending_.size());
+    for (const auto& [id, p] : pending_) {
+      f.U64(id);
+      f.U64(p.cmd.session_seq);
+      f.U64(p.attempts);
+    }
+    return f.digest();
+  }
+
+ private:
+  enum class Phase : std::uint8_t { kOpening, kRunning, kClosing };
+
+  struct Pending {
+    smr::Command cmd;
+    bool local_read = false;   // in the SessionRead (not ring) path
+    bool control = false;      // session open/close
+    TimePoint issued{0};
+    TimePoint next_retry{0};
+    std::uint32_t attempts = 0;
+  };
+
+  void OpenSession(Env& env);
+  void IssueNext(Env& env);
+  smr::Command RandomCommand(Env& env);
+  // Sends `cmd` on its path: SessionRead to the lease holder for local
+  // reads, an atomic-multicast Submit otherwise.
+  void Dispatch(Env& env, std::uint64_t req_id);
+  void SubmitThroughRing(Env& env, const smr::Command& cmd);
+  void CheckRetries(Env& env);
+  Duration Backoff(std::uint32_t attempts) const;
+  void Complete(Env& env, std::uint64_t req_id, bool read, TimePoint issued);
+
+  SessionClientConfig cfg_;
+  Phase phase_ = Phase::kOpening;
+  std::uint64_t generation_ = 0;
+  std::uint64_t session_seq_ = 0;   // last session seqno handed out
+  std::uint64_t next_req_ = 0;
+  std::uint64_t proposer_seq_ = 0;  // atomic-multicast submission seq
+  std::map<std::uint64_t, Pending> pending_;  // by req_id
+  std::optional<smr::Command> last_command_;  // for TriggerDuplicate
+  std::uint64_t completed_ = 0;
+  std::uint64_t local_reads_ = 0;
+  std::uint64_t fallback_reads_ = 0;
+  std::uint64_t ring_reads_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t issued_ops_ = 0;
+  Histogram latency_;
+  Histogram read_latency_;
+  Counter* ctr_completed_ = nullptr;
+  Counter* ctr_rejected_ = nullptr;
+  Counter* ctr_local_reads_ = nullptr;
+  Counter* ctr_fallback_reads_ = nullptr;
+};
+
+}  // namespace mrp::session

@@ -1,0 +1,65 @@
+#include "session/lease.h"
+
+namespace mrp::session {
+
+void LeaseGrantor::OnStart(Env& env) {
+  ctr_grants_ = &env.metrics().counter("session.lease.grants");
+  env.SetTimer(cfg_.renew_interval, [this, &env] { Renew(env); });
+}
+
+void LeaseGrantor::Renew(Env& env) {
+  if (!paused_) {
+    ++grants_;
+    if (ctr_grants_) ctr_grants_->Inc();
+    env.Send(cfg_.holder,
+             MakeMessage<LeaseGrant>(cfg_.group, epoch_, cfg_.holder,
+                                     frontier_,
+                                     env.now() + cfg_.lease_duration));
+  }
+  env.SetTimer(cfg_.renew_interval, [this, &env] { Renew(env); });
+}
+
+void LeaseGrantor::Resume(Env& env) {
+  if (!paused_) return;
+  paused_ = false;
+  ++epoch_;
+  // One immediate grant; the OnStart timer chain keeps renewing.
+  ++grants_;
+  if (ctr_grants_) ctr_grants_->Inc();
+  env.Send(cfg_.holder,
+           MakeMessage<LeaseGrant>(cfg_.group, epoch_, cfg_.holder, frontier_,
+                                   env.now() + cfg_.lease_duration));
+}
+
+void LeaseGrantor::Revoke(Env& env) {
+  paused_ = true;
+  env.Send(cfg_.holder, MakeMessage<LeaseRevoke>(cfg_.group, epoch_));
+  ++epoch_;
+}
+
+void LeaseGrantor::OnMessage(Env& /*env*/, NodeId /*from*/,
+                             const MessagePtr& m) {
+  // Frontier tracking: decisions are announced on the data channel both
+  // piggybacked on P2A and in dedicated DecisionMsg flushes.
+  if (const auto* d = Cast<ringpaxos::DecisionMsg>(m)) {
+    if (d->ring != cfg_.ring) return;
+    for (const auto& dec : d->decided) {
+      if (dec.instance + 1 > frontier_) frontier_ = dec.instance + 1;
+    }
+    return;
+  }
+  if (const auto* p = Cast<ringpaxos::P2A>(m)) {
+    if (p->ring != cfg_.ring) return;
+    for (const auto& dec : p->decided) {
+      if (dec.instance + 1 > frontier_) frontier_ = dec.instance + 1;
+    }
+    return;
+  }
+  if (const auto* a = Cast<LeaseAck>(m)) {
+    if (a->group == cfg_.group && a->epoch > acked_epoch_) {
+      acked_epoch_ = a->epoch;
+    }
+  }
+}
+
+}  // namespace mrp::session

@@ -1,0 +1,76 @@
+// LeaseGrantor: grants one replica a bounded-sim-time read lease for a
+// group (docs/SESSIONS.md). The grantor listens on the ring's channels,
+// tracks the decided frontier from decision announcements, and renews
+// the lease on a timer; each grant carries the frontier at grant time
+// (`grant_point`). The holder serves a local read only while the lease
+// is unexpired AND its applied frontier covers the grant point, which
+// makes the read linearizable: every command decided before the grant
+// is already applied, and no other replica can be granted the group
+// while this lease is live (single grantor, single configured holder,
+// epoch-guarded revocation).
+#pragma once
+
+#include <cstdint>
+
+#include "common/env.h"
+#include "common/fingerprint.h"
+#include "ringpaxos/messages.h"
+#include "session/messages.h"
+
+namespace mrp::session {
+
+struct LeaseGrantorConfig {
+  RingId ring = 0;
+  GroupId group = 0;
+  NodeId holder = kNoNode;
+  Duration lease_duration = Millis(50);
+  // Renew well inside the duration so a healthy grantor never lets the
+  // lease lapse at the holder.
+  Duration renew_interval = Millis(20);
+};
+
+class LeaseGrantor final : public Protocol {
+ public:
+  explicit LeaseGrantor(LeaseGrantorConfig cfg) : cfg_(cfg) {}
+
+  void OnStart(Env& env) override;
+  void OnMessage(Env& env, NodeId from, const MessagePtr& m) override;
+
+  // Test/fuzz controls. Pausing stops renewals so the lease expires at
+  // the holder; resuming bumps the epoch (the old grant's window may
+  // have lapsed, so the new grants must be distinguishable).
+  void Pause() { paused_ = true; }
+  void Resume(Env& env);
+  // Immediate revocation: invalidates the current epoch at the holder.
+  void Revoke(Env& env);
+
+  std::uint64_t epoch() const { return epoch_; }
+  InstanceId frontier() const { return frontier_; }
+  std::uint64_t grants_sent() const { return grants_; }
+  std::uint64_t acked_epoch() const { return acked_epoch_; }
+  bool paused() const { return paused_; }
+
+  // State digest for the model checker (docs/MODEL_CHECKING.md).
+  std::uint64_t Fingerprint() const {
+    Fingerprinter f;
+    f.U64(epoch_);
+    f.U64(frontier_);
+    f.U64(grants_);
+    f.U64(acked_epoch_);
+    f.Bool(paused_);
+    return f.digest();
+  }
+
+ private:
+  void Renew(Env& env);
+
+  LeaseGrantorConfig cfg_;
+  std::uint64_t epoch_ = 1;
+  InstanceId frontier_ = 0;  // decided instances below this, observed
+  std::uint64_t grants_ = 0;
+  std::uint64_t acked_epoch_ = 0;
+  bool paused_ = false;
+  Counter* ctr_grants_ = nullptr;
+};
+
+}  // namespace mrp::session

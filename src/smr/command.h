@@ -21,7 +21,15 @@ namespace mrp::smr {
 using Key = std::uint64_t;
 
 struct Command {
-  enum class Op : std::uint8_t { kInsert = 0, kDelete = 1, kQuery = 2 };
+  enum class Op : std::uint8_t {
+    kInsert = 0,
+    kDelete = 1,
+    kQuery = 2,
+    // Session lifecycle rides the ordered stream so every replica agrees
+    // on which sessions are live (docs/SESSIONS.md).
+    kSessionOpen = 3,
+    kSessionClose = 4,
+  };
 
   Op op = Op::kInsert;
   Key key = 0;           // insert/delete
@@ -29,6 +37,11 @@ struct Command {
   Key kmin = 0, kmax = 0;  // query range (inclusive)
   std::uint64_t req_id = 0;
   NodeId client = kNoNode;
+  // Exactly-once stamp (docs/SESSIONS.md). 0/0 = sessionless command:
+  // no dedup, the pre-session behaviour. A retried session command
+  // keeps its (session_id, session_seq) under a fresh multicast seq.
+  std::uint64_t session_id = 0;
+  std::uint64_t session_seq = 0;
 
   static Command Insert(Key k, std::string v) {
     Command c;
@@ -50,6 +63,18 @@ struct Command {
     c.kmax = kmax;
     return c;
   }
+  static Command SessionOpen(std::uint64_t sid) {
+    Command c;
+    c.op = Op::kSessionOpen;
+    c.session_id = sid;
+    return c;
+  }
+  static Command SessionClose(std::uint64_t sid) {
+    Command c;
+    c.op = Op::kSessionClose;
+    c.session_id = sid;
+    return c;
+  }
 
   Bytes Encode() const {
     ByteWriter w;
@@ -60,6 +85,8 @@ struct Command {
     w.u64(kmax);
     w.u64(req_id);
     w.u32(client);
+    w.u64(session_id);
+    w.u64(session_seq);
     return w.take();
   }
 
@@ -73,9 +100,13 @@ struct Command {
     auto kmax = r.u64();
     auto req = r.u64();
     auto client = r.u32();
-    if (!op || !key || !value || !kmin || !kmax || !req || !client) {
+    auto sid = r.u64();
+    auto sseq = r.u64();
+    if (!op || !key || !value || !kmin || !kmax || !req || !client || !sid ||
+        !sseq) {
       return std::nullopt;
     }
+    if (*op > static_cast<std::uint8_t>(Op::kSessionClose)) return std::nullopt;
     c.op = static_cast<Op>(*op);
     c.key = *key;
     c.value = std::move(*value);
@@ -83,6 +114,8 @@ struct Command {
     c.kmax = *kmax;
     c.req_id = *req;
     c.client = *client;
+    c.session_id = *sid;
+    c.session_seq = *sseq;
     return c;
   }
 };

@@ -1,8 +1,11 @@
 #include "smr/replica.h"
 
+#include <algorithm>
+
 namespace mrp::smr {
 
-Replica::Replica(ReplicaConfig cfg) : cfg_(std::move(cfg)) {
+Replica::Replica(ReplicaConfig cfg)
+    : cfg_(std::move(cfg)), sessions_(cfg_.session_response_cache) {
   multiring::MergeLearner::Options opts;
   opts.m = cfg_.m;
   opts.groups.push_back(cfg_.partition_ring);
@@ -16,6 +19,13 @@ Replica::Replica(ReplicaConfig cfg) : cfg_(std::move(cfg)) {
 void Replica::OnStart(Env& env) {
   env_ = &env;
   bootstrapped_ = !cfg_.bootstrap_from_peer;
+  if (cfg_.sessions) {
+    ctr_dups_ = &env.metrics().counter("smr.replica.session_dups");
+  }
+  if (cfg_.serve_local_reads) {
+    ctr_local_reads_ = &env.metrics().counter("smr.replica.local_reads");
+    ctr_read_fallbacks_ = &env.metrics().counter("smr.replica.read_fallbacks");
+  }
   merge_->OnStart(env);
   // The snapshot is requested lazily, on the first delivery: only then
   // is the merge stream's start position fixed, which guarantees the
@@ -55,7 +65,81 @@ void Replica::OnMessage(Env& env, NodeId from, const MessagePtr& m) {
     }
     return;
   }
+  if (const auto* grant = Cast<session::LeaseGrant>(m)) {
+    if (cfg_.serve_local_reads && grant->group == cfg_.partition &&
+        grant->holder == env.self() && grant->epoch >= lease_epoch_) {
+      lease_epoch_ = grant->epoch;
+      lease_expires_ = grant->expires_at;
+      lease_grant_point_ = grant->grant_point;
+      env.Send(from, MakeMessage<session::LeaseAck>(cfg_.partition,
+                                                    grant->epoch));
+    }
+    return;
+  }
+  if (const auto* revoke = Cast<session::LeaseRevoke>(m)) {
+    if (revoke->group == cfg_.partition && revoke->epoch >= lease_epoch_) {
+      lease_epoch_ = revoke->epoch;
+      lease_expires_ = TimePoint{0};
+    }
+    return;
+  }
+  if (const auto* read = Cast<session::SessionRead>(m)) {
+    if (!cfg_.serve_local_reads) {
+      if (ctr_read_fallbacks_) ctr_read_fallbacks_->Inc();
+      env.Send(from, MakeMessage<session::SessionReadRep>(
+                         read->req_id, cfg_.partition,
+                         session::SessionReadRep::kNoLease));
+      return;
+    }
+    const ReadKey key{from, read->req_id};
+    pending_reads_[key] = PendingRead{from, read->req_id, read->kmin,
+                                      read->kmax};
+    TryServeRead(env, key);
+    return;
+  }
   merge_->OnMessage(env, from, m);
+}
+
+// A local read is linearizable only if the lease window is open AND the
+// applied frontier covers the grant point: every command decided before
+// the grant is applied here, and no other replica can hold the lease.
+// Until the frontier catches up the read waits; once the lease lapses it
+// fails over to the through-the-ring path (docs/SESSIONS.md).
+void Replica::TryServeRead(Env& env, ReadKey key) {
+  auto it = pending_reads_.find(key);
+  if (it == pending_reads_.end()) return;
+  const PendingRead pr = it->second;
+  const bool lease_valid = LeaseValid(env.now());
+  if (!lease_valid) {
+    pending_reads_.erase(it);
+    if (ctr_read_fallbacks_) ctr_read_fallbacks_->Inc();
+    env.Send(pr.from, MakeMessage<session::SessionReadRep>(
+                          pr.req_id, cfg_.partition,
+                          session::SessionReadRep::kNoLease));
+    return;
+  }
+  const InstanceId frontier = ApplyFrontier();
+  if (frontier < lease_grant_point_) {
+    env.SetTimer(cfg_.read_recheck, [this, &env, key] {
+      TryServeRead(env, key);
+    });
+    return;
+  }
+  pending_reads_.erase(it);
+  ++local_reads_served_;
+  if (ctr_local_reads_) ctr_local_reads_->Inc();
+  if (cfg_.on_local_read) {
+    cfg_.on_local_read(lease_epoch_, lease_valid, lease_grant_point_,
+                       frontier);
+  }
+  const auto [lo, hi] = cfg_.range;
+  const Key qlo = std::max(pr.kmin, lo);
+  const Key qhi = std::min(pr.kmax, hi);
+  std::vector<std::pair<Key, std::string>> rows;
+  if (qlo <= qhi) rows = store_.Query(qlo, qhi, cfg_.query_row_limit);
+  env.Send(pr.from, MakeMessage<session::SessionReadRep>(
+                        pr.req_id, cfg_.partition,
+                        session::SessionReadRep::kOk, std::move(rows)));
 }
 
 void Replica::Apply(Env& env, GroupId /*group*/, const paxos::ClientMsg& msg) {
@@ -82,9 +166,59 @@ void Replica::Apply(Env& env, GroupId /*group*/, const paxos::ClientMsg& msg) {
   Execute(env, *cmd);
 }
 
+void Replica::Respond(Env& env, const Command& cmd, bool ok,
+                      std::vector<std::pair<Key, std::string>> rows) {
+  if (cfg_.respond && cmd.client != kNoNode) {
+    env.Send(cmd.client, MakeMessage<Response>(cmd.req_id, cfg_.partition, ok,
+                                               std::move(rows)));
+  }
+}
+
 void Replica::Execute(Env& env, const Command& cmd) {
+  // Session lifecycle and dedup run before the oracle tap: a suppressed
+  // duplicate is, by definition, not an apply (docs/SESSIONS.md).
+  if (cfg_.sessions && cmd.session_id != 0) {
+    if (cmd.op == Command::Op::kSessionOpen) {
+      sessions_.Open(cmd.session_id);
+      ++applied_;
+      if (cfg_.on_apply) cfg_.on_apply(cmd);
+      Respond(env, cmd, true, {});
+      return;
+    }
+    if (cmd.op == Command::Op::kSessionClose) {
+      sessions_.Close(cmd.session_id);
+      ++applied_;
+      if (cfg_.on_apply) cfg_.on_apply(cmd);
+      Respond(env, cmd, true, {});
+      return;
+    }
+    switch (sessions_.Check(cmd.session_id, cmd.session_seq)) {
+      case session::SessionTable::Admit::kDuplicate: {
+        ++dup_suppressed_;
+        if (ctr_dups_) ctr_dups_->Inc();
+        // Re-send the cached response; past the cache, a bare ok (exact
+        // for writes, degraded-but-safe for evicted queries).
+        const auto* cached =
+            sessions_.Response(cmd.session_id, cmd.session_seq);
+        Respond(env, cmd, cached == nullptr || cached->ok,
+                cached != nullptr ? cached->rows
+                                  : std::vector<std::pair<Key, std::string>>{});
+        return;
+      }
+      case session::SessionTable::Admit::kUnknown:
+        // Session never opened here or already closed: refuse rather
+        // than apply outside the session's agreed lifetime.
+        ++discarded_;
+        Respond(env, cmd, false, {});
+        return;
+      case session::SessionTable::Admit::kApply:
+        break;
+    }
+  }
   if (cfg_.on_apply) cfg_.on_apply(cmd);
   const auto [lo, hi] = cfg_.range;
+  bool ok = true;
+  std::vector<std::pair<Key, std::string>> rows;
   switch (cmd.op) {
     case Command::Op::kInsert:
       if (cmd.key < lo || cmd.key > hi) {
@@ -92,25 +226,14 @@ void Replica::Execute(Env& env, const Command& cmd) {
         return;
       }
       store_.Insert(cmd.key, cmd.value);
-      ++applied_;
-      if (cfg_.respond && cmd.client != kNoNode) {
-        env.Send(cmd.client,
-                 MakeMessage<Response>(cmd.req_id, cfg_.partition, true));
-      }
       break;
-    case Command::Op::kDelete: {
+    case Command::Op::kDelete:
       if (cmd.key < lo || cmd.key > hi) {
         ++discarded_;
         return;
       }
-      const bool ok = store_.Delete(cmd.key);
-      ++applied_;
-      if (cfg_.respond && cmd.client != kNoNode) {
-        env.Send(cmd.client,
-                 MakeMessage<Response>(cmd.req_id, cfg_.partition, ok));
-      }
+      ok = store_.Delete(cmd.key);
       break;
-    }
     case Command::Op::kQuery: {
       // Answer the overlap of [kmin, kmax] with this partition's range;
       // discard if disjoint (the paper's selective execution).
@@ -120,21 +243,35 @@ void Replica::Execute(Env& env, const Command& cmd) {
         ++discarded_;
         return;
       }
-      ++applied_;
-      if (cfg_.respond && cmd.client != kNoNode) {
-        env.Send(cmd.client,
-                 MakeMessage<Response>(cmd.req_id, cfg_.partition, true,
-                                       store_.Query(qlo, qhi, cfg_.query_row_limit)));
-      }
+      rows = store_.Query(qlo, qhi, cfg_.query_row_limit);
       break;
     }
+    case Command::Op::kSessionOpen:
+    case Command::Op::kSessionClose:
+      // Sessions disabled (or unstamped): lifecycle ops are no-ops that
+      // still acknowledge, so a client never stalls on them.
+      ++applied_;
+      Respond(env, cmd, true, {});
+      return;
   }
+  ++applied_;
+  if (cfg_.sessions && cmd.session_id != 0 && cmd.session_seq != 0) {
+    sessions_.Record(cmd.session_id, cmd.session_seq, ok, rows);
+    if (cfg_.on_session_apply) {
+      cfg_.on_session_apply(cmd.session_id, cmd.session_seq);
+    }
+  }
+  Respond(env, cmd, ok, std::move(rows));
 }
 
 Bytes Replica::SnapshotState() const {
   ByteWriter w;
   w.u64(applied_);
   w.bytes(store_.Serialize());
+  // The session table checkpoints with the store: a replica restored
+  // from this snapshot keeps suppressing duplicates of everything it
+  // had applied at the cut (docs/SESSIONS.md, docs/RECOVERY.md).
+  w.bytes(sessions_.Serialize());
   return w.take();
 }
 
@@ -142,8 +279,10 @@ bool Replica::RestoreState(const Bytes& bytes) {
   ByteReader r(bytes);
   auto applied = r.u64();
   auto rows = r.bytes();
-  if (!applied || !rows || !r.done()) return false;
+  auto sess = r.bytes();
+  if (!applied || !rows || !sess || !r.done()) return false;
   if (!store_.Deserialize(*rows)) return false;
+  if (!sessions_.Deserialize(*sess)) return false;
   applied_ = *applied;
   // A restored replica is by definition caught up to the checkpoint; it
   // does not need the peer bootstrap path.

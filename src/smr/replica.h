@@ -8,8 +8,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -17,6 +19,8 @@
 #include "common/fingerprint.h"
 #include "multiring/merge_learner.h"
 #include "recovery/snapshottable.h"
+#include "session/messages.h"
+#include "session/session_table.h"
 #include "smr/command.h"
 #include "smr/kvstore.h"
 
@@ -44,6 +48,25 @@ struct ReplicaConfig {
   // through Execute, in apply order and before range filtering — the
   // linearizability feed of the SMR consistency oracle. Optional.
   std::function<void(const Command&)> on_apply;
+
+  // ---- Session control plane (docs/SESSIONS.md) ----
+  // Dedup session-stamped commands through an embedded SessionTable
+  // (exactly-once over at-least-once submission).
+  bool sessions = false;
+  // Serve lease-local linearizable reads (session::SessionRead) while
+  // holding a read lease from a session::LeaseGrantor.
+  bool serve_local_reads = false;
+  // Poll interval while a local read waits for the applied frontier to
+  // cover the lease's grant point.
+  Duration read_recheck = Millis(1);
+  std::size_t session_response_cache = 64;
+  // Oracle taps (src/check): a session-stamped command passed dedup and
+  // executed; a local read was served, with the lease/frontier evidence
+  // the serve decision used.
+  std::function<void(std::uint64_t sid, std::uint64_t seq)> on_session_apply;
+  std::function<void(std::uint64_t epoch, bool lease_valid,
+                     InstanceId grant_point, InstanceId frontier)>
+      on_local_read;
 };
 
 class Replica final : public Protocol, public recovery::Snapshottable {
@@ -64,9 +87,24 @@ class Replica final : public Protocol, public recovery::Snapshottable {
   std::uint64_t discarded() const { return discarded_; }
   bool bootstrapped() const { return bootstrapped_; }
   multiring::MergeLearner& merge() { return *merge_; }
+  const session::SessionTable& sessions() const { return sessions_; }
+  std::uint64_t duplicates_suppressed() const { return dup_suppressed_; }
+  std::uint64_t local_reads_served() const { return local_reads_served_; }
+  std::uint64_t lease_epoch() const { return lease_epoch_; }
+  // True while the lease window is open at `now` (the serve check also
+  // requires the applied frontier to cover the lease's grant point).
+  bool LeaseValid(TimePoint now) const {
+    return lease_epoch_ != 0 && now < lease_expires_;
+  }
+  // Applied frontier of the partition's ring, in ring instances:
+  // everything below is delivered (and applied synchronously).
+  InstanceId ApplyFrontier() const {
+    return merge_->group_source(0)->next_instance();
+  }
 
   // State digest for the model checker (docs/MODEL_CHECKING.md): the
-  // embedded merge learner, the KV store, and apply progress.
+  // embedded merge learner, the KV store, apply progress, and the
+  // session/lease control plane.
   std::uint64_t Fingerprint() const {
     Fingerprinter f;
     f.U64(merge_->Fingerprint());
@@ -76,17 +114,46 @@ class Replica final : public Protocol, public recovery::Snapshottable {
     f.U64(applied_);
     f.U64(discarded_);
     f.Bool(bootstrapped_);
+    f.U64(sessions_.Fingerprint());
+    f.U64(dup_suppressed_);
+    f.U64(lease_epoch_);
+    f.U64(static_cast<std::uint64_t>(lease_expires_.count()));
+    f.U64(lease_grant_point_);
+    f.U64(pending_reads_.size());
+    f.U64(local_reads_served_);
     return f.digest();
   }
 
  private:
+  struct PendingRead {
+    NodeId from = kNoNode;
+    std::uint64_t req_id = 0;
+    Key kmin = 0, kmax = 0;
+  };
+  // Pending local reads keyed by (client, req_id): req_ids are
+  // client-local, so two clients may collide on the bare id.
+  using ReadKey = std::pair<NodeId, std::uint64_t>;
+
   void Apply(Env& env, GroupId group, const paxos::ClientMsg& msg);
   void Execute(Env& env, const Command& cmd);
   void RequestSnapshot(Env& env);
+  void Respond(Env& env, const Command& cmd, bool ok,
+               std::vector<std::pair<Key, std::string>> rows);
+  void TryServeRead(Env& env, ReadKey key);
 
   ReplicaConfig cfg_;
   std::unique_ptr<multiring::MergeLearner> merge_;
   KvStore store_;
+  session::SessionTable sessions_;
+  std::map<ReadKey, PendingRead> pending_reads_;
+  std::uint64_t lease_epoch_ = 0;  // 0 = never held a lease
+  TimePoint lease_expires_{0};
+  InstanceId lease_grant_point_ = 0;
+  std::uint64_t dup_suppressed_ = 0;
+  std::uint64_t local_reads_served_ = 0;
+  Counter* ctr_dups_ = nullptr;
+  Counter* ctr_local_reads_ = nullptr;
+  Counter* ctr_read_fallbacks_ = nullptr;
   // Deliveries buffered while the bootstrap snapshot is in flight. The
   // snapshot is requested only after the merge stream is positioned and
   // delivering, so snapshot position >= stream start: replaying the

@@ -132,9 +132,10 @@ TEST(CodecHardening, PayloadSizeFieldMismatchRejected) {
 }
 
 TEST(CodecHardening, UnknownTagRejected) {
-  // 30+ are unassigned (1..29 are live, 17-19/27-29 belong to the
-  // recovery subsystem); keep this list clear of any Tag enum value.
-  for (std::uint8_t tag : {0, 30, 31, 77, 200, 255}) {
+  // 36+ are unassigned (1..35 are live: 17-19/27-29 belong to the
+  // recovery subsystem, 30-35 to the session control plane); keep this
+  // list clear of any Tag enum value.
+  for (std::uint8_t tag : {0, 36, 37, 77, 200, 255}) {
     ByteWriter w;
     w.u8(tag);
     w.u32(1);

@@ -28,6 +28,9 @@
 #include "ringpaxos/messages.h"
 #include "ringpaxos/proposer.h"
 #include "ringpaxos/ring_node.h"
+#include "session/admission.h"
+#include "session/client.h"
+#include "session/lease.h"
 #include "smr/replica.h"
 
 namespace mrp {
@@ -237,6 +240,45 @@ TEST(FingerprintTest, SmrReplica) {
                MakeMessage<ringpaxos::DecisionMsg>(
                    0, std::vector<ringpaxos::Decided>{{0, 1}}));
   EXPECT_NE(a->Fingerprint(), b->Fingerprint());
+}
+
+TEST(FingerprintTest, SessionRoles) {
+  // session::SessionClient: opening the session (first timer) is state.
+  session::SessionClientConfig sc;
+  sc.ring = Ring();
+  sc.start_jitter = Duration{0};
+  session::SessionClient a(sc), b(sc);
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  FakeEnv env(20);
+  a.OnStart(env);
+  ASSERT_FALSE(env.timers.empty());
+  env.timers.front()();  // fire the open timer
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+
+  // session::LeaseGrantor: an observed decision advances the frontier.
+  session::LeaseGrantorConfig lc;
+  lc.ring = 0;
+  lc.group = 0;
+  lc.holder = 9;
+  session::LeaseGrantor g(lc), h(lc);
+  EXPECT_EQ(g.Fingerprint(), h.Fingerprint());
+  FakeEnv genv(5);
+  g.OnMessage(genv, 1,
+              MakeMessage<ringpaxos::DecisionMsg>(
+                  0, std::vector<ringpaxos::Decided>{{4, 1}}));
+  EXPECT_NE(g.Fingerprint(), h.Fingerprint());
+
+  // session::Gateway: an admitted submission is counted state.
+  session::GatewayConfig gc;
+  gc.ring = 0;
+  gc.coordinator = 2;
+  session::Gateway gw(gc), gw2(gc);
+  EXPECT_EQ(gw.Fingerprint(), gw2.Fingerprint());
+  FakeEnv wenv(7);
+  gw.OnStart(wenv);
+  gw2.OnStart(wenv);
+  gw.OnMessage(wenv, 3, MakeMessage<ringpaxos::Submit>(0, Cmd(1)));
+  EXPECT_NE(gw.Fingerprint(), gw2.Fingerprint());
 }
 
 }  // namespace

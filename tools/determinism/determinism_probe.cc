@@ -24,6 +24,14 @@
 //                        snapshot — the gate then proves checkpointing,
 //                        snapshot transfer and restore are themselves
 //                        byte-deterministic (docs/RECOVERY.md)
+//   --sessions           enable the session control plane on ring 0: two
+//                        session-enabled replicas (one serving lease-local
+//                        reads), a lease grantor, an admission gateway and
+//                        a session client, with a mid-run duplicate
+//                        submit, retry storm, lease pause/resume cycle
+//                        and session abandon — the gate then proves
+//                        dedup, lease handling and admission control are
+//                        themselves byte-deterministic (docs/SESSIONS.md)
 //   --out-trace <file>   JSONL trace output (required)
 //   --out-metrics <file> metrics JSON output (required)
 #include <cstdint>
@@ -40,6 +48,10 @@
 #include "multiring/sim_deployment.h"
 #include "recovery/sim_harness.h"
 #include "ringpaxos/proposer.h"
+#include "session/admission.h"
+#include "session/client.h"
+#include "session/lease.h"
+#include "smr/replica.h"
 
 namespace {
 
@@ -102,6 +114,7 @@ int main(int argc, char** argv) {
   const auto run_ms =
       static_cast<std::int64_t>(FlagU64(argc, argv, "--run-ms", 500));
   const bool recovery = HasFlag(argc, argv, "--recovery");
+  const bool sessions = HasFlag(argc, argv, "--sessions");
 
   std::vector<std::unique_ptr<char[]>> ballast;
   if (FlagValue(argc, argv, "--perturb-heap") != nullptr) {
@@ -180,6 +193,86 @@ int main(int argc, char** argv) {
                rec_b.node->SetDown(false);
                rec_b.node->Start();
              });
+  }
+
+  // --sessions: the control plane of docs/SESSIONS.md on ring 0, with a
+  // scripted duplicate / retry storm / lease drop / abandon sequence so
+  // dedup suppression, read fallback and generation bumps all land in
+  // the byte-compared outputs.
+  mrp::session::SessionClient* session_client = nullptr;
+  mrp::sim::SimNode* session_client_node = nullptr;
+  mrp::session::LeaseGrantor* lease_grantor = nullptr;
+  mrp::sim::SimNode* lease_grantor_node = nullptr;
+  if (sessions) {
+    std::vector<mrp::sim::SimNode*> replica_nodes;
+    for (int r = 0; r < 2; ++r) {
+      auto& node = d.net().AddNode();
+      mrp::smr::ReplicaConfig rc;
+      rc.partition = 0;
+      rc.partition_ring.ring = d.ring(0);
+      rc.respond = (r == 0);
+      rc.sessions = true;
+      rc.serve_local_reads = (r == 1);
+      node.BindProtocol(std::make_unique<mrp::smr::Replica>(rc));
+      replica_nodes.push_back(&node);
+      d.net().Subscribe(node.self(), d.ring(0).data_channel);
+      d.net().Subscribe(node.self(), d.ring(0).control_channel);
+    }
+    auto& gw_node = d.net().AddNode();
+    {
+      mrp::session::GatewayConfig gc;
+      gc.ring = d.ring(0).ring;
+      gc.coordinator = d.ring(0).ring_members[0];
+      gc.rate_per_sec = 2000;
+      gc.burst = 32;
+      gc.max_queue = 32;
+      gw_node.BindProtocol(std::make_unique<mrp::session::Gateway>(gc));
+    }
+    {
+      auto& node = d.net().AddNode();
+      mrp::session::LeaseGrantorConfig lc;
+      lc.ring = d.ring(0).ring;
+      lc.group = d.ring(0).group;
+      lc.holder = replica_nodes[1]->self();
+      auto lg = std::make_unique<mrp::session::LeaseGrantor>(lc);
+      lease_grantor = lg.get();
+      lease_grantor_node = &node;
+      node.BindProtocol(std::move(lg));
+      d.net().Subscribe(node.self(), d.ring(0).data_channel);
+      d.net().Subscribe(node.self(), d.ring(0).control_channel);
+    }
+    {
+      mrp::sim::NodeSpec spec;
+      spec.infinite_cpu = true;
+      auto& node = d.net().AddNode(spec);
+      mrp::session::SessionClientConfig sc;
+      sc.session_id = 1;
+      sc.ring = d.ring(0);
+      sc.gateway = gw_node.self();
+      sc.read_replica = replica_nodes[1]->self();
+      sc.window = 4;
+      auto cl = std::make_unique<mrp::session::SessionClient>(sc);
+      session_client = cl.get();
+      session_client_node = &node;
+      node.BindProtocol(std::move(cl));
+    }
+    auto& sched = d.net().scheduler();
+    auto at_frac = [run_ms](std::int64_t num, std::int64_t den) {
+      return mrp::TimePoint(mrp::Millis(run_ms * num / den).count());
+    };
+    sched.At(at_frac(3, 10), [session_client, session_client_node] {
+      session_client->TriggerDuplicate(*session_client_node);
+    });
+    sched.At(at_frac(4, 10), [lease_grantor] { lease_grantor->Pause(); });
+    sched.At(at_frac(5, 10), [session_client, session_client_node] {
+      session_client->TriggerRetryStorm(*session_client_node);
+    });
+    sched.At(at_frac(6, 10), [lease_grantor, lease_grantor_node] {
+      lease_grantor->Resume(*lease_grantor_node);
+    });
+    sched.At(at_frac(7, 10), [session_client, session_client_node] {
+      session_client->TriggerAbandon(*session_client_node);
+    });
   }
 
   // Two closed-loop clients per ring.

@@ -29,7 +29,7 @@ def first_diff(path_a, path_b):
 
 
 def run_probe(probe, out_base, seed, rings, run_ms, sites, recovery,
-              perturb):
+              sessions, perturb):
     trace = out_base + ".trace.jsonl"
     metrics = out_base + ".metrics.json"
     cmd = [probe, "--seed", str(seed), "--rings", str(rings),
@@ -37,6 +37,8 @@ def run_probe(probe, out_base, seed, rings, run_ms, sites, recovery,
            "--out-trace", trace, "--out-metrics", metrics]
     if recovery:
         cmd.append("--recovery")
+    if sessions:
+        cmd.append("--sessions")
     env = dict(os.environ)
     if perturb:
         cmd += ["--perturb-heap", str(0x9E3779B9 ^ seed)]
@@ -65,6 +67,10 @@ def main():
     # Adds a checkpoint coordinator + two recoverable learners, with a
     # mid-run crash/recover cycle of one of them (docs/RECOVERY.md).
     ap.add_argument("--recovery", action="store_true")
+    # Adds the session control plane (replicas with dedup, lease grantor,
+    # admission gateway, session client) plus scripted session faults
+    # (docs/SESSIONS.md).
+    ap.add_argument("--sessions", action="store_true")
     args = ap.parse_args()
 
     os.makedirs(args.workdir, exist_ok=True)
@@ -73,11 +79,11 @@ def main():
         base = os.path.join(args.workdir, f"seed{seed}")
         ref = run_probe(args.probe, base + ".a", seed, args.rings,
                         args.run_ms, args.sites, args.recovery,
-                        perturb=False)
+                        args.sessions, perturb=False)
         for tag, perturb in (("rerun", False), ("perturbed", True)):
             got = run_probe(args.probe, f"{base}.{tag}", seed, args.rings,
                             args.run_ms, args.sites, args.recovery,
-                            perturb=perturb)
+                            args.sessions, perturb=perturb)
             for kind, a, b in (("trace", ref[0], got[0]),
                                ("metrics", ref[1], got[1])):
                 if not filecmp.cmp(a, b, shallow=False):

@@ -34,6 +34,7 @@
 #include "check/fault_plan.h"
 #include "check/oracles.h"
 #include "check/recovery_oracle.h"
+#include "check/session_oracle.h"
 #include "common/rand.h"
 #include "common/trace.h"
 #include "common/types.h"
@@ -44,6 +45,10 @@
 #include "recovery/sim_harness.h"
 #include "ringpaxos/proposer.h"
 #include "ringpaxos/ring_node.h"
+#include "session/admission.h"
+#include "session/client.h"
+#include "session/lease.h"
+#include "session/messages.h"
 #include "sim/topology.h"
 #include "smr/client.h"
 #include "smr/replica.h"
@@ -100,6 +105,8 @@ struct RunStats {
   std::vector<check::Violation> violations;
   std::uint64_t digest = 0;
   std::uint64_t deliveries = 0;
+  std::uint64_t session_applies = 0;  // dedup-passing applies (with_smr)
+  std::uint64_t local_reads = 0;      // lease-served local reads (with_smr)
   std::string report;
 
   bool Has(const std::string& oracle) const {
@@ -269,11 +276,21 @@ RunStats RunPlan(const FaultPlan& plan, InstanceId inject_corrupt,
     }
   }
 
-  // Optional KV service on partition 0 (ring 0): two replicas whose
-  // apply streams feed the SMR prefix-consistency oracle, plus one
-  // closed-loop client.
+  // Optional KV service on partition 0 (ring 0): two session-enabled
+  // replicas whose apply streams feed the SMR prefix-consistency oracle
+  // (and whose session taps feed the SessionOracle), one closed-loop KV
+  // client, plus the session control plane (docs/SESSIONS.md): an
+  // admission gateway fronting ring 0's coordinator, a lease grantor
+  // with replica1 as the configured lease holder, and a session client
+  // whose reads go to replica1 first.
+  check::SessionOracle session_oracle(&oracle);
   std::vector<smr::Replica*> replicas;
+  std::vector<sim::SimNode*> replica_nodes;
   smr::KvClient* kv_client = nullptr;
+  session::SessionClient* session_client = nullptr;
+  sim::SimNode* session_client_node = nullptr;
+  session::LeaseGrantor* lease_grantor = nullptr;
+  sim::SimNode* lease_grantor_node = nullptr;
   if (shape.with_smr) {
     for (int r = 0; r < 2; ++r) {
       auto& node = d.net().AddNode();
@@ -281,29 +298,96 @@ RunStats RunPlan(const FaultPlan& plan, InstanceId inject_corrupt,
       rc.partition = 0;
       rc.partition_ring.ring = d.ring(0);
       rc.respond = (r == 0);
+      rc.sessions = true;
+      rc.serve_local_reads = (r == 1);  // replica1 is the lease holder
       const int idx =
           oracle.RegisterReplica("replica" + std::to_string(r), 0);
       rc.on_apply = [&oracle, idx](const smr::Command& cmd) {
         oracle.OnSmrApply(idx, cmd);
       };
+      const int sidx =
+          session_oracle.RegisterReplica("replica" + std::to_string(r));
+      rc.on_session_apply = [&session_oracle, sidx](std::uint64_t sid,
+                                                    std::uint64_t seq) {
+        session_oracle.OnSessionApply(sidx, sid, seq);
+      };
+      if (r == 1) {
+        rc.on_local_read = [&session_oracle, sidx](std::uint64_t epoch,
+                                                   bool lease_valid,
+                                                   InstanceId grant_point,
+                                                   InstanceId frontier) {
+          session_oracle.OnLocalRead(sidx, epoch, lease_valid, grant_point,
+                                     frontier);
+        };
+      }
       auto rep = std::make_unique<smr::Replica>(rc);
       replicas.push_back(rep.get());
+      replica_nodes.push_back(&node);
       node.BindProtocol(std::move(rep));
       d.net().Subscribe(node.self(), d.ring(0).data_channel);
       d.net().Subscribe(node.self(), d.ring(0).control_channel);
     }
-    sim::NodeSpec spec;
-    spec.infinite_cpu = true;
-    auto& node = d.net().AddNode(spec);
-    smr::KvClientConfig cc;
-    cc.rings.push_back(d.ring(0));
-    cc.window = 2;
-    cc.on_submit = [&oracle](const paxos::ClientMsg& m) {
-      oracle.OnPropose(m);
-    };
-    auto client = std::make_unique<smr::KvClient>(cc);
-    kv_client = client.get();
-    node.BindProtocol(std::move(client));
+    {
+      sim::NodeSpec spec;
+      spec.infinite_cpu = true;
+      auto& node = d.net().AddNode(spec);
+      smr::KvClientConfig cc;
+      cc.rings.push_back(d.ring(0));
+      cc.window = 2;
+      cc.on_submit = [&oracle](const paxos::ClientMsg& m) {
+        oracle.OnPropose(m);
+      };
+      auto client = std::make_unique<smr::KvClient>(cc);
+      kv_client = client.get();
+      node.BindProtocol(std::move(client));
+    }
+    // Admission gateway: the session client's submissions funnel through
+    // it; retry storms overflow the token bucket and exercise the
+    // queue/shed/Rejected path without starving steady-state traffic.
+    NodeId gateway_id = kNoNode;
+    {
+      auto& node = d.net().AddNode();
+      session::GatewayConfig gc;
+      gc.ring = d.ring(0).ring;
+      gc.coordinator = d.ring(0).ring_members[0];
+      gc.rate_per_sec = 3000;
+      gc.burst = 64;
+      gc.max_queue = 64;
+      node.BindProtocol(std::make_unique<session::Gateway>(gc));
+      gateway_id = node.self();
+    }
+    {
+      auto& node = d.net().AddNode();
+      session::LeaseGrantorConfig lc;
+      lc.ring = d.ring(0).ring;
+      lc.group = d.ring(0).group;
+      lc.holder = replica_nodes[1]->self();
+      auto lg = std::make_unique<session::LeaseGrantor>(lc);
+      lease_grantor = lg.get();
+      lease_grantor_node = &node;
+      node.BindProtocol(std::move(lg));
+      d.net().Subscribe(node.self(), d.ring(0).data_channel);
+      d.net().Subscribe(node.self(), d.ring(0).control_channel);
+    }
+    {
+      sim::NodeSpec spec;
+      spec.infinite_cpu = true;
+      auto& node = d.net().AddNode(spec);
+      session::SessionClientConfig sc;
+      sc.session_id = 1;
+      sc.ring = d.ring(0);
+      sc.partition = 0;
+      sc.gateway = gateway_id;
+      sc.read_replica = replica_nodes[1]->self();
+      sc.window = 4;
+      sc.on_submit = [&oracle](const paxos::ClientMsg& m) {
+        oracle.OnPropose(m);
+      };
+      auto cl = std::make_unique<session::SessionClient>(sc);
+      session_client = cl.get();
+      session_client_node = &node;
+      node.BindProtocol(std::move(cl));
+    }
   }
 
   d.Start();
@@ -381,6 +465,37 @@ RunStats RunPlan(const FaultPlan& plan, InstanceId inject_corrupt,
         });
         break;
       }
+      // Client-side session events: no-ops unless the shape runs SMR
+      // (the generator and parser only emit them for with_smr shapes).
+      case FaultEvent::Kind::kDuplicateSubmit: {
+        if (session_client != nullptr) {
+          session_client->TriggerDuplicate(*session_client_node);
+        }
+        break;
+      }
+      case FaultEvent::Kind::kRetryStorm: {
+        if (session_client != nullptr) {
+          session_client->TriggerRetryStorm(*session_client_node);
+        }
+        break;
+      }
+      case FaultEvent::Kind::kSessionAbandon: {
+        if (session_client != nullptr) {
+          session_client->TriggerAbandon(*session_client_node);
+        }
+        break;
+      }
+      case FaultEvent::Kind::kLeaseDrop: {
+        // Pause the grantor so leases expire and reads fall back to the
+        // ring; Resume re-grants under a fresh epoch at heal time.
+        if (lease_grantor != nullptr) {
+          lease_grantor->Pause();
+          auto* lg = lease_grantor;
+          auto* ln = lease_grantor_node;
+          sched.At(heal_at, [lg, ln] { lg->Resume(*ln); });
+        }
+        break;
+      }
     }
   }
   d.net().RunUntil(std::max(plan.budget.horizon, last_end));
@@ -434,6 +549,12 @@ RunStats RunPlan(const FaultPlan& plan, InstanceId inject_corrupt,
                                   std::to_string(kv_client->completed()) +
                                   " < 10 operations");
     }
+    if (session_client != nullptr && session_client->completed() < 10) {
+      oracle.Flag("liveness",
+                  "session client completed " +
+                      std::to_string(session_client->completed()) +
+                      " < 10 operations");
+    }
   }
 
   RunStats rs;
@@ -442,6 +563,8 @@ RunStats RunPlan(const FaultPlan& plan, InstanceId inject_corrupt,
   rs.violations = oracle.violations();
   rs.digest = oracle.feed_digest();
   rs.deliveries = oracle.deliveries();
+  rs.session_applies = session_oracle.session_applies();
+  rs.local_reads = session_oracle.local_reads();
   rs.report = oracle.Report();
   return rs;
 }
@@ -534,6 +657,14 @@ std::vector<Bytes> CodecCorpus() {
   add(recovery::CheckpointReport(7, 7, {{0, 1200}, {1, 900}}));
   add(recovery::FrontierAdvert(7, {{0, 1000}, {1, 800}}));
   add(smr::Response(9, 0, true, {{1, "one"}}));
+  add(session::LeaseGrant(0, 3, 9, 1200, TimePoint(77000000)));
+  add(session::LeaseAck(0, 3));
+  add(session::LeaseRevoke(0, 3));
+  add(session::SessionRead(1, 42, 10, 20));
+  add(session::SessionReadRep(42, 0, session::SessionReadRep::kOk,
+                              {{1, "one"}, {2, "two"}}));
+  add(session::SessionReadRep(43, 0, session::SessionReadRep::kNoLease));
+  add(session::Rejected(1, 42, session::Rejected::kOverload));
   add(paxos::SubmitReq(cm));
   add(paxos::Phase1A(4, 2));
   add(paxos::Phase1B(4, 2, 1, val));
@@ -692,7 +823,7 @@ int RunSelfCheck(const std::string& artifact_dir, bool verbose) {
 
   // 1. The clean run must pass — otherwise the fuzzer found a real bug
   //    and the self-check machinery cannot be validated on top of it.
-  std::printf("self-check 1/4: clean run...\n");
+  std::printf("self-check 1/5: clean run...\n");
   RunStats clean = RunPlan(plan, 0, verbose);
   if (clean.violated) {
     std::printf("clean run violated oracles (real bug?):\n%s\n",
@@ -701,7 +832,7 @@ int RunSelfCheck(const std::string& artifact_dir, bool verbose) {
   }
 
   // 2. Injecting the agreement bug must trip the oracles.
-  std::printf("self-check 2/4: injected corruption is caught...\n");
+  std::printf("self-check 2/5: injected corruption is caught...\n");
   RunStats bad = RunPlan(plan, corrupt_at, verbose);
   if (!bad.violated) {
     std::printf("injected corruption was NOT caught\n");
@@ -715,7 +846,7 @@ int RunSelfCheck(const std::string& artifact_dir, bool verbose) {
 
   // 3. The shrinker must reduce the schedule: the injected bug is
   //    plan-independent, so nearly every event can be dropped.
-  std::printf("self-check 3/4: shrinking %zu events...\n",
+  std::printf("self-check 3/5: shrinking %zu events...\n",
               plan.events.size());
   FaultPlan shrunk = Shrink(plan, corrupt_at, bad.first_oracle, 200, verbose);
   if (shrunk.events.size() > 5) {
@@ -725,7 +856,7 @@ int RunSelfCheck(const std::string& artifact_dir, bool verbose) {
 
   // 4. The artifact must round-trip through JSON and replay to the
   //    byte-identical oracle feed.
-  std::printf("self-check 4/4: artifact round-trip + byte-identical replay...\n");
+  std::printf("self-check 4/5: artifact round-trip + byte-identical replay...\n");
   RunStats final_rs = RunPlan(shrunk, corrupt_at, false);
   ReplayArtifact art;
   art.plan = shrunk;
@@ -750,10 +881,66 @@ int RunSelfCheck(const std::string& artifact_dir, bool verbose) {
   }
   const std::string path = ArtifactPath(artifact_dir, seed);
   WriteArtifact(path, art);
+
+  // 5. Session control plane (docs/SESSIONS.md): a seeded retry-storm
+  //    plan with a learner crash and a lease drop must exercise the
+  //    session machinery (duplicate submissions suppressed, local reads
+  //    served) without tripping the exactly-once or lease-read oracles,
+  //    round-trip through JSON, and replay to the identical feed digest.
+  std::printf(
+      "self-check 5/5: session retry storm + learner crash replays clean...\n");
+  FaultPlan sp;
+  sp.seed = 7;
+  sp.shape.with_smr = true;
+  auto put = [&sp](FaultEvent::Kind kind, std::int64_t at_ms,
+                   std::int64_t dur_ms) {
+    FaultEvent e;
+    e.kind = kind;
+    e.at = TimePoint(at_ms * 1000000);
+    e.duration = Duration(dur_ms * 1000000);
+    sp.events.push_back(e);
+  };
+  put(FaultEvent::Kind::kRetryStorm, 400, 20);
+  put(FaultEvent::Kind::kDuplicateSubmit, 600, 20);
+  put(FaultEvent::Kind::kLearnerCrash, 800, 300);
+  put(FaultEvent::Kind::kLeaseDrop, 1200, 200);
+  put(FaultEvent::Kind::kRetryStorm, 1600, 20);
+  put(FaultEvent::Kind::kSessionAbandon, 2000, 20);
+  put(FaultEvent::Kind::kDuplicateSubmit, 2400, 20);
+  RunStats sess = RunPlan(sp, 0, verbose);
+  if (sess.violated) {
+    std::printf("session plan violated oracles:\n%s\n", sess.report.c_str());
+    return 1;
+  }
+  if (sess.session_applies == 0 || sess.local_reads == 0) {
+    std::printf("session plan did not exercise the machinery "
+                "(applies=%llu local_reads=%llu)\n",
+                static_cast<unsigned long long>(sess.session_applies),
+                static_cast<unsigned long long>(sess.local_reads));
+    return 1;
+  }
+  ReplayArtifact sart;
+  sart.plan = sp;
+  sart.feed_digest = sess.digest;
+  auto sparsed = check::ParseArtifact(check::ToJson(sart));
+  if (!sparsed || !(*sparsed == sart)) {
+    std::printf("session artifact JSON round-trip mismatch\n");
+    return 1;
+  }
+  RunStats sreplay = RunPlan(sparsed->plan, 0, false);
+  if (sreplay.violated || sreplay.digest != sess.digest) {
+    std::printf("session replay diverged: digest %016llx vs %016llx\n",
+                static_cast<unsigned long long>(sreplay.digest),
+                static_cast<unsigned long long>(sess.digest));
+    return 1;
+  }
+
   std::printf("self-check PASSED (%zu-event artifact at %s, digest "
-              "%016llx)\n",
+              "%016llx; session plan: %llu applies, %llu local reads)\n",
               shrunk.events.size(), path.c_str(),
-              static_cast<unsigned long long>(art.feed_digest));
+              static_cast<unsigned long long>(art.feed_digest),
+              static_cast<unsigned long long>(sess.session_applies),
+              static_cast<unsigned long long>(sess.local_reads));
   return 0;
 }
 
