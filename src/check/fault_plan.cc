@@ -41,6 +41,12 @@ const char* KindName(FaultEvent::Kind kind) {
       return "session_abandon";
     case FaultEvent::Kind::kLeaseDrop:
       return "lease_drop";
+    case FaultEvent::Kind::kSplitLive:
+      return "split_live";
+    case FaultEvent::Kind::kResubscribeStorm:
+      return "resubscribe_storm";
+    case FaultEvent::Kind::kReconfigCoordKill:
+      return "reconfig_coord_kill";
   }
   return "?";
 }
@@ -58,6 +64,7 @@ FaultPlan GeneratePlan(std::uint64_t seed, const DeploymentShape& shape,
   // Majority budget: at most floor((U-1)/2) universe members of one ring
   // concurrently paused, so a universe majority always stays up.
   const int max_down = (shape.universe() - 1) / 2;
+  bool split_drawn = false;
   std::vector<std::vector<std::pair<std::int64_t, std::int64_t>>> down(
       static_cast<std::size_t>(shape.n_rings));
 
@@ -89,6 +96,13 @@ FaultPlan GeneratePlan(std::uint64_t seed, const DeploymentShape& shape,
     kinds.push_back({FaultEvent::Kind::kRetryStorm, 8});
     kinds.push_back({FaultEvent::Kind::kSessionAbandon, 6});
     kinds.push_back({FaultEvent::Kind::kLeaseDrop, 10});
+  }
+  if (shape.with_smr && shape.n_rings >= 2) {
+    // Reconfiguration events need a second ring to host the split-off
+    // group; none of them pause acceptors, so all are budget-free.
+    kinds.push_back({FaultEvent::Kind::kSplitLive, 10});
+    kinds.push_back({FaultEvent::Kind::kResubscribeStorm, 8});
+    kinds.push_back({FaultEvent::Kind::kReconfigCoordKill, 8});
   }
   std::uint64_t total_weight = 0;
   for (const auto& k : kinds) total_weight += k.weight;
@@ -167,6 +181,19 @@ FaultPlan GeneratePlan(std::uint64_t seed, const DeploymentShape& shape,
       case FaultEvent::Kind::kLeaseDrop: {
         // Target the driver's session client / lease grantor; ring and
         // member stay 0 so the common field set keeps validating.
+        break;
+      }
+      case FaultEvent::Kind::kSplitLive: {
+        // One repartition stack per run: a second split would race the
+        // first plan's seal and routing flip.
+        if (split_drawn) continue;
+        split_drawn = true;
+        break;
+      }
+      case FaultEvent::Kind::kResubscribeStorm:
+      case FaultEvent::Kind::kReconfigCoordKill: {
+        // Target the driver's observer learner / repartition
+        // coordinator; ring and member stay 0.
         break;
       }
     }
@@ -395,7 +422,9 @@ std::optional<FaultEvent::Kind> KindFromName(const std::string& name) {
                  FaultEvent::Kind::kDuplicateSubmit,
                  FaultEvent::Kind::kRetryStorm,
                  FaultEvent::Kind::kSessionAbandon,
-                 FaultEvent::Kind::kLeaseDrop}) {
+                 FaultEvent::Kind::kLeaseDrop, FaultEvent::Kind::kSplitLive,
+                 FaultEvent::Kind::kResubscribeStorm,
+                 FaultEvent::Kind::kReconfigCoordKill}) {
     if (name == KindName(k)) return k;
   }
   return std::nullopt;
@@ -509,6 +538,11 @@ std::optional<FaultPlan> PlanFromDom(const JsonValue& dom) {
     // Client-side events only make sense against an SMR deployment.
     if (e.kind >= FaultEvent::Kind::kDuplicateSubmit &&
         !plan.shape.with_smr) {
+      return std::nullopt;
+    }
+    // Reconfiguration events additionally need a second ring to host the
+    // split-off group.
+    if (e.kind >= FaultEvent::Kind::kSplitLive && plan.shape.n_rings < 2) {
       return std::nullopt;
     }
     plan.events.push_back(e);

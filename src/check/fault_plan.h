@@ -37,6 +37,14 @@ struct FaultEvent {
     kLeaseDrop = 9,        // pause the lease grantor for duration, so
                            // leases expire and reads fall back to the
                            // ring; resume re-grants under a new epoch
+    // Reconfiguration events (docs/RECONFIG.md); drawn only for with_smr
+    // shapes with >= 2 rings, where the driver runs a repartition stack.
+    kSplitLive = 10,        // kick off a live key-range split at `at`
+    kResubscribeStorm = 11, // an observer merge learner unsubscribes a
+                            // group and resubscribes it at the next
+                            // turn boundary, repeatedly for duration
+    kReconfigCoordKill = 12,  // pause the repartition coordinator for
+                              // duration mid-plan, then revive it
   };
 
   Kind kind = Kind::kCrash;

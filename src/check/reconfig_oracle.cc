@@ -1,0 +1,92 @@
+#include "check/reconfig_oracle.h"
+
+namespace mrp::check {
+
+ReconfigOracle::ReconfigOracle(OracleSuite* suite) : suite_(suite) {}
+
+int ReconfigOracle::RegisterReplica(std::string name, GroupId partition) {
+  ReplicaState r;
+  r.name = std::move(name);
+  r.partition = partition;
+  replicas_.push_back(std::move(r));
+  return static_cast<int>(replicas_.size()) - 1;
+}
+
+void ReconfigOracle::OnSessionApply(int replica, std::uint64_t sid,
+                                    std::uint64_t seq) {
+  const ReplicaState& r = replicas_.at(static_cast<std::size_t>(replica));
+  ++applies_;
+  const Stamp stamp{sid, seq};
+  auto [it, inserted] = applied_.emplace(stamp, r.partition);
+  if (!inserted && it->second != r.partition) {
+    suite_->Flag("reconfig_dup",
+                 r.name + " applied session " + std::to_string(sid) + " seq " +
+                     std::to_string(seq) + " in partition " +
+                     std::to_string(r.partition) +
+                     " but it was already applied in partition " +
+                     std::to_string(it->second));
+  }
+}
+
+void ReconfigOracle::OnClientComplete(std::uint64_t sid, std::uint64_t seq) {
+  ++completions_;
+  completed_.insert({sid, seq});
+}
+
+void ReconfigOracle::Finish() {
+  for (const Stamp& stamp : completed_) {
+    if (applied_.count(stamp) == 0) {
+      suite_->Flag("reconfig_lost",
+                   "client saw session " + std::to_string(stamp.first) +
+                       " seq " + std::to_string(stamp.second) +
+                       " complete but no replica applied it");
+    }
+  }
+}
+
+int ReconfigOracle::RegisterLearner(std::string name) {
+  LearnerState l;
+  l.name = std::move(name);
+  learners_.push_back(std::move(l));
+  return static_cast<int>(learners_.size()) - 1;
+}
+
+void ReconfigOracle::OnSubscribeCut(int learner, RingId ring, InstanceId cut) {
+  LearnerState& l = learners_.at(static_cast<std::size_t>(learner));
+  l.cuts[ring] = cut;
+}
+
+void ReconfigOracle::OnDecide(int learner, RingId ring, InstanceId instance) {
+  LearnerState& l = learners_.at(static_cast<std::size_t>(learner));
+  auto it = l.cuts.find(ring);
+  if (it != l.cuts.end() && instance < it->second) {
+    suite_->Flag("early_delivery",
+                 l.name + " consumed instance " + std::to_string(instance) +
+                     " on ring " + std::to_string(ring) +
+                     " below its subscribe cut " + std::to_string(it->second));
+  }
+}
+
+void ReconfigOracle::MarkUnaffected(GroupId group) {
+  unaffected_.insert(group);
+}
+
+void ReconfigOracle::OnDeliver(int learner, GroupId group, std::uint64_t fp) {
+  if (unaffected_.count(group) == 0) return;
+  LearnerState& l = learners_.at(static_cast<std::size_t>(learner));
+  ++deliveries_checked_;
+  std::vector<std::uint64_t>& canon = canonical_[group];
+  const std::size_t pos = l.position[group]++;
+  if (pos < canon.size()) {
+    if (canon[pos] != fp) {
+      suite_->Flag("reconfig_merge_order",
+                   l.name + " delivered divergent message at position " +
+                       std::to_string(pos) + " of unaffected group " +
+                       std::to_string(group));
+    }
+  } else {
+    canon.push_back(fp);
+  }
+}
+
+}  // namespace mrp::check

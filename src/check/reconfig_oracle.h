@@ -1,0 +1,91 @@
+// ReconfigOracle (docs/RECONFIG.md, docs/CHECKING.md): asserts the
+// elastic-reconfiguration safety claims while a chaos run executes.
+//
+//  * no loss / no double apply across a split — every session-stamped
+//    write the client saw complete was applied by some replica
+//    ("reconfig_lost" at Finish otherwise), and no (session_id,
+//    session_seq) was applied by replicas of two DIFFERENT partitions
+//    ("reconfig_dup": the moved range was applied on both sides of the
+//    cut; same-partition replication is legal and not flagged).
+//  * subscribe cut — a dynamically subscribed learner never consumes an
+//    instance below its announced delivery cut ("early_delivery").
+//  * merge order — learners deliver each unaffected group's messages in
+//    one common order across the reconfiguration: deliveries are folded
+//    into a canonical per-group sequence and any learner diverging from
+//    the established prefix flags "reconfig_merge_order".
+//
+// Violations flow into the shared OracleSuite so the fuzz driver's
+// report/shrink/replay machinery picks them up unchanged.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/oracles.h"
+#include "common/types.h"
+
+namespace mrp::check {
+
+class ReconfigOracle {
+ public:
+  // Violations are reported through `suite` (borrowed, required).
+  explicit ReconfigOracle(OracleSuite* suite);
+
+  // A replica under repartition checking; `partition` is the group whose
+  // range it applies (the target replica registers its target group).
+  int RegisterReplica(std::string name, GroupId partition);
+  // ReplicaConfig::on_session_apply tap.
+  void OnSessionApply(int replica, std::uint64_t sid, std::uint64_t seq);
+  // KvClientConfig::on_complete tap: the client saw this stamped write
+  // complete.
+  void OnClientComplete(std::uint64_t sid, std::uint64_t seq);
+  // End-of-run check: every completed write must have been applied.
+  void Finish();
+
+  // A merge learner under subscription/merge-order checking.
+  int RegisterLearner(std::string name);
+  // MergeLearner::Options::on_subscription_change tap (subscribe side):
+  // the learner joined `ring` with first-consumed instance `cut`.
+  void OnSubscribeCut(int learner, RingId ring, InstanceId cut);
+  // MergeLearner::Options::on_decide tap.
+  void OnDecide(int learner, RingId ring, InstanceId instance);
+  // Groups whose delivery order must be identical across learners and
+  // across the reconfiguration (everything not being split).
+  void MarkUnaffected(GroupId group);
+  // MergeLearner::Options::on_deliver tap (fp = message fingerprint).
+  void OnDeliver(int learner, GroupId group, std::uint64_t fp);
+
+  std::uint64_t applies() const { return applies_; }
+  std::uint64_t completions() const { return completions_; }
+  std::uint64_t deliveries_checked() const { return deliveries_checked_; }
+
+ private:
+  using Stamp = std::pair<std::uint64_t, std::uint64_t>;
+
+  struct ReplicaState {
+    std::string name;
+    GroupId partition = 0;
+  };
+  struct LearnerState {
+    std::string name;
+    std::map<RingId, InstanceId> cuts;       // subscribe delivery cuts
+    std::map<GroupId, std::size_t> position;  // per-group delivery cursor
+  };
+
+  OracleSuite* suite_;
+  std::vector<ReplicaState> replicas_;
+  std::vector<LearnerState> learners_;
+  std::map<Stamp, GroupId> applied_;      // stamp -> applying partition
+  std::set<Stamp> completed_;
+  std::set<GroupId> unaffected_;
+  std::map<GroupId, std::vector<std::uint64_t>> canonical_;
+  std::uint64_t applies_ = 0;
+  std::uint64_t completions_ = 0;
+  std::uint64_t deliveries_checked_ = 0;
+};
+
+}  // namespace mrp::check

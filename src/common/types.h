@@ -18,6 +18,7 @@ inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
 
 // Identifies an atomic-multicast group (Section II-B of the paper).
 using GroupId = std::uint32_t;
+inline constexpr GroupId kNoGroup = std::numeric_limits<GroupId>::max();
 
 // Identifies a Ring Paxos instance ("ring") inside Multi-Ring Paxos.
 using RingId = std::uint32_t;

@@ -36,6 +36,7 @@ MergeLearner::MergeLearner(Options opts) : opts_(std::move(opts)) {
 
 void MergeLearner::OnStart(Env& env) {
   MetricsRegistry& reg = env.metrics();
+  metrics_ = &reg;
   instruments_.resize(groups_.size());
   for (std::size_t i = 0; i < groups_.size(); ++i) {
     const std::string prefix =
@@ -105,16 +106,32 @@ std::size_t MergeLearner::buffered_msgs() const {
   return total;
 }
 
+// Registry discard counter attributed to the *discarded message's*
+// group: the merge position with that group id if it is one, else a
+// lazily created merge.g<id>.discarded counter (the group may not be a
+// merge position of this learner at all — the usual case for
+// subscribe_only filtering on shared rings, Section IV-D).
+Counter* MergeLearner::DiscardCounterFor(GroupId group) {
+  if (metrics_ == nullptr) return nullptr;
+  for (std::size_t i = 0; i < instruments_.size(); ++i) {
+    if (stats_[i]->group == group) return instruments_[i].discarded;
+  }
+  auto it = extra_discard_.find(group);
+  if (it != extra_discard_.end()) return it->second;
+  Counter* c =
+      &metrics_->counter("merge.g" + std::to_string(group) + ".discarded");
+  extra_discard_.emplace(group, c);
+  return c;
+}
+
 void MergeLearner::Deliver(Env& env, std::size_t idx, const paxos::Value& value) {
   GroupStats& st = *stats_[idx];
-  GroupInstruments* ins =
-      idx < instruments_.size() ? &instruments_[idx] : nullptr;
   const auto& only = groups_[idx]->source->subscribe_only();
   for (const auto& msg : value.msgs) {
     if (!only.empty() &&
         std::find(only.begin(), only.end(), msg.group) == only.end()) {
       ++st.discarded;
-      if (ins) ins->discarded->Inc();
+      if (Counter* c = DiscardCounterFor(msg.group)) c->Inc();
       continue;
     }
     if (opts_.latency_compensation.count() <= 0) {
@@ -180,8 +197,97 @@ void MergeLearner::DeliverMsg(Env& env, std::size_t idx,
   }
 }
 
+void MergeLearner::QueueSubscribe(std::unique_ptr<GroupSource> source,
+                                  std::uint32_t quota) {
+  pending_subscribes_.emplace_back(std::move(source), quota);
+}
+
+void MergeLearner::QueueUnsubscribe(GroupId group) {
+  pending_unsubscribes_.push_back(group);
+}
+
+std::vector<GroupId> MergeLearner::SubscribedGroups() const {
+  std::vector<GroupId> out;
+  out.reserve(groups_.size());
+  for (const auto& st : stats_) out.push_back(st->group);
+  return out;
+}
+
+// Runs only at a turn boundary (current_ == 0, consumed_ == 0), where
+// removing or inserting merge positions cannot tear an in-progress
+// turn: every remaining group keeps its relative merge order, which is
+// what the ReconfigOracle's merge-order check relies on.
+void MergeLearner::ApplySubscriptionChanges(Env& env) {
+  if (ctr_subscription_changes_ == nullptr && metrics_ != nullptr) {
+    ctr_subscription_changes_ = &metrics_->counter("merge.subscription_changes");
+  }
+  for (GroupId g : pending_unsubscribes_) {
+    for (std::size_t i = 0; i < groups_.size(); ++i) {
+      if (stats_[i]->group != g) continue;
+      groups_.erase(groups_.begin() + static_cast<std::ptrdiff_t>(i));
+      stats_.erase(stats_.begin() + static_cast<std::ptrdiff_t>(i));
+      quota_.erase(quota_.begin() + static_cast<std::ptrdiff_t>(i));
+      if (i < instruments_.size()) {
+        instruments_.erase(instruments_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+      }
+      ++subscription_changes_;
+      if (ctr_subscription_changes_) ctr_subscription_changes_->Inc();
+      TraceProtocolEvent(env.now(), env.self(), kNoRing, kNoInstance, "merge",
+                         "unsubscribe", g);
+      if (opts_.on_subscription_change) {
+        opts_.on_subscription_change(g, false, 0);
+      }
+      break;
+    }
+  }
+  pending_unsubscribes_.clear();
+  for (auto& [src, q] : pending_subscribes_) {
+    const GroupId g = src->group();
+    std::size_t pos = 0;
+    while (pos < groups_.size() && stats_[pos]->group < g) ++pos;
+    if (pos < groups_.size() && stats_[pos]->group == g) continue;  // dup
+    src->OnStart(env);
+    const InstanceId start = src->next_instance();
+    auto st = std::make_unique<GroupStats>();
+    st->group = g;
+    if (metrics_ != nullptr) {
+      const std::string prefix = "merge.g" + std::to_string(g) + ".";
+      GroupInstruments ins;
+      ins.consumed = &metrics_->counter(prefix + "consumed");
+      ins.turns = &metrics_->counter(prefix + "turns");
+      ins.skip_consumed = &metrics_->counter(prefix + "skip_consumed");
+      ins.delivered = &metrics_->counter(prefix + "delivered");
+      ins.discarded = &metrics_->counter(prefix + "discarded");
+      instruments_.insert(
+          instruments_.begin() + static_cast<std::ptrdiff_t>(pos), ins);
+      extra_discard_.erase(g);  // now a merge position; drop the alias
+    }
+    stats_.insert(stats_.begin() + static_cast<std::ptrdiff_t>(pos),
+                  std::move(st));
+    quota_.insert(quota_.begin() + static_cast<std::ptrdiff_t>(pos),
+                  q > 0 ? q : std::max<std::uint32_t>(1, opts_.m));
+    groups_.insert(groups_.begin() + static_cast<std::ptrdiff_t>(pos),
+                   std::make_unique<GroupState>(std::move(src)));
+    ++subscription_changes_;
+    if (ctr_subscription_changes_) ctr_subscription_changes_->Inc();
+    TraceProtocolEvent(env.now(), env.self(), kNoRing, kNoInstance, "merge",
+                       "subscribe", g);
+    if (opts_.on_subscription_change) {
+      opts_.on_subscription_change(g, true, start);
+    }
+  }
+  pending_subscribes_.clear();
+  SyncMergeGauges();
+}
+
 void MergeLearner::PumpMerge(Env& env) {
-  if (halted_ || groups_.empty()) return;
+  if (halted_) return;
+  if (AtTurnBoundary() &&
+      (!pending_subscribes_.empty() || !pending_unsubscribes_.empty())) {
+    ApplySubscriptionChanges(env);
+  }
+  if (groups_.empty()) return;
   // Buffer overflow => permanent halt (paper, Section VI-E / Figure 10).
   if (opts_.max_buffer_msgs > 0 && buffered_msgs() > opts_.max_buffer_msgs) {
     halted_ = true;
@@ -243,8 +349,15 @@ void MergeLearner::PumpMerge(Env& env) {
     consumed_ = 0;
     // Back at merge position 0 with a whole number of turns consumed
     // from every group: a merge-consistent checkpoint cut
-    // (docs/RECOVERY.md).
-    if (current_ == 0 && opts_.on_turn_boundary) opts_.on_turn_boundary();
+    // (docs/RECOVERY.md) — also where queued subscription changes
+    // activate (docs/RECONFIG.md).
+    if (current_ == 0) {
+      if (opts_.on_turn_boundary) opts_.on_turn_boundary();
+      if (!pending_subscribes_.empty() || !pending_unsubscribes_.empty()) {
+        ApplySubscriptionChanges(env);
+        if (groups_.empty()) return;
+      }
+    }
   }
 }
 

@@ -19,6 +19,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/env.h"
@@ -104,6 +105,12 @@ class MergeLearner final : public Protocol {
     // which CurrentCut() is a merge-consistent checkpoint cut. Keep it
     // cheap: it runs once per completed merge round. Optional.
     std::function<void()> on_turn_boundary;
+    // Reconfiguration tap (src/reconfig, docs/RECONFIG.md): fired when a
+    // queued subscribe/unsubscribe activates at a turn boundary. For a
+    // subscribe, the InstanceId is the first instance the new source
+    // will consume — the delivery cut. Optional.
+    std::function<void(GroupId, bool /*subscribed*/, InstanceId)>
+        on_subscription_change;
   };
 
   explicit MergeLearner(Options opts);
@@ -136,6 +143,20 @@ class MergeLearner final : public Protocol {
   std::uint32_t quota(std::size_t idx) const { return quota_[idx]; }
   // Messages currently held back by latency compensation.
   std::size_t compensation_held() const { return comp_queue_.size(); }
+
+  // ---- Dynamic subscriptions (docs/RECONFIG.md) ----
+  // Queue a group join/leave. Changes activate at the next merge turn
+  // boundary — the same merge-consistent cut checkpoints use — so
+  // unaffected groups keep their relative merge order across the
+  // change. The caller positions a subscribing source (StartAt, usually
+  // from a snapshot cut) before queueing; quota 0 means the uniform
+  // `m`. Duplicate subscribes and unknown unsubscribes are dropped when
+  // applied.
+  void QueueSubscribe(std::unique_ptr<GroupSource> source,
+                      std::uint32_t quota = 0);
+  void QueueUnsubscribe(GroupId group);
+  std::uint64_t subscription_changes() const { return subscription_changes_; }
+  std::vector<GroupId> SubscribedGroups() const;
 
   // ---- Checkpoint & recovery (docs/RECOVERY.md) ----
   // One group's resume position at a turn boundary.
@@ -173,6 +194,9 @@ class MergeLearner final : public Protocol {
     f.U32(consumed_);
     f.Bool(halted_);
     f.U64(total_delivered_);
+    f.U64(subscription_changes_);
+    f.U64(pending_subscribes_.size());
+    f.U64(pending_unsubscribes_.size());
     f.U64(comp_queue_.size());
     for (const auto& held : comp_queue_) {
       f.U64(held.idx);
@@ -191,6 +215,8 @@ class MergeLearner final : public Protocol {
   };
 
   void PumpMerge(Env& env);
+  void ApplySubscriptionChanges(Env& env);
+  Counter* DiscardCounterFor(GroupId group);
   void Deliver(Env& env, std::size_t idx, const paxos::Value& value);
   // Final delivery of one message (stats, callback, ack). With latency
   // compensation the call is deferred until the release time.
@@ -208,6 +234,13 @@ class MergeLearner final : public Protocol {
   bool halted_ = false;
   std::uint64_t total_delivered_ = 0;
   RateMeter received_;  // every consumed message (ingress accounting)
+
+  // Dynamic-subscription state: queued changes waiting for the next
+  // turn boundary, and how many have activated so far.
+  std::vector<std::pair<std::unique_ptr<GroupSource>, std::uint32_t>>
+      pending_subscribes_;
+  std::vector<GroupId> pending_unsubscribes_;
+  std::uint64_t subscription_changes_ = 0;
 
   // Latency-compensation hold queue, in merge (= release) order.
   struct HeldMsg {
@@ -232,6 +265,15 @@ class MergeLearner final : public Protocol {
     Counter* discarded = nullptr;      // ordered but unsubscribed msgs
   };
   std::vector<GroupInstruments> instruments_;
+  // Discard instruments keyed by the discarded message's group (the
+  // group routes may not be merge positions of this learner at all);
+  // lazily created so subscribe-everything deployments keep their seed
+  // metrics snapshot. The GroupStats.discarded field stays attributed
+  // to the *source* that ordered the message (extensions_test relies on
+  // it); only the registry counters attribute to the message's group.
+  std::map<GroupId, Counter*> extra_discard_;
+  MetricsRegistry* metrics_ = nullptr;  // set in OnStart
+  Counter* ctr_subscription_changes_ = nullptr;  // lazily created
   Counter* ctr_stalls_ = nullptr;  // blocked mid-turn on a lagging group
   Counter* ctr_halts_ = nullptr;
   Gauge* gauge_partial_consumed_ = nullptr;

@@ -4,6 +4,7 @@
 
 #include "paxos/messages.h"
 #include "paxos/value.h"
+#include "reconfig/messages.h"
 #include "recovery/messages.h"
 #include "ringpaxos/messages.h"
 #include "session/messages.h"
@@ -66,6 +67,10 @@ enum class Tag : std::uint8_t {
   kSessionRead = 33,
   kSessionReadRep = 34,
   kSessionRejected = 35,
+  // Elastic reconfiguration (src/reconfig, docs/RECONFIG.md).
+  kRoutingUpdate = 36,
+  kHandoffRequest = 37,
+  kPlanStatus = 38,
 };
 
 void PutClientMsg(ByteWriter& w, const ClientMsg& m) {
@@ -355,6 +360,7 @@ bool EncodeMessageTo(ByteWriter& w, const MessageBase& msg) {
       w.u64(k);
       w.str(v);
     }
+    w.u32(m->redirect);
   } else if (const auto* m = dynamic_cast<const session::LeaseGrant*>(&msg)) {
     w.u8(static_cast<std::uint8_t>(Tag::kLeaseGrant));
     w.u32(m->group);
@@ -392,6 +398,18 @@ bool EncodeMessageTo(ByteWriter& w, const MessageBase& msg) {
     w.u64(m->session_id);
     w.u64(m->req_id);
     w.u8(m->code);
+  } else if (const auto* m = dynamic_cast<const reconfig::RoutingUpdate*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kRoutingUpdate));
+    w.u64(m->version);
+    w.bytes(m->config);
+  } else if (const auto* m = dynamic_cast<const reconfig::HandoffRequest*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kHandoffRequest));
+    w.u64(m->plan_id);
+    w.u32(m->target_group);
+  } else if (const auto* m = dynamic_cast<const reconfig::PlanStatus*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kPlanStatus));
+    w.u64(m->plan_id);
+    w.u8(m->ok ? 1 : 0);
   } else {
     return false;
   }
@@ -652,7 +670,10 @@ MessagePtr DecodeFrame(ByteReader& r) {
         if (!k || !v) return nullptr;
         rows.emplace_back(*k, std::move(*v));
       }
-      return MakeMessage<smr::Response>(*req, *part, *ok != 0, std::move(rows));
+      auto redirect = r.u32();
+      if (!redirect) return nullptr;
+      return MakeMessage<smr::Response>(*req, *part, *ok != 0, std::move(rows),
+                                        *redirect);
     }
     case Tag::kLeaseGrant: {
       auto group = r.u32();
@@ -708,6 +729,25 @@ MessagePtr DecodeFrame(ByteReader& r) {
       auto code = r.u8();
       if (!sid || !req || !code) return nullptr;
       return MakeMessage<session::Rejected>(*sid, *req, *code);
+    }
+    case Tag::kRoutingUpdate: {
+      auto version = r.u64();
+      auto config = r.bytes();
+      if (!version || !config) return nullptr;
+      return MakeMessage<reconfig::RoutingUpdate>(*version,
+                                                  std::move(*config));
+    }
+    case Tag::kHandoffRequest: {
+      auto id = r.u64();
+      auto target = r.u32();
+      if (!id || !target) return nullptr;
+      return MakeMessage<reconfig::HandoffRequest>(*id, *target);
+    }
+    case Tag::kPlanStatus: {
+      auto id = r.u64();
+      auto ok = r.u8();
+      if (!id || !ok) return nullptr;
+      return MakeMessage<reconfig::PlanStatus>(*id, *ok != 0);
     }
   }
   return nullptr;

@@ -1,0 +1,51 @@
+// Wire messages of the elastic-reconfiguration subsystem
+// (docs/RECONFIG.md).
+//
+// RoutingUpdate carries an encoded RingConfiguration (ring_view.h) to
+// every role holding a RingHolder; versions make re-delivery and
+// reordering harmless — Install() drops anything not strictly newer.
+// HandoffRequest lets a repartition target ask the source replica to
+// (re)announce its handoff checkpoint, and PlanStatus closes the loop
+// from the target back to the RepartitionCoordinator once the moved
+// range is installed. The bulk state itself rides the existing
+// recovery::SnapshotRequest/Chunk/Done transfer, not new messages.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/message.h"
+#include "common/types.h"
+
+namespace mrp::reconfig {
+
+struct RoutingUpdate final : MessageBase {
+  std::uint64_t version = 0;
+  Bytes config;  // RingConfiguration::Encode()
+
+  RoutingUpdate(std::uint64_t v, Bytes c) : version(v), config(std::move(c)) {}
+  std::size_t WireSize() const override { return 1 + 8 + 4 + config.size(); }
+  const char* TypeName() const override { return "reconfig.RoutingUpdate"; }
+};
+
+struct HandoffRequest final : MessageBase {
+  std::uint64_t plan_id = 0;
+  GroupId target_group = 0;
+
+  HandoffRequest(std::uint64_t id, GroupId target)
+      : plan_id(id), target_group(target) {}
+  std::size_t WireSize() const override { return 1 + 8 + 4; }
+  const char* TypeName() const override { return "reconfig.HandoffRequest"; }
+};
+
+struct PlanStatus final : MessageBase {
+  std::uint64_t plan_id = 0;
+  bool ok = false;
+
+  PlanStatus(std::uint64_t id, bool okay) : plan_id(id), ok(okay) {}
+  std::size_t WireSize() const override { return 1 + 8 + 1; }
+  const char* TypeName() const override { return "reconfig.PlanStatus"; }
+};
+
+}  // namespace mrp::reconfig

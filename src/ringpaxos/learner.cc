@@ -180,7 +180,11 @@ void LearnerCore::Tick(Env& env) {
   const bool stuck = window_.next() == last_next_ &&
                      (window_.buffered() > 0 || !cache_.empty());
   last_next_ = window_.next();
-  if (!stuck) return;
+  if (!stuck) {
+    stuck_rounds_ = 0;
+    return;
+  }
+  ++stuck_rounds_;
   if (ctr_recovery_rounds_) ctr_recovery_rounds_->Inc();
   TraceProtocolEvent(env.now(), env.self(), opts_.ring.ring, window_.next(),
                      "learner", "recovery_round", window_.buffered());
@@ -199,6 +203,29 @@ void LearnerCore::Tick(Env& env) {
   // ring (or not the preferential acceptor), and a fixed target set can
   // dead-end the learner forever.
   const auto universe = opts_.ring.Universe();
+  if (stuck_rounds_ > kStuckEscalation) {
+    // Head-of-line deadlock breaker: the same instance has blocked many
+    // consecutive rounds, so sweep the blocking chunk to EVERY server
+    // (whole universe plus the coordinator) at once. The flip rotation
+    // below cannot be trusted to get there — with an even chunk count
+    // it advances by a fixed stride per round, so the blocking instance
+    // is asked of the SAME node every round; if that one node missed
+    // the decision (an acceptor never recovers decisions it lost),
+    // recovery dead-ends forever while another server holds the record.
+    // The sweep is tiny (one request per server, replies bounded by the
+    // batch) and only runs while genuinely wedged.
+    auto ask = [&](NodeId target) {
+      if (ctr_recovery_reqs_) ctr_recovery_reqs_->Inc();
+      env.Send(target, MakeMessage<LearnReq>(opts_.ring.ring, window_.next(),
+                                             opts_.recovery_batch));
+    };
+    for (NodeId n : universe) ask(n);
+    if (coordinator_hint_ != kNoNode &&
+        std::find(universe.begin(), universe.end(), coordinator_hint_) ==
+            universe.end()) {
+      ask(coordinator_hint_);
+    }
+  }
   for (int i = 0; i < chunks; ++i) {
     NodeId target;
     const int flip = ++recovery_flip_;

@@ -176,6 +176,12 @@ class LearnerCore {
   // Stuck detection for recovery.
   InstanceId last_next_ = 0;
   int recovery_flip_ = 0;
+  // Consecutive recovery rounds blocked on one instance; past
+  // kStuckEscalation the head-of-line chunk is swept to every server at
+  // once. Excluded from Fingerprint(), like recovery_flip_: pure retry
+  // targeting.
+  static constexpr std::uint64_t kStuckEscalation = 8;
+  std::uint64_t stuck_rounds_ = 0;
   InstanceId fast_forwarded_ = 0;
 
   // Registry instruments (lazy; see docs/OBSERVABILITY.md).

@@ -6,7 +6,8 @@
 
 #include "common/logging.h"
 #include "common/trace.h"
-// Header-only message definitions; no link dependency on mrp_recovery.
+// Header-only definitions; no link dependency on mrp_recovery/mrp_reconfig.
+#include "reconfig/plan.h"
 #include "recovery/messages.h"
 
 namespace mrp::ringpaxos {
@@ -249,10 +250,23 @@ void RingNode::OnLearnReq(Env& env, NodeId from, const LearnReq& msg) {
        ++it) {
     const paxos::AcceptorRecord* rec = core_.storage().Get(it->first);
     auto mit = accept_marks_.find(it->first);
-    // Serve only when our accepted value is the decided one (vid match);
-    // a stale accepted value from a dead round must never be served.
-    if (rec == nullptr || !rec->accepted || mit == accept_marks_.end() ||
-        mit->second.vid != it->second) {
+    if (rec == nullptr || !rec->accepted || mit == accept_marks_.end()) {
+      continue;
+    }
+    // Serve only when our accepted value provably equals the decision:
+    // the vid matches the decided label exactly, or our mark is from a
+    // LATER round — a post-decision Phase 1 quorum intersects the
+    // deciding quorum, so any later-round proposal for this instance is
+    // forced to carry the decided value under a fresh vid. Without the
+    // later-round clause a decision can become collectively
+    // unrecoverable: the nodes that accepted the deciding proposal get
+    // their marks relabelled by a takeover re-proposal, no mark matches
+    // the decided vid anywhere, and a learner missing the instance
+    // starves forever. A stale accepted value from a round at or below
+    // the decided round (minus the exact deciding vid) must still never
+    // be served.
+    const Round decided_round = static_cast<Round>(it->second >> 40);
+    if (mit->second.vid != it->second && mit->second.round <= decided_round) {
       continue;
     }
     bytes += rec->accepted->WireSize();
@@ -426,6 +440,47 @@ void RingNode::InstanceDecided(Env& env, InstanceId instance) {
   // waiting for the flush timer (keeps closed-loop clients from
   // synchronizing on the flush period).
   if (outstanding_.empty()) FlushDecisions(env);
+  // Hot membership swap (docs/RECONFIG.md): a decided ReconfigPlan for
+  // this ring re-runs Phase 1 with the swapped layout. After the
+  // decision hook so the pipeline state the takeover rebuilds is final.
+  MaybeApplySwap(env, out.value);
+}
+
+// A kSwap ReconfigPlan ordered through this very ring: the decision
+// instance is the serialization point every member observes, and the
+// epoch/layout machinery (StartTakeover at a fresh self-owned round,
+// layout propagated via P1A/P2A) makes the new membership live without
+// stopping the stream. Idempotent under re-decide: once swap_out has
+// left the layout the plan no longer matches. Only the coordinator acts
+// — followers learn the layout from Phase 1/2, exactly as in fail-over.
+void RingNode::MaybeApplySwap(Env& env, const paxos::Value& value) {
+  if (role_ != Role::kLeader || value.is_skip()) return;
+  for (const auto& msg : value.msgs) {
+    if (!reconfig::ReconfigPlan::IsPlanPayload(msg.payload)) continue;
+    auto plan = reconfig::ReconfigPlan::Decode(msg.payload);
+    if (!plan || plan->kind != reconfig::ReconfigPlan::Kind::kSwap) continue;
+    if (plan->ring != cfg_.ring) continue;
+    if (plan->swap_out == self_) continue;  // cannot swap out the coordinator
+    if (!cfg_.InUniverse(plan->swap_in)) continue;
+    const std::vector<NodeId>* cur = LayoutFor(round_);
+    if (cur == nullptr) continue;
+    if (std::find(cur->begin(), cur->end(), plan->swap_in) != cur->end()) {
+      continue;
+    }
+    auto pos = std::find(cur->begin(), cur->end(), plan->swap_out);
+    if (pos == cur->end()) continue;  // already applied, or not a member
+    std::vector<NodeId> next = *cur;
+    next[static_cast<std::size_t>(pos - cur->begin())] = plan->swap_in;
+    ++swaps_applied_;
+    if (ctr_swaps_ == nullptr) {
+      ctr_swaps_ = &env.metrics().counter("ring.swaps");
+    }
+    ctr_swaps_->Inc();
+    TraceProtocolEvent(env.now(), self_, cfg_.ring, kNoInstance, "coordinator",
+                       "swap", plan->plan_id);
+    StartTakeover(env, std::move(next));
+    return;  // one swap per decision; the takeover resets the pipeline
+  }
 }
 
 void RingNode::FlushDecisions(Env& env) {

@@ -64,6 +64,16 @@ class RingNode final : public Protocol {
   std::size_t pending_msgs() const { return pending_.size(); }
   const RingConfig& config() const { return cfg_; }
   InstanceId decided_watermark() const { return decided_watermark_; }
+  // Layout of the highest round seen/owned (empty before any takeover
+  // when only the implicit initial layout exists).
+  const std::vector<NodeId>& current_layout() const {
+    static const std::vector<NodeId> kEmptyLayout;
+    auto it = layouts_.find(round_);
+    return it == layouts_.end() ? kEmptyLayout : it->second;
+  }
+  // Hot membership swaps applied by this node as coordinator
+  // (docs/RECONFIG.md).
+  std::uint64_t swaps_applied() const { return swaps_applied_; }
   // Stable checkpoint frontier heard from the coordinator; only
   // meaningful with cfg.frontier_gated_trim (docs/RECOVERY.md).
   InstanceId stable_frontier() const { return stable_frontier_; }
@@ -201,6 +211,7 @@ class RingNode final : public Protocol {
   void ProposeValue(Env& env, paxos::Value value);
   void CheckInstanceDecided(Env& env, InstanceId instance);
   void InstanceDecided(Env& env, InstanceId instance);
+  void MaybeApplySwap(Env& env, const paxos::Value& value);
   void FlushDecisions(Env& env);
   std::vector<Decided> TakePiggyback();
   void OnDeltaTimer(Env& env);
@@ -272,6 +283,7 @@ class RingNode final : public Protocol {
   std::uint64_t decided_msgs_ = 0;
   std::uint64_t skipped_logical_ = 0;
   std::uint64_t skip_proposals_ = 0;
+  std::uint64_t swaps_applied_ = 0;
   Histogram decide_latency_;
 
   // Registry instruments (resolved in OnStart; see docs/OBSERVABILITY.md).
@@ -285,6 +297,7 @@ class RingNode final : public Protocol {
   Counter* ctr_p2b_rx_ = nullptr;
   Counter* ctr_retransmits_ = nullptr;
   Counter* ctr_takeovers_ = nullptr;
+  Counter* ctr_swaps_ = nullptr;  // lazily created on the first swap
 };
 
 }  // namespace mrp::ringpaxos

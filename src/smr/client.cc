@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "reconfig/messages.h"
+
 namespace mrp::smr {
 
 using ringpaxos::Submit;
@@ -13,9 +15,48 @@ void KvClient::OnStart(Env& env) {
         env.rng().uniform() * static_cast<double>(cfg_.start_jitter.count())));
   }
   env.SetTimer(jitter, [this, &env] {
-    for (std::size_t i = 0; i < cfg_.window; ++i) IssueNext(env);
+    if (cfg_.session_id != 0) {
+      OpenSessions(env);
+    } else {
+      StartWindows(env);
+    }
   });
   env.SetTimer(cfg_.retry_timeout, [this, &env] { CheckRetries(env); });
+}
+
+void KvClient::StartWindows(Env& env) {
+  for (std::size_t i = 0; i < cfg_.window; ++i) IssueNext(env);
+}
+
+// Session-stamped clients open their session on every partition group
+// first: the opens ride the ordered streams, so each replica admits the
+// session before any stamped write can reach it. The windows start once
+// every open is acknowledged.
+void KvClient::OpenSessions(Env& env) {
+  std::vector<GroupId> groups;
+  if (cfg_.holder != nullptr && cfg_.holder->Get() != nullptr) {
+    for (const auto& r : cfg_.holder->Get()->ranges()) {
+      if (std::find(groups.begin(), groups.end(), r.group) == groups.end()) {
+        groups.push_back(r.group);
+      }
+    }
+    std::sort(groups.begin(), groups.end());
+  } else {
+    for (GroupId p = 0; p < cfg_.partitioning.partitions(); ++p) {
+      groups.push_back(p);
+    }
+  }
+  opens_outstanding_ = groups.size();
+  if (opens_outstanding_ == 0) {
+    StartWindows(env);
+    return;
+  }
+  for (GroupId g : groups) {
+    Command c = Command::SessionOpen(cfg_.session_id);
+    c.req_id = ++next_req_;
+    c.client = env.self();
+    Dispatch(env, c, g);
+  }
 }
 
 Command KvClient::RandomCommand(Env& env) {
@@ -54,68 +95,144 @@ void KvClient::IssueNext(Env& env) {
   Command cmd = RandomCommand(env);
   cmd.req_id = ++next_req_;
   cmd.client = env.self();
+  if (cfg_.session_id != 0 && (cmd.op == Command::Op::kInsert ||
+                               cmd.op == Command::Op::kDelete)) {
+    cmd.session_id = cfg_.session_id;
+    cmd.session_seq = ++session_seq_;
+  }
   Dispatch(env, cmd);
 }
 
-void KvClient::Dispatch(Env& env, const Command& cmd) {
+void KvClient::Dispatch(Env& env, const Command& cmd, GroupId forced) {
   // Routing: single-partition ops to the owning group; cross-partition
-  // queries to g_all.
+  // queries to g_all. With a RingHolder the lookups go through the
+  // current versioned RingConfiguration (docs/RECONFIG.md); the static
+  // partitioning/rings fields remain the fallback for keys the view
+  // does not map (mid-reconfiguration gaps heal via redirects/retries).
+  std::shared_ptr<const reconfig::RingConfiguration> view;
+  if (cfg_.holder != nullptr) view = cfg_.holder->Get();
+
   const std::uint32_t partitions = cfg_.partitioning.partitions();
   std::set<GroupId> involved;
-  std::size_t ring_idx;
-  if (cmd.op == Command::Op::kQuery &&
-      !cfg_.partitioning.SinglePartition(cmd.kmin, cmd.kmax)) {
+  GroupId route = kNoGroup;     // holder routing: group whose ring we use
+  std::size_t ring_idx = 0;     // legacy routing: index into cfg_.rings
+  if (forced != kNoGroup) {
+    involved.insert(forced);
+    route = forced;
+    ring_idx = forced;
+  } else if (cmd.op == Command::Op::kQuery &&
+             (view != nullptr
+                  ? !view->SinglePartition(cmd.kmin, cmd.kmax)
+                  : !cfg_.partitioning.SinglePartition(cmd.kmin, cmd.kmax))) {
     ring_idx = partitions;  // g_all
-    const GroupId first = cfg_.partitioning.PartitionOf(cmd.kmin);
-    const GroupId last = cfg_.partitioning.PartitionOf(cmd.kmax);
-    for (GroupId p = first; p <= last; ++p) involved.insert(p);
+    if (view != nullptr) {
+      for (GroupId p : view->GroupsOverlapping(cmd.kmin, cmd.kmax)) {
+        involved.insert(p);
+      }
+      route = view->all_group();
+    } else {
+      const GroupId first = cfg_.partitioning.PartitionOf(cmd.kmin);
+      const GroupId last = cfg_.partitioning.PartitionOf(cmd.kmax);
+      for (GroupId p = first; p <= last; ++p) involved.insert(p);
+    }
   } else {
     const Key k = cmd.op == Command::Op::kQuery ? cmd.kmin : cmd.key;
-    ring_idx = cfg_.partitioning.PartitionOf(k);
-    involved.insert(static_cast<GroupId>(ring_idx));
+    if (view != nullptr) route = view->GroupOfKey(k);
+    if (route != kNoGroup) {
+      involved.insert(route);
+    } else {
+      ring_idx = cfg_.partitioning.PartitionOf(k);
+      involved.insert(static_cast<GroupId>(ring_idx));
+    }
   }
 
   auto& pend = pending_[cmd.req_id];
   pend.cmd = cmd;
   pend.awaiting = std::move(involved);
   pend.issued = env.now();
+  pend.forced = forced;
 
-  const auto& ring = cfg_.rings.at(ring_idx);
+  GroupId msg_group;
+  RingId submit_ring;
+  NodeId submit_to;
+  const reconfig::GroupRoute* rt =
+      view != nullptr && route != kNoGroup ? view->RouteOf(route) : nullptr;
+  if (rt != nullptr) {
+    msg_group = rt->group;
+    submit_ring = rt->ring;
+    submit_to = rt->ring_members.empty() ? rt->coordinator
+                                         : rt->ring_members[0];
+  } else {
+    if (ring_idx >= cfg_.rings.size()) return;  // unroutable: leave to retry
+    const auto& ring = cfg_.rings[ring_idx];
+    msg_group = ring.group;
+    submit_ring = ring.ring;
+    submit_to = ring.ring_members[0];
+  }
   paxos::ClientMsg msg;
-  msg.group = ring.group;
+  msg.group = msg_group;
   msg.proposer = env.self();
   msg.seq = ++proposer_seq_;
   msg.sent_at = env.now();
   msg.payload = cmd.Encode();
   msg.payload_size = static_cast<std::uint32_t>(msg.payload.size());
   if (cfg_.on_submit) cfg_.on_submit(msg);
-  env.Send(ring.ring_members[0], MakeMessage<Submit>(ring.ring, std::move(msg)));
+  env.Send(submit_to, MakeMessage<Submit>(submit_ring, std::move(msg)));
 }
 
 void KvClient::CheckRetries(Env& env) {
   for (auto& [id, pend] : pending_) {
     if (env.now() - pend.issued >= cfg_.retry_timeout) {
       Command cmd = pend.cmd;
+      const GroupId forced = pend.forced;
       pending_.erase(id);
-      Dispatch(env, cmd);  // re-dispatch with the same req_id
-      break;               // iterator invalidated; one retry per tick
+      Dispatch(env, cmd, forced);  // re-dispatch with the same req_id
+      break;                       // iterator invalidated; one retry per tick
     }
   }
   env.SetTimer(cfg_.retry_timeout, [this, &env] { CheckRetries(env); });
 }
 
 void KvClient::OnMessage(Env& env, NodeId /*from*/, const MessagePtr& m) {
+  if (const auto* ru = Cast<reconfig::RoutingUpdate>(m)) {
+    if (cfg_.holder != nullptr) {
+      if (auto rc = reconfig::RingConfiguration::Decode(ru->config)) {
+        cfg_.holder->Install(std::move(*rc));
+      }
+    }
+    return;
+  }
   const auto* resp = Cast<Response>(m);
   if (resp == nullptr) return;
   auto it = pending_.find(resp->req_id);
   if (it == pending_.end()) return;  // duplicate response from a sibling replica
   auto& pend = it->second;
-  if (pend.awaiting.erase(resp->partition) == 0) return;
+  if (pend.awaiting.count(resp->partition) == 0) return;
+  if (!resp->ok && resp->redirect != kNoGroup) {
+    // The key range moved mid-flight (docs/RECONFIG.md): re-dispatch the
+    // same command — same req_id, same session stamp, so dedup still
+    // holds if the original lands anywhere — pinned to the new owner.
+    Command cmd = pend.cmd;
+    pending_.erase(it);
+    ++redirects_followed_;
+    Dispatch(env, cmd, resp->redirect);
+    return;
+  }
+  pend.awaiting.erase(resp->partition);
   query_rows_ += resp->rows.size();
   if (!pend.awaiting.empty()) return;
+  const Command done = pend.cmd;
   latency_.Record(env.now() - pend.issued);
+  if (cfg_.on_latency) cfg_.on_latency(env.now() - pend.issued);
   pending_.erase(it);
+  if (done.op == Command::Op::kSessionOpen && opens_outstanding_ > 0) {
+    if (--opens_outstanding_ == 0) StartWindows(env);
+    return;
+  }
   ++completed_;
+  if (done.session_id != 0 && done.session_seq != 0 && cfg_.on_complete) {
+    cfg_.on_complete(done.session_id, done.session_seq);
+  }
   IssueNext(env);
 }
 

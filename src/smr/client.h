@@ -13,6 +13,7 @@
 
 #include "common/env.h"
 #include "common/stats.h"
+#include "reconfig/ring_view.h"
 #include "ringpaxos/config.h"
 #include "ringpaxos/messages.h"
 #include "smr/command.h"
@@ -37,6 +38,26 @@ struct KvClientConfig {
   // (retries are fresh submissions with new seqs), feeding the
   // decision-integrity oracle's proposed set. Optional.
   std::function<void(const paxos::ClientMsg&)> on_submit;
+
+  // ---- Elastic routing (docs/RECONFIG.md) ----
+  // Versioned routing view, shared with other local roles. When set,
+  // key→group and group→ring lookups go through the holder's current
+  // RingConfiguration instead of the static partitioning/rings fields,
+  // RoutingUpdate messages install new configurations, and Response
+  // redirects re-dispatch the command (same req_id, same session stamp)
+  // to the range's new owner. Borrowed; must outlive the client.
+  reconfig::RingHolder* holder = nullptr;
+  // Non-zero: open this session on every partition group before the
+  // request windows start, and stamp writes (session_id, session_seq)
+  // for exactly-once apply across retries and repartitions
+  // (docs/SESSIONS.md).
+  std::uint64_t session_id = 0;
+  // Oracle tap (src/check): a session-stamped write completed.
+  std::function<void(std::uint64_t sid, std::uint64_t seq)> on_complete;
+  // Bench tap: per-request completion latency (bench/repartition bins
+  // these into phase-local histograms the cumulative latency() cannot
+  // provide).
+  std::function<void(Duration)> on_latency;
 };
 
 class KvClient final : public Protocol {
@@ -49,25 +70,34 @@ class KvClient final : public Protocol {
   std::uint64_t completed() const { return completed_; }
   Histogram& latency() { return latency_; }
   std::uint64_t query_rows() const { return query_rows_; }
+  std::uint64_t redirects_followed() const { return redirects_followed_; }
 
  private:
   struct PendingReq {
     Command cmd;
     std::set<GroupId> awaiting;  // partitions that still owe a response
     TimePoint issued{0};
+    // Routing override (session open target, redirect destination);
+    // kNoGroup = route by key. Retries keep the override.
+    GroupId forced = kNoGroup;
   };
 
   void IssueNext(Env& env);
-  void Dispatch(Env& env, const Command& cmd);
+  void Dispatch(Env& env, const Command& cmd, GroupId forced = kNoGroup);
   Command RandomCommand(Env& env);
   void CheckRetries(Env& env);
+  void OpenSessions(Env& env);
+  void StartWindows(Env& env);
 
   KvClientConfig cfg_;
   std::uint64_t next_req_ = 0;
   std::uint64_t proposer_seq_ = 0;
+  std::uint64_t session_seq_ = 0;
   std::map<std::uint64_t, PendingReq> pending_;
   std::uint64_t completed_ = 0;
   std::uint64_t query_rows_ = 0;
+  std::uint64_t redirects_followed_ = 0;
+  std::size_t opens_outstanding_ = 0;
   Histogram latency_;
 };
 

@@ -29,6 +29,10 @@ struct Command {
     // on which sessions are live (docs/SESSIONS.md).
     kSessionOpen = 3,
     kSessionClose = 4,
+    // Repartition seal (docs/RECONFIG.md): ordered through the source
+    // group's own stream, so every source replica seals the moved range
+    // [kmin, kmax] at the same log position. req_id carries the plan id.
+    kSeal = 5,
   };
 
   Op op = Op::kInsert;
@@ -42,6 +46,8 @@ struct Command {
   // keeps its (session_id, session_seq) under a fresh multicast seq.
   std::uint64_t session_id = 0;
   std::uint64_t session_seq = 0;
+  // Seal only: the group the sealed range moves to.
+  GroupId target_group = 0;
 
   static Command Insert(Key k, std::string v) {
     Command c;
@@ -75,6 +81,16 @@ struct Command {
     c.session_id = sid;
     return c;
   }
+  static Command Seal(std::uint64_t plan_id, Key kmin, Key kmax,
+                      GroupId target) {
+    Command c;
+    c.op = Op::kSeal;
+    c.kmin = kmin;
+    c.kmax = kmax;
+    c.req_id = plan_id;
+    c.target_group = target;
+    return c;
+  }
 
   Bytes Encode() const {
     ByteWriter w;
@@ -87,6 +103,7 @@ struct Command {
     w.u32(client);
     w.u64(session_id);
     w.u64(session_seq);
+    w.u32(target_group);
     return w.take();
   }
 
@@ -102,11 +119,12 @@ struct Command {
     auto client = r.u32();
     auto sid = r.u64();
     auto sseq = r.u64();
+    auto target = r.u32();
     if (!op || !key || !value || !kmin || !kmax || !req || !client || !sid ||
-        !sseq) {
+        !sseq || !target) {
       return std::nullopt;
     }
-    if (*op > static_cast<std::uint8_t>(Op::kSessionClose)) return std::nullopt;
+    if (*op > static_cast<std::uint8_t>(Op::kSeal)) return std::nullopt;
     c.op = static_cast<Op>(*op);
     c.key = *key;
     c.value = std::move(*value);
@@ -116,23 +134,29 @@ struct Command {
     c.client = *client;
     c.session_id = *sid;
     c.session_seq = *sseq;
+    c.target_group = *target;
     return c;
   }
 };
 
 // Replica -> client. For multi-partition queries the client collects one
-// response per involved partition.
+// response per involved partition. `redirect` != kNoGroup is a routing
+// hint on a refused command: the key range moved to that group
+// (docs/RECONFIG.md) — retry there, don't count this as a result.
 struct Response final : MessageBase {
   std::uint64_t req_id;
   GroupId partition;
   bool ok;
   std::vector<std::pair<Key, std::string>> rows;  // query results
+  GroupId redirect = kNoGroup;
 
   Response(std::uint64_t id, GroupId p, bool okay,
-           std::vector<std::pair<Key, std::string>> r = {})
-      : req_id(id), partition(p), ok(okay), rows(std::move(r)) {}
+           std::vector<std::pair<Key, std::string>> r = {},
+           GroupId redir = kNoGroup)
+      : req_id(id), partition(p), ok(okay), rows(std::move(r)),
+        redirect(redir) {}
   std::size_t WireSize() const override {
-    std::size_t n = 8 + 4 + 1 + 4 + 8;
+    std::size_t n = 8 + 4 + 1 + 4 + 8 + 4;
     for (const auto& [k, v] : rows) n += 8 + 4 + v.size();
     return n;
   }

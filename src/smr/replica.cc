@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "reconfig/messages.h"
+
 namespace mrp::smr {
 
 Replica::Replica(ReplicaConfig cfg)
@@ -18,7 +20,7 @@ Replica::Replica(ReplicaConfig cfg)
 
 void Replica::OnStart(Env& env) {
   env_ = &env;
-  bootstrapped_ = !cfg_.bootstrap_from_peer;
+  bootstrapped_ = !cfg_.bootstrap_from_peer && cfg_.handoff_plan == 0;
   if (cfg_.sessions) {
     ctr_dups_ = &env.metrics().counter("smr.replica.session_dups");
   }
@@ -29,7 +31,10 @@ void Replica::OnStart(Env& env) {
   merge_->OnStart(env);
   // The snapshot is requested lazily, on the first delivery: only then
   // is the merge stream's start position fixed, which guarantees the
-  // peer's snapshot covers everything before it.
+  // peer's snapshot covers everything before it. A repartition target
+  // instead pulls the sealed handoff right away — its content is fixed
+  // by the seal position in the *source* stream, not by ours.
+  if (cfg_.handoff_plan != 0) StartHandoffFetch(env);
 }
 
 void Replica::RequestSnapshot(Env& env) {
@@ -62,6 +67,25 @@ void Replica::OnMessage(Env& env, NodeId from, const MessagePtr& m) {
       auto pending = std::move(pending_applies_);
       pending_applies_.clear();
       for (const auto& cmd : pending) Execute(env, cmd);
+    }
+    return;
+  }
+  if (const auto* req = Cast<recovery::SnapshotRequest>(m)) {
+    ServeHandoff(env, from, *req);
+    return;
+  }
+  if (Cast<recovery::SnapshotChunk>(m) != nullptr ||
+      Cast<recovery::SnapshotDone>(m) != nullptr) {
+    if (handoff_fetch_ != nullptr) handoff_fetch_->OnMessage(env, from, m);
+    return;
+  }
+  if (const auto* probe = Cast<reconfig::HandoffRequest>(m)) {
+    // Coordinator completion probe: answered once the handoff with that
+    // plan id is installed (idempotent — probes are retried until the
+    // PlanStatus gets through).
+    if (probe->plan_id == cfg_.handoff_plan) {
+      env.Send(from, MakeMessage<reconfig::PlanStatus>(probe->plan_id,
+                                                       bootstrapped_));
     }
     return;
   }
@@ -157,7 +181,9 @@ void Replica::Apply(Env& env, GroupId /*group*/, const paxos::ClientMsg& msg) {
     // yet: buffer, and kick off the snapshot request now that the
     // stream's start position is fixed.
     pending_applies_.push_back(std::move(*cmd));
-    if (!snapshot_requested_) {
+    // Handoff targets already have their pull in flight; only the peer
+    // bootstrap path requests lazily here.
+    if (!snapshot_requested_ && cfg_.handoff_plan == 0) {
       snapshot_requested_ = true;
       RequestSnapshot(env);
     }
@@ -167,10 +193,11 @@ void Replica::Apply(Env& env, GroupId /*group*/, const paxos::ClientMsg& msg) {
 }
 
 void Replica::Respond(Env& env, const Command& cmd, bool ok,
-                      std::vector<std::pair<Key, std::string>> rows) {
+                      std::vector<std::pair<Key, std::string>> rows,
+                      GroupId redirect) {
   if (cfg_.respond && cmd.client != kNoNode) {
     env.Send(cmd.client, MakeMessage<Response>(cmd.req_id, cfg_.partition, ok,
-                                               std::move(rows)));
+                                               std::move(rows), redirect));
   }
 }
 
@@ -215,6 +242,28 @@ void Replica::Execute(Env& env, const Command& cmd) {
         break;
     }
   }
+  if (cmd.op == Command::Op::kSeal) {
+    ExecuteSeal(env, cmd);
+    return;
+  }
+  // Sealed-range redirect (docs/RECONFIG.md): runs after dedup (a
+  // retried, already-applied command still gets its cached reply) and
+  // before the apply tap — a redirected command is not an apply and the
+  // session table does not record it, so it applies exactly once, on
+  // the range's new owner.
+  if (!sealed_.empty() && (cmd.op == Command::Op::kInsert ||
+                           cmd.op == Command::Op::kDelete)) {
+    for (const auto& [id, s] : sealed_) {
+      if (cmd.key < s.lo || cmd.key > s.hi) continue;
+      ++redirected_;
+      if (ctr_redirects_ == nullptr) {
+        ctr_redirects_ = &env.metrics().counter("smr.replica.redirects");
+      }
+      ctr_redirects_->Inc();
+      Respond(env, cmd, false, {}, s.target);
+      return;
+    }
+  }
   if (cfg_.on_apply) cfg_.on_apply(cmd);
   const auto [lo, hi] = cfg_.range;
   bool ok = true;
@@ -253,6 +302,8 @@ void Replica::Execute(Env& env, const Command& cmd) {
       ++applied_;
       Respond(env, cmd, true, {});
       return;
+    case Command::Op::kSeal:
+      return;  // handled above, before the range filter
   }
   ++applied_;
   if (cfg_.sessions && cmd.session_id != 0 && cmd.session_seq != 0) {
@@ -262,6 +313,142 @@ void Replica::Execute(Env& env, const Command& cmd) {
     }
   }
   Respond(env, cmd, ok, std::move(rows));
+}
+
+// Applies the ordered repartition seal (docs/RECONFIG.md): the moved
+// keys leave the store at this log position, the handoff checkpoint —
+// moved rows plus the full session table, so dedup survives the move —
+// becomes servable, and later writes into the range are redirected.
+// Delivered on every source replica at the same position; idempotent
+// under coordinator retries (the plan id keys the seal).
+void Replica::ExecuteSeal(Env& env, const Command& cmd) {
+  if (auto it = sealed_.find(cmd.req_id); it != sealed_.end()) {
+    Respond(env, cmd, true, {});
+    return;
+  }
+  const auto [lo, hi] = cfg_.range;
+  const Key slo = std::max(cmd.kmin, lo);
+  const Key shi = std::min(cmd.kmax, hi);
+  if (slo > shi) {
+    // Not this partition's range (a g_all replica, or a stray seal).
+    ++discarded_;
+    return;
+  }
+  auto moved = store_.Query(slo, shi);  // unlimited: the whole range moves
+  for (const auto& [k, v] : moved) store_.Delete(k);
+  sealed_.emplace(cmd.req_id,
+                  SealedRange{slo, shi, cmd.target_group});
+  ByteWriter w;
+  w.u64(cmd.req_id);
+  w.u32(cmd.target_group);
+  w.u64(slo);
+  w.u64(shi);
+  w.varint(moved.size());
+  for (const auto& [k, v] : moved) {
+    w.u64(k);
+    w.str(v);
+  }
+  w.bytes(sessions_.Serialize());
+  recovery::Checkpoint cp;
+  cp.id = cmd.req_id;
+  cp.delivered_count = applied_;
+  cp.app_state = w.take();
+  handoff_store_.Put(cp, [] {});
+  ++applied_;
+  if (ctr_seals_ == nullptr) {
+    ctr_seals_ = &env.metrics().counter("smr.replica.seals");
+  }
+  ctr_seals_->Inc();
+  Respond(env, cmd, true, {});
+}
+
+// Serves a handoff checkpoint to a repartition target, chunked exactly
+// like learner checkpoints (recoverable_learner.cc).
+void Replica::ServeHandoff(Env& env, NodeId from,
+                           const recovery::SnapshotRequest& req) {
+  const Bytes* blob = handoff_store_.Encoded(req.checkpoint_id);
+  if (blob == nullptr) {
+    env.Send(from,
+             MakeMessage<recovery::SnapshotDone>(req.checkpoint_id, 0, 0, 0));
+    return;
+  }
+  const std::uint64_t id =
+      req.checkpoint_id == 0 ? handoff_store_.latest_id() : req.checkpoint_id;
+  const std::size_t chunk = handoff_chunk_bytes_ < 1 ? 1 : handoff_chunk_bytes_;
+  const auto total =
+      static_cast<std::uint32_t>((blob->size() + chunk - 1) / chunk);
+  std::uint32_t end = total;
+  if (req.max_chunks != 0 && req.from_chunk + req.max_chunks < total) {
+    end = req.from_chunk + req.max_chunks;
+  }
+  for (std::uint32_t i = req.from_chunk; i < end; ++i) {
+    const std::size_t clo = static_cast<std::size_t>(i) * chunk;
+    const std::size_t chi = std::min(blob->size(), clo + chunk);
+    env.Send(from, MakeMessage<recovery::SnapshotChunk>(
+                       id, i, total,
+                       Bytes(blob->begin() + static_cast<std::ptrdiff_t>(clo),
+                             blob->begin() + static_cast<std::ptrdiff_t>(chi))));
+  }
+  env.Send(from, MakeMessage<recovery::SnapshotDone>(
+                     id, total, blob->size(), recovery::Fnv1a(*blob)));
+}
+
+void Replica::StartHandoffFetch(Env& env) {
+  if (bootstrapped_) return;
+  recovery::RecoveryManager::Options o;
+  o.peers = cfg_.handoff_peers;
+  handoff_fetch_ = std::make_unique<recovery::RecoveryManager>(std::move(o));
+  handoff_fetch_->Start(env, [this, &env](recovery::Checkpoint cp) {
+    if (cp.app_state.empty()) {
+      // The source has not sealed yet (or every peer rotation failed):
+      // retry from a fresh transfer. The timer indirection also keeps
+      // the finished manager alive until we are out of its callback.
+      env.SetTimer(cfg_.handoff_retry, [this, &env] {
+        StartHandoffFetch(env);
+      });
+      return;
+    }
+    InstallHandoff(env, cp);
+  });
+}
+
+void Replica::InstallHandoff(Env& env, const recovery::Checkpoint& cp) {
+  ByteReader r(cp.app_state);
+  auto plan = r.u64();
+  auto target = r.u32();
+  auto lo = r.u64();
+  auto hi = r.u64();
+  auto n = r.varint();
+  bool ok = plan && target && lo && hi && n && *plan == cfg_.handoff_plan;
+  std::vector<std::pair<Key, std::string>> rows;
+  if (ok) {
+    rows.reserve(static_cast<std::size_t>(*n));
+    for (std::uint64_t i = 0; i < *n; ++i) {
+      auto k = r.u64();
+      auto v = r.str();
+      if (!k || !v) {
+        ok = false;
+        break;
+      }
+      rows.emplace_back(*k, std::move(*v));
+    }
+  }
+  std::optional<Bytes> sess = ok ? r.bytes() : std::nullopt;
+  if (!ok || !sess) {
+    env.SetTimer(cfg_.handoff_retry, [this, &env] { StartHandoffFetch(env); });
+    return;
+  }
+  for (const auto& [k, v] : rows) store_.Insert(k, v);
+  // The source's session table at the seal comes with the rows: every
+  // pre-seal apply is recorded here, so a duplicate that raced the move
+  // is suppressed on this side too (exactly-once across the split).
+  sessions_.Deserialize(*sess);
+  bootstrapped_ = true;
+  // Replay deliveries buffered while the handoff was in flight through
+  // the full Execute path — dedup and redirects included.
+  auto pending = std::move(pending_applies_);
+  pending_applies_.clear();
+  for (const auto& cmd : pending) Execute(env, cmd);
 }
 
 Bytes Replica::SnapshotState() const {

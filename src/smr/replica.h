@@ -18,6 +18,8 @@
 #include "common/env.h"
 #include "common/fingerprint.h"
 #include "multiring/merge_learner.h"
+#include "recovery/recovery_manager.h"
+#include "recovery/snapshot_store.h"
 #include "recovery/snapshottable.h"
 #include "session/messages.h"
 #include "session/session_table.h"
@@ -67,6 +69,18 @@ struct ReplicaConfig {
   std::function<void(std::uint64_t epoch, bool lease_valid,
                      InstanceId grant_point, InstanceId frontier)>
       on_local_read;
+
+  // ---- Live repartition (docs/RECONFIG.md) ----
+  // Target side: non-zero = this replica bootstraps its partition from
+  // the source group's sealed handoff with this plan id, pulled from
+  // `handoff_peers` over the chunked snapshot transfer, instead of the
+  // peer SnapshotReq path. Deliveries buffer until the handoff is
+  // installed; the transferred SessionTable keeps dedup intact across
+  // the move. The coordinator learns of completion via PlanStatus
+  // (answered to its HandoffRequest probes).
+  std::uint64_t handoff_plan = 0;
+  std::vector<NodeId> handoff_peers;
+  Duration handoff_retry = Millis(100);
 };
 
 class Replica final : public Protocol, public recovery::Snapshottable {
@@ -85,6 +99,8 @@ class Replica final : public Protocol, public recovery::Snapshottable {
   const KvStore& store() const { return store_; }
   std::uint64_t applied() const { return applied_; }
   std::uint64_t discarded() const { return discarded_; }
+  std::uint64_t redirected() const { return redirected_; }
+  std::uint64_t seals() const { return sealed_.size(); }
   bool bootstrapped() const { return bootstrapped_; }
   multiring::MergeLearner& merge() { return *merge_; }
   const session::SessionTable& sessions() const { return sessions_; }
@@ -121,6 +137,14 @@ class Replica final : public Protocol, public recovery::Snapshottable {
     f.U64(lease_grant_point_);
     f.U64(pending_reads_.size());
     f.U64(local_reads_served_);
+    f.U64(sealed_.size());
+    for (const auto& [id, s] : sealed_) {
+      f.U64(id);
+      f.U64(s.lo);
+      f.U64(s.hi);
+      f.U32(s.target);
+    }
+    f.U64(redirected_);
     return f.digest();
   }
 
@@ -138,8 +162,13 @@ class Replica final : public Protocol, public recovery::Snapshottable {
   void Execute(Env& env, const Command& cmd);
   void RequestSnapshot(Env& env);
   void Respond(Env& env, const Command& cmd, bool ok,
-               std::vector<std::pair<Key, std::string>> rows);
+               std::vector<std::pair<Key, std::string>> rows,
+               GroupId redirect = kNoGroup);
   void TryServeRead(Env& env, ReadKey key);
+  void ExecuteSeal(Env& env, const Command& cmd);
+  void StartHandoffFetch(Env& env);
+  void InstallHandoff(Env& env, const recovery::Checkpoint& cp);
+  void ServeHandoff(Env& env, NodeId from, const recovery::SnapshotRequest& req);
 
   ReplicaConfig cfg_;
   std::unique_ptr<multiring::MergeLearner> merge_;
@@ -164,6 +193,26 @@ class Replica final : public Protocol, public recovery::Snapshottable {
   std::uint64_t applied_ = 0;
   std::uint64_t discarded_ = 0;
   bool bootstrapped_ = false;
+
+  // ---- Live repartition (docs/RECONFIG.md) ----
+  // Source side: key ranges sealed out of this partition by an applied
+  // kSeal, keyed by plan id. Writes landing in a sealed range are
+  // refused with a redirect to the owning group instead of applied.
+  struct SealedRange {
+    Key lo = 0;
+    Key hi = 0;
+    GroupId target = 0;
+  };
+  std::map<std::uint64_t, SealedRange> sealed_;
+  std::uint64_t redirected_ = 0;
+  // Handoff checkpoints this replica serves to repartition targets over
+  // the chunked snapshot transfer (recovery::SnapshotRequest).
+  recovery::SnapshotStore handoff_store_{2};
+  std::size_t handoff_chunk_bytes_ = 1024;
+  // Target side: pull of the source's handoff checkpoint.
+  std::unique_ptr<recovery::RecoveryManager> handoff_fetch_;
+  Counter* ctr_redirects_ = nullptr;
+  Counter* ctr_seals_ = nullptr;
   Env* env_ = nullptr;
 };
 

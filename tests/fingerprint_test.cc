@@ -24,6 +24,9 @@
 #include "multiring/paxos_group.h"
 #include "paxos/messages.h"
 #include "paxos/roles.h"
+#include "reconfig/plan.h"
+#include "reconfig/repartition.h"
+#include "reconfig/ring_view.h"
 #include "ringpaxos/learner.h"
 #include "ringpaxos/messages.h"
 #include "ringpaxos/proposer.h"
@@ -279,6 +282,45 @@ TEST(FingerprintTest, SessionRoles) {
   gw2.OnStart(wenv);
   gw.OnMessage(wenv, 3, MakeMessage<ringpaxos::Submit>(0, Cmd(1)));
   EXPECT_NE(gw.Fingerprint(), gw2.Fingerprint());
+}
+
+TEST(FingerprintTest, ReconfigRoles) {
+  // reconfig::RingConfiguration / reconfig::RingHolder: the routing
+  // view's version, routes and ranges are state; an install changes the
+  // holder's digest, a rejected (stale) one does not.
+  reconfig::GroupRoute route;
+  route.group = 0;
+  route.ring = 0;
+  route.coordinator = 1;
+  route.ring_members = {1, 2};
+  reconfig::RingConfiguration v1(1, {route}, {{0, 999, 0}});
+  reconfig::RingConfiguration v1b(1, {route}, {{0, 999, 0}});
+  EXPECT_EQ(v1.Fingerprint(), v1b.Fingerprint());
+  reconfig::RingConfiguration v2(2, {route}, {{0, 999, 0}});
+  EXPECT_NE(v1.Fingerprint(), v2.Fingerprint());
+
+  reconfig::RingHolder ha, hb;
+  EXPECT_EQ(ha.Fingerprint(), hb.Fingerprint());
+  ha.Install(v1);
+  EXPECT_NE(ha.Fingerprint(), hb.Fingerprint());
+  hb.Install(v1b);
+  EXPECT_EQ(ha.Fingerprint(), hb.Fingerprint());
+  ha.Install(v1);  // stale: rejected, digest unchanged
+  EXPECT_EQ(ha.Fingerprint(), hb.Fingerprint());
+
+  // reconfig::RepartitionCoordinator: beginning the plan (phase move to
+  // kSealing plus the first seal submission) is state.
+  reconfig::RepartitionConfig rc;
+  rc.plan = reconfig::ReconfigPlan::Split(21, 0, 1, 500, 999, 1);
+  rc.source_ring = Ring();
+  rc.next = v2;
+  reconfig::RepartitionCoordinator a(rc), b(rc);
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  FakeEnv env(30);
+  a.OnStart(env);
+  ASSERT_FALSE(env.timers.empty());
+  env.timers.front()();  // start delay elapses: Begin() seals
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
 }
 
 }  // namespace

@@ -1,0 +1,569 @@
+// Elastic-reconfiguration subsystem tests (docs/RECONFIG.md): the
+// versioned RingConfiguration/RingHolder routing view, ReconfigPlan
+// codec and magic probe, dynamic learner subscriptions activating at
+// merge turn boundaries (with discard counters attributed to the
+// discarded message's group), a live group split end to end under the
+// ReconfigOracle, and a hot ring-membership swap ordered through the
+// ring itself.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "check/oracles.h"
+#include "check/reconfig_oracle.h"
+#include "multiring/merge_learner.h"
+#include "multiring/sim_deployment.h"
+#include "net/codec.h"
+#include "reconfig/messages.h"
+#include "reconfig/plan.h"
+#include "reconfig/repartition.h"
+#include "reconfig/ring_view.h"
+#include "ringpaxos/proposer.h"
+#include "ringpaxos/ring_node.h"
+#include "smr/client.h"
+#include "smr/replica.h"
+
+namespace mrp::reconfig {
+namespace {
+
+using multiring::DeploymentOptions;
+using multiring::MergeLearner;
+using multiring::SimDeployment;
+
+GroupRoute Route(GroupId g, RingId ring, NodeId coord) {
+  GroupRoute r;
+  r.group = g;
+  r.ring = ring;
+  r.coordinator = coord;
+  r.data_channel = 10 + ring;
+  r.control_channel = 20 + ring;
+  r.ring_members = {coord, coord + 1};
+  return r;
+}
+
+TEST(RingConfiguration, RoutesAndKeyRanges) {
+  RingConfiguration cfg(3, {Route(1, 1, 50), Route(0, 0, 40)},
+                        {{500, 999, 1}, {0, 499, 0}});
+  EXPECT_EQ(cfg.version(), 3u);
+  // Routes and ranges are kept sorted regardless of construction order.
+  EXPECT_EQ(cfg.routes()[0].group, 0u);
+  EXPECT_EQ(cfg.ranges()[0].lo, 0u);
+
+  ASSERT_NE(cfg.RouteOf(1), nullptr);
+  EXPECT_EQ(cfg.RouteOf(1)->coordinator, 50u);
+  EXPECT_EQ(cfg.RouteOf(9), nullptr);
+
+  EXPECT_EQ(cfg.GroupOfKey(0), 0u);
+  EXPECT_EQ(cfg.GroupOfKey(499), 0u);
+  EXPECT_EQ(cfg.GroupOfKey(500), 1u);
+  EXPECT_EQ(cfg.GroupOfKey(999), 1u);
+  EXPECT_EQ(cfg.GroupOfKey(1000), kNoGroup);
+
+  EXPECT_TRUE(cfg.SinglePartition(10, 499));
+  EXPECT_FALSE(cfg.SinglePartition(490, 510));
+  EXPECT_FALSE(cfg.SinglePartition(990, 1010));
+
+  EXPECT_EQ(cfg.GroupsOverlapping(0, 100), (std::vector<GroupId>{0}));
+  EXPECT_EQ(cfg.GroupsOverlapping(400, 600), (std::vector<GroupId>{0, 1}));
+  EXPECT_TRUE(cfg.GroupsOverlapping(2000, 3000).empty());
+}
+
+TEST(RingConfiguration, CodecRoundTripAndFingerprint) {
+  RingConfiguration cfg(7, {Route(0, 0, 40), Route(1, 1, 50)},
+                        {{0, 499, 0}, {500, 999, 1}}, /*all_group=*/2);
+  const Bytes wire = cfg.Encode();
+  auto back = RingConfiguration::Decode(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->version(), 7u);
+  EXPECT_EQ(back->all_group(), 2u);
+  EXPECT_EQ(back->routes(), cfg.routes());
+  EXPECT_EQ(back->ranges(), cfg.ranges());
+  EXPECT_EQ(back->Fingerprint(), cfg.Fingerprint());
+
+  RingConfiguration other(8, {Route(0, 0, 40)}, {{0, 999, 0}});
+  EXPECT_NE(other.Fingerprint(), cfg.Fingerprint());
+
+  EXPECT_FALSE(RingConfiguration::Decode(Bytes{1, 2, 3}).has_value());
+}
+
+TEST(RingHolder, MonotonicInstallNotifiesSubscribers) {
+  RingHolder holder;
+  EXPECT_EQ(holder.version(), 0u);
+  EXPECT_EQ(holder.Get(), nullptr);
+
+  std::vector<std::uint64_t> seen;
+  holder.Subscribe([&seen](const RingConfiguration& c) {
+    seen.push_back(c.version());
+  });
+
+  EXPECT_TRUE(holder.Install(RingConfiguration(1, {Route(0, 0, 40)},
+                                               {{0, 999, 0}})));
+  auto snap = holder.Get();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->version(), 1u);
+
+  // Stale and duplicate versions are rejected; the snapshot a reader
+  // took before the flip stays valid.
+  EXPECT_FALSE(holder.Install(RingConfiguration(1, {}, {})));
+  EXPECT_TRUE(holder.Install(RingConfiguration(3, {Route(0, 0, 40)},
+                                               {{0, 999, 0}})));
+  EXPECT_FALSE(holder.Install(RingConfiguration(2, {}, {})));
+  EXPECT_EQ(holder.version(), 3u);
+  EXPECT_EQ(snap->version(), 1u);
+  EXPECT_EQ(holder.installs(), 2u);
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 3}));
+}
+
+TEST(ReconfigPlan, CodecAndMagicProbe) {
+  ReconfigPlan split = ReconfigPlan::Split(9, 0, 1, 500, 999, 4);
+  const Bytes wire = split.Encode();
+  EXPECT_TRUE(ReconfigPlan::IsPlanPayload(wire));
+  EXPECT_EQ(wire[0], ReconfigPlan::kMagic);
+  auto back = ReconfigPlan::Decode(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, split);
+  EXPECT_EQ(back->Fingerprint(), split.Fingerprint());
+
+  ReconfigPlan swap = ReconfigPlan::Swap(10, 2, 7, 8);
+  auto swap_back = ReconfigPlan::Decode(swap.Encode());
+  ASSERT_TRUE(swap_back.has_value());
+  EXPECT_EQ(*swap_back, swap);
+  EXPECT_NE(swap_back->Fingerprint(), split.Fingerprint());
+
+  // A valid SMR command payload is not a plan payload (the magic byte
+  // is outside the opcode range), and corrupt plans are rejected.
+  Bytes cmd = smr::Command::Insert(1, "x").Encode();
+  EXPECT_FALSE(ReconfigPlan::IsPlanPayload(cmd));
+  Bytes bad = wire;
+  bad[1] = 99;  // invalid kind
+  EXPECT_FALSE(ReconfigPlan::Decode(bad).has_value());
+  bad = wire;
+  bad[0] = 0;  // wrong magic
+  EXPECT_FALSE(ReconfigPlan::Decode(bad).has_value());
+}
+
+template <typename T>
+const T* Reencode(const MessageBase& m, Bytes* keep, MessagePtr* hold) {
+  *keep = net::EncodeMessage(m);
+  *hold = net::DecodeMessage(*keep);
+  return *hold == nullptr ? nullptr : Cast<T>(*hold);
+}
+
+TEST(ReconfigMessages, CodecRoundTrips) {
+  Bytes buf;
+  MessagePtr hold;
+  RingConfiguration cfg(4, {Route(0, 0, 40), Route(1, 1, 50)},
+                        {{0, 499, 0}, {500, 999, 1}});
+  const auto* ru = Reencode<reconfig::RoutingUpdate>(
+      reconfig::RoutingUpdate(cfg.version(), cfg.Encode()), &buf, &hold);
+  ASSERT_NE(ru, nullptr);
+  EXPECT_EQ(ru->version, 4u);
+  auto carried = RingConfiguration::Decode(ru->config);
+  ASSERT_TRUE(carried.has_value());
+  EXPECT_EQ(carried->Fingerprint(), cfg.Fingerprint());
+
+  const auto* hr = Reencode<reconfig::HandoffRequest>(
+      reconfig::HandoffRequest(21, 1), &buf, &hold);
+  ASSERT_NE(hr, nullptr);
+  EXPECT_EQ(hr->plan_id, 21u);
+  EXPECT_EQ(hr->target_group, 1u);
+
+  const auto* ps = Reencode<reconfig::PlanStatus>(
+      reconfig::PlanStatus(21, true), &buf, &hold);
+  ASSERT_NE(ps, nullptr);
+  EXPECT_EQ(ps->plan_id, 21u);
+  EXPECT_TRUE(ps->ok);
+
+  // Truncated frames are rejected, not misparsed.
+  Bytes trunc = net::EncodeMessage(reconfig::PlanStatus(21, false));
+  trunc.pop_back();
+  EXPECT_EQ(net::DecodeMessage(trunc), nullptr);
+}
+
+TEST(ReconfigMessages, SealCommandAndRedirectResponseRoundTrip) {
+  // kSeal rides the SMR command codec with its target group.
+  smr::Command seal = smr::Command::Seal(21, 500, 999, 1);
+  seal.client = 9;
+  auto back = smr::Command::Decode(seal.Encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->op, smr::Command::Op::kSeal);
+  EXPECT_EQ(back->req_id, 21u);
+  EXPECT_EQ(back->kmin, 500u);
+  EXPECT_EQ(back->kmax, 999u);
+  EXPECT_EQ(back->target_group, 1u);
+
+  // A redirecting response survives the wire; the default stays kNoGroup.
+  Bytes buf;
+  MessagePtr hold;
+  const auto* r = Reencode<smr::Response>(
+      smr::Response(7, 0, false, {}, /*redir=*/1), &buf, &hold);
+  ASSERT_NE(r, nullptr);
+  EXPECT_FALSE(r->ok);
+  EXPECT_EQ(r->redirect, 1u);
+  const auto* plain =
+      Reencode<smr::Response>(smr::Response(8, 0, true), &buf, &hold);
+  ASSERT_NE(plain, nullptr);
+  EXPECT_EQ(plain->redirect, kNoGroup);
+}
+
+// ------------------------------------ dynamic subscriptions (tentpole a)
+
+TEST(DynamicSubscription, JoinAndLeaveActivateAtTurnBoundaries) {
+  DeploymentOptions opts;
+  opts.n_rings = 2;
+  SimDeployment d(opts);
+  const GroupId g0 = d.ring(0).group;
+  const GroupId g1 = d.ring(1).group;
+
+  // Reference learner on both rings: its group-1 frontier is the
+  // snapshot cut the late joiner positions at.
+  auto* ref = d.AddMergeLearner({0, 1});
+
+  // Dynamic learner: starts subscribed to ring 0 only, but listens on
+  // both rings' channels so a later join sees the decision stream.
+  auto& node = d.net().AddNode();
+  MergeLearner::Options mo;
+  ringpaxos::LearnerOptions lo;
+  lo.ring = d.ring(0);
+  mo.groups.push_back(lo);
+  std::map<GroupId, std::uint64_t> delivered;
+  mo.on_deliver = [&delivered](GroupId g, const paxos::ClientMsg&) {
+    ++delivered[g];
+  };
+  std::vector<std::pair<GroupId, bool>> changes;
+  InstanceId join_cut = 0;
+  mo.on_subscription_change = [&changes, &join_cut](GroupId g, bool joined,
+                                                    InstanceId cut) {
+    changes.emplace_back(g, joined);
+    if (joined) join_cut = cut;
+  };
+  InstanceId min_ring1_decide = ~0ULL;
+  const RingId ring1 = d.ring(1).ring;
+  mo.on_decide = [&min_ring1_decide, ring1](RingId ring, InstanceId inst,
+                                            const paxos::Value&) {
+    if (ring == ring1 && inst < min_ring1_decide) min_ring1_decide = inst;
+  };
+  auto ml = std::make_unique<MergeLearner>(std::move(mo));
+  auto* dyn = ml.get();
+  node.BindProtocol(std::move(ml));
+  for (int r = 0; r < 2; ++r) {
+    d.net().Subscribe(node.self(), d.ring(r).data_channel);
+    d.net().Subscribe(node.self(), d.ring(r).control_channel);
+  }
+
+  ringpaxos::ProposerConfig pc;
+  pc.max_outstanding = 4;
+  d.AddProposer(0, pc);
+  d.AddProposer(1, pc);
+  d.Start();
+  d.RunFor(Millis(500));
+
+  EXPECT_EQ(dyn->SubscribedGroups(), (std::vector<GroupId>{g0}));
+  EXPECT_GT(delivered[g0], 0u);
+  EXPECT_EQ(delivered[g1], 0u);
+
+  // Join group 1, positioned at the reference learner's frontier —
+  // exactly the live-join bootstrap a repartition target performs.
+  InstanceId cut = 0;
+  for (std::size_t i = 0; i < ref->group_count(); ++i) {
+    if (ref->group_source(i)->group() == g1) {
+      cut = ref->group_source(i)->next_instance();
+    }
+  }
+  ASSERT_GT(cut, 0u);
+  ringpaxos::LearnerOptions jo;
+  jo.ring = d.ring(1);
+  auto src = std::make_unique<multiring::RingGroupSource>(jo);
+  src->StartAt(cut);
+  dyn->QueueSubscribe(std::move(src));
+  d.RunFor(Millis(500));
+
+  EXPECT_EQ(dyn->SubscribedGroups(), (std::vector<GroupId>{g0, g1}));
+  EXPECT_EQ(dyn->subscription_changes(), 1u);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0], (std::pair<GroupId, bool>{g1, true}));
+  EXPECT_EQ(join_cut, cut);
+  EXPECT_GT(delivered[g1], 0u);
+  // Never consumed below the announced delivery cut.
+  EXPECT_GE(min_ring1_decide, cut);
+
+  // Leave again; unaffected group 0 keeps delivering throughout.
+  const std::uint64_t g0_before = delivered[g0];
+  dyn->QueueUnsubscribe(g1);
+  d.RunFor(Millis(500));
+  EXPECT_EQ(dyn->SubscribedGroups(), (std::vector<GroupId>{g0}));
+  EXPECT_EQ(dyn->subscription_changes(), 2u);
+  EXPECT_GT(delivered[g0], g0_before);
+}
+
+TEST(DynamicSubscription, DiscardCountersAttributeToMessageGroup) {
+  // Two groups multiplexed on one ring (Section IV-D): the filtered
+  // learner discards group 8's messages. The registry counter must
+  // attribute those discards to group 8 — the discarded MESSAGE's group
+  // — not to the ring source's own group, while GroupStats.discarded
+  // keeps the source-side (bandwidth-waste) attribution.
+  DeploymentOptions opts;
+  opts.n_rings = 1;
+  opts.lambda_per_sec = 0;
+  SimDeployment d(opts);
+
+  auto add_learner = [&d](std::vector<GroupId> only) {
+    auto& node = d.net().AddNode();
+    MergeLearner::Options mo;
+    ringpaxos::LearnerOptions lo;
+    lo.ring = d.ring(0);
+    lo.subscribe_only = std::move(only);
+    mo.groups.push_back(lo);
+    mo.send_delivery_acks = true;
+    auto learner = std::make_unique<MergeLearner>(std::move(mo));
+    auto* raw = learner.get();
+    node.BindProtocol(std::move(learner));
+    d.net().Subscribe(node.self(), d.ring(0).data_channel);
+    d.net().Subscribe(node.self(), d.ring(0).control_channel);
+    return std::pair{raw, &node};
+  };
+  auto [only7, node] = add_learner({7});
+  add_learner({});  // acks group 8 so its proposer's window keeps moving
+
+  ringpaxos::ProposerConfig pc;
+  pc.max_outstanding = 4;
+  pc.payload_size = 2000;
+  d.AddProposer(0, pc, GroupId{7});
+  d.AddProposer(0, pc, GroupId{8});
+  d.Start();
+  d.RunFor(Seconds(1));
+
+  ASSERT_GT(only7->stats(0).discarded, 50u);
+  MetricsRegistry& reg = node->metrics();
+  EXPECT_EQ(reg.CounterValue("merge.g8.discarded"),
+            only7->stats(0).discarded);
+  EXPECT_EQ(reg.CounterValue("merge.g7.discarded"), 0u);
+  // The ring source's own instrument stays clean: nothing of group
+  // `ring(0).group` was discarded.
+  EXPECT_EQ(reg.CounterValue("merge.g" + std::to_string(d.ring(0).group) +
+                             ".discarded"),
+            0u);
+}
+
+// ----------------------------------------- live split (tentpole b)
+
+TEST(Repartition, LiveSplitMovesRangeWithoutLossOrDuplication) {
+  constexpr std::uint64_t kPlanId = 21;
+  constexpr std::uint64_t kSplitLo = 500000;
+  constexpr std::uint64_t kKeyMax = 999999;
+
+  DeploymentOptions opts;
+  opts.n_rings = 2;
+  SimDeployment d(opts);
+  const GroupId g0 = d.ring(0).group;
+  const GroupId g1 = d.ring(1).group;
+
+  check::OracleSuite suite;
+  check::ReconfigOracle oracle(&suite);
+  RingHolder client_holder;
+
+  auto route_of = [&d](int r) {
+    GroupRoute gr;
+    gr.group = d.ring(r).group;
+    gr.ring = d.ring(r).ring;
+    gr.coordinator = d.ring(r).ring_members[0];
+    gr.data_channel = d.ring(r).data_channel;
+    gr.control_channel = d.ring(r).control_channel;
+    gr.ring_members = d.ring(r).ring_members;
+    return gr;
+  };
+  client_holder.Install(
+      RingConfiguration(1, {route_of(0)}, {{0, kKeyMax, g0}}));
+
+  // Two source replicas of the whole key space, session-deduping.
+  std::vector<smr::Replica*> sources;
+  std::vector<sim::SimNode*> source_nodes;
+  for (int r = 0; r < 2; ++r) {
+    auto& node = d.net().AddNode();
+    smr::ReplicaConfig rc;
+    rc.partition = g0;
+    rc.partition_ring.ring = d.ring(0);
+    rc.respond = (r == 0);
+    rc.sessions = true;
+    const int ridx =
+        oracle.RegisterReplica("source" + std::to_string(r), g0);
+    rc.on_session_apply = [&oracle, ridx](std::uint64_t sid,
+                                          std::uint64_t seq) {
+      oracle.OnSessionApply(ridx, sid, seq);
+    };
+    auto rep = std::make_unique<smr::Replica>(rc);
+    sources.push_back(rep.get());
+    source_nodes.push_back(&node);
+    node.BindProtocol(std::move(rep));
+    d.net().Subscribe(node.self(), d.ring(0).data_channel);
+    d.net().Subscribe(node.self(), d.ring(0).control_channel);
+  }
+
+  // Target replica: bootstraps [kSplitLo, kKeyMax] from the sealed
+  // handoff pulled over the chunked snapshot transfer.
+  smr::Replica* target = nullptr;
+  sim::SimNode* target_node = nullptr;
+  {
+    auto& node = d.net().AddNode();
+    smr::ReplicaConfig rc;
+    rc.partition = g1;
+    rc.range = {kSplitLo, kKeyMax};
+    rc.partition_ring.ring = d.ring(1);
+    rc.respond = true;
+    rc.sessions = true;
+    rc.handoff_plan = kPlanId;
+    rc.handoff_peers = {source_nodes[0]->self(), source_nodes[1]->self()};
+    const int ridx = oracle.RegisterReplica("target", g1);
+    rc.on_session_apply = [&oracle, ridx](std::uint64_t sid,
+                                          std::uint64_t seq) {
+      oracle.OnSessionApply(ridx, sid, seq);
+    };
+    auto rep = std::make_unique<smr::Replica>(rc);
+    target = rep.get();
+    target_node = &node;
+    node.BindProtocol(std::move(rep));
+    d.net().Subscribe(node.self(), d.ring(1).data_channel);
+    d.net().Subscribe(node.self(), d.ring(1).control_channel);
+  }
+
+  // Holder-routed, session-stamped client; completions feed the
+  // no-loss side of the oracle.
+  smr::KvClient* client = nullptr;
+  sim::SimNode* client_node = nullptr;
+  {
+    sim::NodeSpec spec;
+    spec.infinite_cpu = true;
+    auto& node = d.net().AddNode(spec);
+    smr::KvClientConfig cc;
+    cc.rings.push_back(d.ring(0));
+    cc.window = 2;
+    cc.holder = &client_holder;
+    cc.session_id = 3;
+    cc.on_complete = [&oracle](std::uint64_t sid, std::uint64_t seq) {
+      oracle.OnClientComplete(sid, seq);
+    };
+    auto cl = std::make_unique<smr::KvClient>(cc);
+    client = cl.get();
+    client_node = &node;
+    node.BindProtocol(std::move(cl));
+  }
+
+  // The coordinator: seal at ~300 ms into steady-state traffic, flip
+  // routing, probe the target until the handoff lands.
+  RepartitionCoordinator* repart = nullptr;
+  {
+    auto& node = d.net().AddNode();
+    RepartitionConfig pc;
+    pc.plan = ReconfigPlan::Split(kPlanId, g0, g1, kSplitLo, kKeyMax,
+                                  d.ring(1).ring);
+    pc.source_ring = d.ring(0);
+    pc.next = RingConfiguration(2, {route_of(0), route_of(1)},
+                                {{0, kSplitLo - 1, g0},
+                                 {kSplitLo, kKeyMax, g1}});
+    pc.target_replica = target_node->self();
+    pc.notify = {client_node->self()};
+    pc.start_delay = Millis(300);
+    auto co = std::make_unique<RepartitionCoordinator>(pc);
+    repart = co.get();
+    node.BindProtocol(std::move(co));
+  }
+
+  d.Start();
+  d.RunFor(Seconds(3));
+  oracle.Finish();
+
+  EXPECT_TRUE(repart->done())
+      << "repartition stuck in phase " << static_cast<int>(repart->phase());
+  EXPECT_TRUE(suite.ok()) << suite.Report();
+  EXPECT_GT(oracle.applies(), 100u);
+  EXPECT_GT(oracle.completions(), 100u);
+
+  // The seal was applied by both source replicas; the moved range left
+  // their stores and post-seal writes into it were redirected.
+  EXPECT_EQ(sources[0]->seals(), 1u);
+  EXPECT_EQ(sources[1]->seals(), 1u);
+
+  // The target bootstrapped from the handoff and applied live traffic
+  // in the moved range afterwards.
+  EXPECT_TRUE(target->bootstrapped());
+  EXPECT_GT(target->applied(), 0u);
+
+  // The routing flip reached the client over the wire.
+  ASSERT_NE(client_holder.Get(), nullptr);
+  EXPECT_EQ(client_holder.version(), 2u);
+  EXPECT_EQ(client_holder.Get()->GroupOfKey(kSplitLo), g1);
+  EXPECT_EQ(client_holder.Get()->GroupOfKey(kSplitLo - 1), g0);
+  EXPECT_GT(client->completed(), 100u);
+}
+
+// ------------------------------------- hot membership swap (tentpole c)
+
+// Submits a kSwap plan into the ring as an ordinary client value,
+// retrying until the coordinator applies it (idempotent: once swap_out
+// left the layout the plan no longer matches).
+class SwapSubmitter final : public Protocol {
+ public:
+  SwapSubmitter(ringpaxos::RingConfig ring, ReconfigPlan plan, Duration at)
+      : ring_(std::move(ring)), plan_(plan), at_(at) {}
+
+  void OnStart(Env& env) override {
+    env.SetTimer(at_, [this, &env] { Submit(env); });
+  }
+  void OnMessage(Env&, NodeId, const MessagePtr&) override {}
+
+ private:
+  void Submit(Env& env) {
+    SubmitSwap(env, ring_, plan_, ++seq_);
+    if (seq_ < 10) {
+      env.SetTimer(Millis(100), [this, &env] { Submit(env); });
+    }
+  }
+
+  ringpaxos::RingConfig ring_;
+  ReconfigPlan plan_;
+  Duration at_;
+  std::uint64_t seq_ = 0;
+};
+
+TEST(Repartition, HotSwapReplacesRingMemberInLayout) {
+  DeploymentOptions opts;
+  opts.ring_size = 3;
+  opts.n_spares = 1;
+  SimDeployment d(opts);
+  const NodeId out = d.ring(0).ring_members[2];
+  const NodeId in = d.ring(0).spares[0];
+
+  auto* learner = d.AddRingLearner(0, true);
+  ringpaxos::ProposerConfig pc;
+  pc.max_outstanding = 4;
+  d.AddProposer(0, pc);
+
+  auto& node = d.net().AddNode();
+  node.BindProtocol(std::make_unique<SwapSubmitter>(
+      d.ring(0), ReconfigPlan::Swap(5, d.ring(0).ring, out, in),
+      Millis(300)));
+
+  d.Start();
+  d.RunFor(Seconds(1));
+
+  auto* coord = d.coordinator(0);
+  ASSERT_TRUE(coord->is_coordinator());
+  EXPECT_EQ(coord->swaps_applied(), 1u);
+  const auto& layout = coord->current_layout();
+  ASSERT_EQ(layout.size(), 3u);
+  EXPECT_NE(std::find(layout.begin(), layout.end(), in), layout.end())
+      << "swap-in did not join the layout";
+  EXPECT_EQ(std::find(layout.begin(), layout.end(), out), layout.end())
+      << "swap-out still in the layout";
+
+  // The stream keeps flowing through the swapped layout.
+  const std::uint64_t before = learner->delivered_msgs();
+  d.RunFor(Seconds(1));
+  EXPECT_GT(learner->delivered_msgs(), before + 100);
+}
+
+}  // namespace
+}  // namespace mrp::reconfig

@@ -32,6 +32,14 @@
 //                        and session abandon — the gate then proves
 //                        dedup, lease handling and admission control are
 //                        themselves byte-deterministic (docs/SESSIONS.md)
+//   --reconfig           enable the elastic reconfiguration subsystem
+//                        (needs >= 2 rings): a holder-routed,
+//                        session-stamped KV client runs against ring 0
+//                        while a RepartitionCoordinator splits the upper
+//                        half of the key space into ring 1's group
+//                        mid-run — seal, chunked state handoff, routing
+//                        flip and redirects must all be
+//                        byte-deterministic (docs/RECONFIG.md)
 //   --out-trace <file>   JSONL trace output (required)
 //   --out-metrics <file> metrics JSON output (required)
 #include <cstdint>
@@ -46,8 +54,12 @@
 #include "common/rand.h"
 #include "common/trace.h"
 #include "multiring/sim_deployment.h"
+#include "reconfig/plan.h"
+#include "reconfig/repartition.h"
+#include "reconfig/ring_view.h"
 #include "recovery/sim_harness.h"
 #include "ringpaxos/proposer.h"
+#include "smr/client.h"
 #include "session/admission.h"
 #include "session/client.h"
 #include "session/lease.h"
@@ -115,6 +127,11 @@ int main(int argc, char** argv) {
       static_cast<std::int64_t>(FlagU64(argc, argv, "--run-ms", 500));
   const bool recovery = HasFlag(argc, argv, "--recovery");
   const bool sessions = HasFlag(argc, argv, "--sessions");
+  const bool reconfig = HasFlag(argc, argv, "--reconfig");
+  if (reconfig && rings < 2) {
+    std::fprintf(stderr, "determinism_probe: --reconfig needs --rings >= 2\n");
+    return 2;
+  }
 
   std::vector<std::unique_ptr<char[]>> ballast;
   if (FlagValue(argc, argv, "--perturb-heap") != nullptr) {
@@ -273,6 +290,93 @@ int main(int argc, char** argv) {
     sched.At(at_frac(7, 10), [session_client, session_client_node] {
       session_client->TriggerAbandon(*session_client_node);
     });
+  }
+
+  // --reconfig: a live group split on rings 0/1 (docs/RECONFIG.md). Two
+  // session-enabled source replicas serve ring 0's group; a holder-routed,
+  // session-stamped KV client drives writes across the whole key space;
+  // at 30% of the run a RepartitionCoordinator seals the upper half of
+  // the key space out of ring 0's group, hands the state off to a target
+  // replica on ring 1 over the chunked snapshot transfer and flips the
+  // routing via RoutingUpdate. The seal cut, handoff chunk order,
+  // redirect traffic and the client's re-dispatches all land in the
+  // byte-compared trace/metrics outputs.
+  mrp::reconfig::RingHolder holder;
+  if (reconfig) {
+    constexpr std::uint64_t kPlanId = 41;
+    constexpr std::uint64_t kSplitLo = 500000;
+    constexpr std::uint64_t kKeyMax = 999999;
+    auto route_of = [&d](int r) {
+      mrp::reconfig::GroupRoute gr;
+      gr.group = d.ring(r).group;
+      gr.ring = d.ring(r).ring;
+      gr.coordinator = d.ring(r).ring_members[0];
+      gr.data_channel = d.ring(r).data_channel;
+      gr.control_channel = d.ring(r).control_channel;
+      gr.ring_members = d.ring(r).ring_members;
+      return gr;
+    };
+    holder.Install(mrp::reconfig::RingConfiguration(
+        1, {route_of(0)}, {{0, kKeyMax, d.ring(0).group}}));
+    std::vector<mrp::sim::SimNode*> source_nodes;
+    for (int r = 0; r < 2; ++r) {
+      auto& node = d.net().AddNode();
+      mrp::smr::ReplicaConfig rc;
+      rc.partition = d.ring(0).group;
+      rc.partition_ring.ring = d.ring(0);
+      rc.respond = (r == 0);
+      rc.sessions = true;
+      source_nodes.push_back(&node);
+      node.BindProtocol(std::make_unique<mrp::smr::Replica>(rc));
+      d.net().Subscribe(node.self(), d.ring(0).data_channel);
+      d.net().Subscribe(node.self(), d.ring(0).control_channel);
+    }
+    mrp::sim::SimNode* target_node = nullptr;
+    {
+      auto& node = d.net().AddNode();
+      mrp::smr::ReplicaConfig rc;
+      rc.partition = d.ring(1).group;
+      rc.range = {kSplitLo, kKeyMax};
+      rc.partition_ring.ring = d.ring(1);
+      rc.respond = true;
+      rc.sessions = true;
+      rc.handoff_plan = kPlanId;
+      rc.handoff_peers = {source_nodes[0]->self(), source_nodes[1]->self()};
+      target_node = &node;
+      node.BindProtocol(std::make_unique<mrp::smr::Replica>(rc));
+      d.net().Subscribe(node.self(), d.ring(1).data_channel);
+      d.net().Subscribe(node.self(), d.ring(1).control_channel);
+    }
+    mrp::sim::SimNode* client_node = nullptr;
+    {
+      mrp::sim::NodeSpec spec;
+      spec.infinite_cpu = true;
+      auto& node = d.net().AddNode(spec);
+      mrp::smr::KvClientConfig cc;
+      cc.rings.push_back(d.ring(0));
+      cc.window = 4;
+      cc.holder = &holder;
+      cc.session_id = 5;
+      client_node = &node;
+      node.BindProtocol(std::make_unique<mrp::smr::KvClient>(cc));
+    }
+    {
+      auto& node = d.net().AddNode();
+      mrp::reconfig::RepartitionConfig pc;
+      pc.plan = mrp::reconfig::ReconfigPlan::Split(
+          kPlanId, d.ring(0).group, d.ring(1).group, kSplitLo, kKeyMax,
+          d.ring(1).ring);
+      pc.source_ring = d.ring(0);
+      pc.next = mrp::reconfig::RingConfiguration(
+          2, {route_of(0), route_of(1)},
+          {{0, kSplitLo - 1, d.ring(0).group},
+           {kSplitLo, kKeyMax, d.ring(1).group}});
+      pc.target_replica = target_node->self();
+      pc.notify = {client_node->self()};
+      pc.start_delay = mrp::Millis(run_ms * 3 / 10);
+      node.BindProtocol(
+          std::make_unique<mrp::reconfig::RepartitionCoordinator>(pc));
+    }
   }
 
   // Two closed-loop clients per ring.

@@ -29,7 +29,7 @@ def first_diff(path_a, path_b):
 
 
 def run_probe(probe, out_base, seed, rings, run_ms, sites, recovery,
-              sessions, perturb):
+              sessions, reconfig, perturb):
     trace = out_base + ".trace.jsonl"
     metrics = out_base + ".metrics.json"
     cmd = [probe, "--seed", str(seed), "--rings", str(rings),
@@ -39,6 +39,8 @@ def run_probe(probe, out_base, seed, rings, run_ms, sites, recovery,
         cmd.append("--recovery")
     if sessions:
         cmd.append("--sessions")
+    if reconfig:
+        cmd.append("--reconfig")
     env = dict(os.environ)
     if perturb:
         cmd += ["--perturb-heap", str(0x9E3779B9 ^ seed)]
@@ -71,6 +73,10 @@ def main():
     # admission gateway, session client) plus scripted session faults
     # (docs/SESSIONS.md).
     ap.add_argument("--sessions", action="store_true")
+    # Adds the elastic reconfiguration subsystem: a holder-routed session
+    # client plus a RepartitionCoordinator performing a live key-range
+    # split from ring 0 to ring 1 mid-run (docs/RECONFIG.md).
+    ap.add_argument("--reconfig", action="store_true")
     args = ap.parse_args()
 
     os.makedirs(args.workdir, exist_ok=True)
@@ -79,11 +85,11 @@ def main():
         base = os.path.join(args.workdir, f"seed{seed}")
         ref = run_probe(args.probe, base + ".a", seed, args.rings,
                         args.run_ms, args.sites, args.recovery,
-                        args.sessions, perturb=False)
+                        args.sessions, args.reconfig, perturb=False)
         for tag, perturb in (("rerun", False), ("perturbed", True)):
             got = run_probe(args.probe, f"{base}.{tag}", seed, args.rings,
                             args.run_ms, args.sites, args.recovery,
-                            args.sessions, perturb=perturb)
+                            args.sessions, args.reconfig, perturb=perturb)
             for kind, a, b in (("trace", ref[0], got[0]),
                                ("metrics", ref[1], got[1])):
                 if not filecmp.cmp(a, b, shallow=False):

@@ -33,6 +33,7 @@
 
 #include "check/fault_plan.h"
 #include "check/oracles.h"
+#include "check/reconfig_oracle.h"
 #include "check/recovery_oracle.h"
 #include "check/session_oracle.h"
 #include "common/rand.h"
@@ -42,6 +43,7 @@
 #include "multiring/sim_deployment.h"
 #include "net/codec.h"
 #include "paxos/messages.h"
+#include "reconfig/repartition.h"
 #include "recovery/sim_harness.h"
 #include "ringpaxos/proposer.h"
 #include "ringpaxos/ring_node.h"
@@ -107,6 +109,8 @@ struct RunStats {
   std::uint64_t deliveries = 0;
   std::uint64_t session_applies = 0;  // dedup-passing applies (with_smr)
   std::uint64_t local_reads = 0;      // lease-served local reads (with_smr)
+  std::uint64_t reconfig_applies = 0;  // stamped applies the split oracle saw
+  bool repart_done = false;            // the live split ran to completion
   std::string report;
 
   bool Has(const std::string& oracle) const {
@@ -173,9 +177,29 @@ RunStats RunPlan(const FaultPlan& plan, InstanceId inject_corrupt,
   for (int r = 0; r < shape.n_rings; ++r) all_rings.push_back(r);
   std::set<std::pair<NodeId, std::uint64_t>> delivered_by_a;
 
+  // Reconfiguration infra (docs/RECONFIG.md) is built only when the plan
+  // carries reconfig events, so earlier artifacts replay byte-identically.
+  bool has_reconfig_events = false;
+  bool has_split = false;
+  TimePoint split_at{0};
+  for (const FaultEvent& ev : plan.events) {
+    if (ev.kind >= FaultEvent::Kind::kSplitLive) has_reconfig_events = true;
+    if (ev.kind == FaultEvent::Kind::kSplitLive && !has_split) {
+      has_split = true;
+      split_at = ev.at;
+    }
+  }
+  const bool reconfig_on =
+      has_reconfig_events && shape.with_smr && shape.n_rings >= 2;
+  check::ReconfigOracle reconfig_oracle(&oracle);
+  reconfig::RingHolder client_holder;  // the KV client's routing view
+  constexpr std::uint64_t kSplitPlanId = 77;
+  constexpr std::uint64_t kSplitLo = 500000;
+  constexpr std::uint64_t kKeyMax = 999999;  // Partitioning space - 1
+
   auto add_learner = [&](const std::string& name,
                          const std::vector<int>& rings, bool acks,
-                         InstanceId corrupt) {
+                         InstanceId corrupt) -> MergeLearner* {
     auto& node = d.net().AddNode();
     std::vector<GroupId> groups;
     MergeLearner::Options mo;
@@ -192,22 +216,35 @@ RunStats RunPlan(const FaultPlan& plan, InstanceId inject_corrupt,
       d.net().Subscribe(node.self(), d.ring(r).control_channel);
     }
     const int idx = oracle.RegisterLearner(name, groups);
+    // Merge-order pin for the split oracle: fully subscribed learners'
+    // per-group delivery sequences must stay prefix-consistent across
+    // the reconfiguration.
+    const int rl = reconfig_on ? reconfig_oracle.RegisterLearner(name) : -1;
     mo.on_decide = [&oracle, idx, name](RingId ring, InstanceId inst,
                                         const paxos::Value& v) {
       MaybeProbe(name, ring, inst, v);
       oracle.OnDecide(idx, ring, inst, v);
     };
-    mo.on_deliver = [&oracle, &delivered_by_a, idx,
+    mo.on_deliver = [&oracle, &reconfig_oracle, &delivered_by_a, idx, rl,
                      acks](GroupId g, const paxos::ClientMsg& m) {
       oracle.OnDeliver(idx, g, m);
       if (acks) delivered_by_a.emplace(m.proposer, m.seq);
+      if (rl >= 0) reconfig_oracle.OnDeliver(rl, g, m.Fingerprint());
     };
     auto learner = std::make_unique<MergeLearner>(std::move(mo));
+    MergeLearner* raw = learner.get();
     node.BindProtocol(std::move(learner));
+    return raw;
   };
-  add_learner("merge-a", all_rings, /*acks=*/true, 0);
+  MergeLearner* merge_a = add_learner("merge-a", all_rings, /*acks=*/true, 0);
   add_learner("merge-b", all_rings, /*acks=*/false, inject_corrupt);
   add_learner("ring0-only", {0}, /*acks=*/false, 0);
+  if (reconfig_on) {
+    // A split never reorders the ring streams themselves (the seal is
+    // just a command in the source stream), so every group's merge order
+    // is pinned across the move.
+    for (int r : all_rings) reconfig_oracle.MarkUnaffected(d.ring(r).group);
+  }
 
   // Two recovery-enabled learners (docs/RECOVERY.md): rec-a is the
   // never-crashed reference (and snapshot server), rec-b the crash
@@ -287,6 +324,11 @@ RunStats RunPlan(const FaultPlan& plan, InstanceId inject_corrupt,
   std::vector<smr::Replica*> replicas;
   std::vector<sim::SimNode*> replica_nodes;
   smr::KvClient* kv_client = nullptr;
+  sim::SimNode* kv_client_node = nullptr;
+  MergeLearner* observer = nullptr;  // resubscribe-storm target
+  sim::SimNode* reconfig_target_node = nullptr;
+  reconfig::RepartitionCoordinator* repart = nullptr;
+  sim::SimNode* repart_node = nullptr;
   session::SessionClient* session_client = nullptr;
   sim::SimNode* session_client_node = nullptr;
   session::LeaseGrantor* lease_grantor = nullptr;
@@ -307,9 +349,15 @@ RunStats RunPlan(const FaultPlan& plan, InstanceId inject_corrupt,
       };
       const int sidx =
           session_oracle.RegisterReplica("replica" + std::to_string(r));
-      rc.on_session_apply = [&session_oracle, sidx](std::uint64_t sid,
-                                                    std::uint64_t seq) {
+      const int ridx = reconfig_on
+                           ? reconfig_oracle.RegisterReplica(
+                                 "replica" + std::to_string(r),
+                                 d.ring(0).group)
+                           : -1;
+      rc.on_session_apply = [&session_oracle, &reconfig_oracle, sidx, ridx](
+                                std::uint64_t sid, std::uint64_t seq) {
         session_oracle.OnSessionApply(sidx, sid, seq);
+        if (ridx >= 0) reconfig_oracle.OnSessionApply(ridx, sid, seq);
       };
       if (r == 1) {
         rc.on_local_read = [&session_oracle, sidx](std::uint64_t epoch,
@@ -337,8 +385,19 @@ RunStats RunPlan(const FaultPlan& plan, InstanceId inject_corrupt,
       cc.on_submit = [&oracle](const paxos::ClientMsg& m) {
         oracle.OnPropose(m);
       };
+      if (reconfig_on) {
+        // Holder-routed, session-stamped traffic: redirects re-dispatch
+        // across the split and the oracle pins exactly-once + no-loss.
+        cc.holder = &client_holder;
+        cc.session_id = 3;
+        cc.on_complete = [&reconfig_oracle](std::uint64_t sid,
+                                            std::uint64_t seq) {
+          reconfig_oracle.OnClientComplete(sid, seq);
+        };
+      }
       auto client = std::make_unique<smr::KvClient>(cc);
       kv_client = client.get();
+      kv_client_node = &node;
       node.BindProtocol(std::move(client));
     }
     // Admission gateway: the session client's submissions funnel through
@@ -387,6 +446,116 @@ RunStats RunPlan(const FaultPlan& plan, InstanceId inject_corrupt,
       session_client = cl.get();
       session_client_node = &node;
       node.BindProtocol(std::move(cl));
+    }
+    if (reconfig_on) {
+      auto route_of = [&d](int r) {
+        reconfig::GroupRoute gr;
+        gr.group = d.ring(r).group;
+        gr.ring = d.ring(r).ring;
+        gr.coordinator = d.ring(r).ring_members[0];
+        gr.data_channel = d.ring(r).data_channel;
+        gr.control_channel = d.ring(r).control_channel;
+        gr.ring_members = d.ring(r).ring_members;
+        return gr;
+      };
+      // Group 0 owns the whole key space until the split moves the
+      // upper half to ring 1's group.
+      client_holder.Install(reconfig::RingConfiguration(
+          1, {route_of(0)}, {{0, kKeyMax, d.ring(0).group}}));
+
+      // Target-partition replica: bootstraps from the sealed handoff
+      // (chunked snapshot transfer from either source replica) and
+      // answers the coordinator's completion probes.
+      {
+        auto& node = d.net().AddNode();
+        smr::ReplicaConfig rc;
+        rc.partition = d.ring(1).group;
+        rc.range = {kSplitLo, kKeyMax};
+        rc.partition_ring.ring = d.ring(1);
+        rc.respond = true;
+        rc.sessions = true;
+        rc.handoff_plan = kSplitPlanId;
+        rc.handoff_peers = {replica_nodes[0]->self(),
+                            replica_nodes[1]->self()};
+        const int idx = oracle.RegisterReplica("target", 1);
+        rc.on_apply = [&oracle, idx](const smr::Command& cmd) {
+          oracle.OnSmrApply(idx, cmd);
+        };
+        const int sidx = session_oracle.RegisterReplica("target");
+        const int ridx =
+            reconfig_oracle.RegisterReplica("target", d.ring(1).group);
+        rc.on_session_apply = [&session_oracle, &reconfig_oracle, sidx,
+                               ridx](std::uint64_t sid, std::uint64_t seq) {
+          session_oracle.OnSessionApply(sidx, sid, seq);
+          reconfig_oracle.OnSessionApply(ridx, sid, seq);
+        };
+        auto rep = std::make_unique<smr::Replica>(rc);
+        reconfig_target_node = &node;
+        node.BindProtocol(std::move(rep));
+        d.net().Subscribe(node.self(), d.ring(1).data_channel);
+        d.net().Subscribe(node.self(), d.ring(1).control_channel);
+      }
+
+      // Observer merge learner: the resubscribe-storm target. Its
+      // subscribe cuts and decides feed the early-delivery oracle; it
+      // is deliberately NOT merge-order pinned (unsubscribed stretches
+      // leave legitimate gaps in its streams).
+      {
+        auto& node = d.net().AddNode();
+        MergeLearner::Options mo;
+        std::map<GroupId, RingId> ring_of;
+        for (int r : all_rings) {
+          ringpaxos::LearnerOptions lo;
+          lo.ring = d.ring(r);
+          mo.groups.push_back(lo);
+          ring_of[d.ring(r).group] = d.ring(r).ring;
+          d.net().Subscribe(node.self(), d.ring(r).data_channel);
+          d.net().Subscribe(node.self(), d.ring(r).control_channel);
+        }
+        const int obs = reconfig_oracle.RegisterLearner("observer");
+        mo.on_decide = [&reconfig_oracle, obs](RingId ring, InstanceId inst,
+                                               const paxos::Value&) {
+          reconfig_oracle.OnDecide(obs, ring, inst);
+        };
+        mo.on_subscription_change =
+            [&reconfig_oracle, obs, ring_of](GroupId g, bool joined,
+                                             InstanceId cut) {
+              if (!joined) return;
+              auto it = ring_of.find(g);
+              if (it != ring_of.end()) {
+                reconfig_oracle.OnSubscribeCut(obs, it->second, cut);
+              }
+            };
+        auto ml = std::make_unique<MergeLearner>(std::move(mo));
+        observer = ml.get();
+        node.BindProtocol(std::move(ml));
+      }
+
+      // The repartition coordinator, armed to begin at the split
+      // event's time. Routing flips reach the KV client as
+      // RoutingUpdate messages (the wire path, not a shared holder).
+      if (has_split) {
+        auto& node = d.net().AddNode();
+        reconfig::RepartitionConfig pc;
+        pc.plan = reconfig::ReconfigPlan::Split(
+            kSplitPlanId, d.ring(0).group, d.ring(1).group, kSplitLo,
+            kKeyMax, d.ring(1).ring);
+        pc.source_ring = d.ring(0);
+        pc.next = reconfig::RingConfiguration(
+            2, {route_of(0), route_of(1)},
+            {{0, kSplitLo - 1, d.ring(0).group},
+             {kSplitLo, kKeyMax, d.ring(1).group}});
+        pc.target_replica = reconfig_target_node->self();
+        pc.notify = {kv_client_node->self()};
+        pc.start_delay = Duration(split_at.count());
+        pc.on_submit = [&oracle](const paxos::ClientMsg& m) {
+          oracle.OnPropose(m);
+        };
+        auto co = std::make_unique<reconfig::RepartitionCoordinator>(pc);
+        repart = co.get();
+        repart_node = &node;
+        node.BindProtocol(std::move(co));
+      }
     }
   }
 
@@ -496,6 +665,48 @@ RunStats RunPlan(const FaultPlan& plan, InstanceId inject_corrupt,
         }
         break;
       }
+      case FaultEvent::Kind::kSplitLive: {
+        // The repartition coordinator was armed at setup with this
+        // event's time as its start delay; nothing to trigger here.
+        break;
+      }
+      case FaultEvent::Kind::kResubscribeStorm: {
+        // Unsubscribe the last ring's group now; at heal time, rejoin
+        // positioned at the reference learner's frontier (the
+        // snapshot-cut bootstrap of a live join). Both changes activate
+        // at merge turn boundaries.
+        if (observer != nullptr) {
+          const int r = shape.n_rings - 1;
+          const GroupId g = d.ring(r).group;
+          observer->QueueUnsubscribe(g);
+          MergeLearner* obs = observer;
+          MergeLearner* ref = merge_a;
+          sched.At(heal_at, [obs, ref, &d, r, g] {
+            InstanceId cut = 1;
+            for (std::size_t i = 0; i < ref->group_count(); ++i) {
+              if (ref->group_source(i)->group() == g) {
+                cut = ref->group_source(i)->next_instance();
+              }
+            }
+            ringpaxos::LearnerOptions lo;
+            lo.ring = d.ring(r);
+            auto src = std::make_unique<multiring::RingGroupSource>(lo);
+            src->StartAt(cut);
+            obs->QueueSubscribe(std::move(src));
+          });
+        }
+        break;
+      }
+      case FaultEvent::Kind::kReconfigCoordKill: {
+        // Pause the repartition coordinator mid-plan; its deferred tick
+        // resumes the idempotent state machine at heal time.
+        if (repart_node != nullptr) {
+          repart_node->SetDown(true);
+          auto* n = repart_node;
+          sched.At(heal_at, [n] { n->SetDown(false); });
+        }
+        break;
+      }
     }
   }
   d.net().RunUntil(std::max(plan.budget.horizon, last_end));
@@ -519,6 +730,9 @@ RunStats RunPlan(const FaultPlan& plan, InstanceId inject_corrupt,
   // Restored-stream comparison: every crash-recovered segment of rec-b
   // must be byte-identical to rec-a's stream from its resume index.
   recovery_oracle.Finish();
+  // Split no-loss check: every stamped write the client saw complete
+  // must have been applied by some replica (no-op without reconfig).
+  reconfig_oracle.Finish();
 
   if (plan.budget.assert_liveness) {
     if (delivered_by_a.size() < kMinProgress) {
@@ -555,6 +769,12 @@ RunStats RunPlan(const FaultPlan& plan, InstanceId inject_corrupt,
                       std::to_string(session_client->completed()) +
                       " < 10 operations");
     }
+    if (repart != nullptr && !repart->done()) {
+      oracle.Flag("liveness",
+                  "repartition plan did not complete (phase " +
+                      std::to_string(static_cast<int>(repart->phase())) +
+                      ")");
+    }
   }
 
   RunStats rs;
@@ -565,6 +785,8 @@ RunStats RunPlan(const FaultPlan& plan, InstanceId inject_corrupt,
   rs.deliveries = oracle.deliveries();
   rs.session_applies = session_oracle.session_applies();
   rs.local_reads = session_oracle.local_reads();
+  rs.reconfig_applies = reconfig_oracle.applies();
+  rs.repart_done = repart != nullptr && repart->done();
   rs.report = oracle.Report();
   return rs;
 }
@@ -665,6 +887,16 @@ std::vector<Bytes> CodecCorpus() {
                               {{1, "one"}, {2, "two"}}));
   add(session::SessionReadRep(43, 0, session::SessionReadRep::kNoLease));
   add(session::Rejected(1, 42, session::Rejected::kOverload));
+  {
+    reconfig::RingConfiguration rcfg(
+        2,
+        {reconfig::GroupRoute{0, 0, 3, 10, 11, {3, 4}},
+         reconfig::GroupRoute{1, 1, 5, 12, 13, {5, 6}}},
+        {{0, 499999, 0}, {500000, 999999, 1}});
+    add(reconfig::RoutingUpdate(rcfg.version(), rcfg.Encode()));
+  }
+  add(reconfig::HandoffRequest(77, 1));
+  add(reconfig::PlanStatus(77, true));
   add(paxos::SubmitReq(cm));
   add(paxos::Phase1A(4, 2));
   add(paxos::Phase1B(4, 2, 1, val));
@@ -823,7 +1055,7 @@ int RunSelfCheck(const std::string& artifact_dir, bool verbose) {
 
   // 1. The clean run must pass — otherwise the fuzzer found a real bug
   //    and the self-check machinery cannot be validated on top of it.
-  std::printf("self-check 1/5: clean run...\n");
+  std::printf("self-check 1/6: clean run...\n");
   RunStats clean = RunPlan(plan, 0, verbose);
   if (clean.violated) {
     std::printf("clean run violated oracles (real bug?):\n%s\n",
@@ -832,7 +1064,7 @@ int RunSelfCheck(const std::string& artifact_dir, bool verbose) {
   }
 
   // 2. Injecting the agreement bug must trip the oracles.
-  std::printf("self-check 2/5: injected corruption is caught...\n");
+  std::printf("self-check 2/6: injected corruption is caught...\n");
   RunStats bad = RunPlan(plan, corrupt_at, verbose);
   if (!bad.violated) {
     std::printf("injected corruption was NOT caught\n");
@@ -846,7 +1078,7 @@ int RunSelfCheck(const std::string& artifact_dir, bool verbose) {
 
   // 3. The shrinker must reduce the schedule: the injected bug is
   //    plan-independent, so nearly every event can be dropped.
-  std::printf("self-check 3/5: shrinking %zu events...\n",
+  std::printf("self-check 3/6: shrinking %zu events...\n",
               plan.events.size());
   FaultPlan shrunk = Shrink(plan, corrupt_at, bad.first_oracle, 200, verbose);
   if (shrunk.events.size() > 5) {
@@ -856,7 +1088,7 @@ int RunSelfCheck(const std::string& artifact_dir, bool verbose) {
 
   // 4. The artifact must round-trip through JSON and replay to the
   //    byte-identical oracle feed.
-  std::printf("self-check 4/5: artifact round-trip + byte-identical replay...\n");
+  std::printf("self-check 4/6: artifact round-trip + byte-identical replay...\n");
   RunStats final_rs = RunPlan(shrunk, corrupt_at, false);
   ReplayArtifact art;
   art.plan = shrunk;
@@ -888,7 +1120,7 @@ int RunSelfCheck(const std::string& artifact_dir, bool verbose) {
   //    served) without tripping the exactly-once or lease-read oracles,
   //    round-trip through JSON, and replay to the identical feed digest.
   std::printf(
-      "self-check 5/5: session retry storm + learner crash replays clean...\n");
+      "self-check 5/6: session retry storm + learner crash replays clean...\n");
   FaultPlan sp;
   sp.seed = 7;
   sp.shape.with_smr = true;
@@ -935,12 +1167,64 @@ int RunSelfCheck(const std::string& artifact_dir, bool verbose) {
     return 1;
   }
 
+  // 6. Reconfiguration (docs/RECONFIG.md): a scripted live split with a
+  //    resubscribe storm and a coordinator crash mid-plan must complete
+  //    the repartition, keep every oracle green, and replay to the
+  //    identical feed digest.
+  std::printf(
+      "self-check 6/6: live split under faults completes and replays...\n");
+  FaultPlan rp;
+  rp.seed = 11;
+  rp.shape.with_smr = true;
+  auto rput = [&rp](FaultEvent::Kind kind, std::int64_t at_ms,
+                    std::int64_t dur_ms) {
+    FaultEvent e;
+    e.kind = kind;
+    e.at = TimePoint(at_ms * 1000000);
+    e.duration = Duration(dur_ms * 1000000);
+    rp.events.push_back(e);
+  };
+  rput(FaultEvent::Kind::kResubscribeStorm, 400, 300);
+  rput(FaultEvent::Kind::kSplitLive, 800, 20);
+  rput(FaultEvent::Kind::kReconfigCoordKill, 900, 250);
+  rput(FaultEvent::Kind::kResubscribeStorm, 1600, 300);
+  RunStats reconf = RunPlan(rp, 0, verbose);
+  if (reconf.violated) {
+    std::printf("reconfig plan violated oracles:\n%s\n",
+                reconf.report.c_str());
+    return 1;
+  }
+  if (!reconf.repart_done || reconf.reconfig_applies == 0) {
+    std::printf("reconfig plan did not exercise the machinery "
+                "(done=%d stamped applies=%llu)\n",
+                reconf.repart_done ? 1 : 0,
+                static_cast<unsigned long long>(reconf.reconfig_applies));
+    return 1;
+  }
+  ReplayArtifact rart;
+  rart.plan = rp;
+  rart.feed_digest = reconf.digest;
+  auto rparsed = check::ParseArtifact(check::ToJson(rart));
+  if (!rparsed || !(*rparsed == rart)) {
+    std::printf("reconfig artifact JSON round-trip mismatch\n");
+    return 1;
+  }
+  RunStats rreplay = RunPlan(rparsed->plan, 0, false);
+  if (rreplay.violated || rreplay.digest != reconf.digest) {
+    std::printf("reconfig replay diverged: digest %016llx vs %016llx\n",
+                static_cast<unsigned long long>(rreplay.digest),
+                static_cast<unsigned long long>(reconf.digest));
+    return 1;
+  }
+
   std::printf("self-check PASSED (%zu-event artifact at %s, digest "
-              "%016llx; session plan: %llu applies, %llu local reads)\n",
+              "%016llx; session plan: %llu applies, %llu local reads; "
+              "reconfig plan: split done, %llu stamped applies)\n",
               shrunk.events.size(), path.c_str(),
               static_cast<unsigned long long>(art.feed_digest),
               static_cast<unsigned long long>(sess.session_applies),
-              static_cast<unsigned long long>(sess.local_reads));
+              static_cast<unsigned long long>(sess.local_reads),
+              static_cast<unsigned long long>(reconf.reconfig_applies));
   return 0;
 }
 
