@@ -127,21 +127,30 @@ struct LatencySummary {
   double p50_ms = 0;
   double p90_ms = 0;
   double p99_ms = 0;
+  double p999_ms = 0;
   double trimmed_mean_ms = 0;
   double p50_ns = 0;
   double p99_ns = 0;
+  double p999_ns = 0;
 };
 
+// Every quantile comes straight off the fixed log-scale buckets, so
+// summarising 10^6+ open-loop samples is O(buckets) — no sorted copy of
+// the raw samples exists anywhere. The price is the bucket width
+// (~2^-4 relative, see stats.h), bounded by the error tests in
+// tests/metrics_test.cc; p99.9 needs that tail resolution the most.
 inline LatencySummary Summarize(const Histogram& h) {
   LatencySummary s;
   s.count = h.count();
   if (s.count == 0) return s;
   s.p50_ns = h.Quantile(0.50);
   s.p99_ns = h.Quantile(0.99);
+  s.p999_ns = h.Quantile(0.999);
   s.p10_ms = h.Quantile(0.10) / 1e6;
   s.p50_ms = s.p50_ns / 1e6;
   s.p90_ms = h.Quantile(0.90) / 1e6;
   s.p99_ms = s.p99_ns / 1e6;
+  s.p999_ms = s.p999_ns / 1e6;
   s.trimmed_mean_ms = h.TrimmedMean(0.05) / 1e6;
   return s;
 }

@@ -157,6 +157,7 @@ class SimNetwork {
 
   Scheduler& scheduler() { return sched_; }
   TimePoint now() const { return sched_.now(); }
+  const NetConfig& config() const { return cfg_; }
 
   SimNode& AddNode() { return AddNode(cfg_.default_spec); }
   SimNode& AddNode(const NodeSpec& spec) { return AddNode(spec, 0); }

@@ -1,6 +1,14 @@
 // Deterministic discrete-event scheduler. Events fire in (time, insertion
 // sequence) order, so identical seeds give bit-identical runs.
 //
+// Two interchangeable cores sit behind the same API (selected at
+// construction, docs/SIMULATOR.md): the default hierarchical timer
+// wheel with pooled event records (O(1) schedule, allocation-free in
+// steady state) and the reference std::priority_queue kept for
+// differential parity tests and as the bench baseline. Both produce the
+// identical total order, so traces and the determinism gates are
+// unaffected by the choice.
+//
 // A pluggable Strategy (tools/mc, docs/MODEL_CHECKING.md) may override
 // the tie-break among events that share the minimal timestamp: the
 // strategy is shown every enabled event at that time and picks which one
@@ -17,6 +25,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "sim/timer_wheel.h"
 
 namespace mrp::sim {
 
@@ -38,6 +47,18 @@ struct EventTag {
 class Scheduler {
  public:
   using EventId = std::uint64_t;
+
+  // Which event store backs the scheduler. Ordering is identical; only
+  // the data structure (and its constant factors) differ.
+  enum class Core : std::uint8_t {
+    kWheel = 0,  // hierarchical timer wheel + pooled events (default)
+    kPq = 1,     // reference priority queue (parity tests, bench baseline)
+  };
+
+  Scheduler() = default;
+  explicit Scheduler(Core core) : core_(core) {}
+
+  Core core() const { return core_; }
 
   // One enabled event as shown to a Strategy: identity, firing time and
   // the tag it was scheduled with.
@@ -65,7 +86,17 @@ class Scheduler {
 
   EventId At(TimePoint t, EventTag tag, std::function<void()> fn) {
     const EventId id = ++next_id_;
-    queue_.push(Event{t < now_ ? now_ : t, id, tag, std::move(fn)});
+    const TimePoint at = t < now_ ? now_ : t;
+    if (core_ == Core::kWheel) {
+      Event* e = wheel_.Acquire();
+      e->at = at;
+      e->id = id;
+      e->tag = tag;
+      e->fn = std::move(fn);
+      wheel_.Insert(e);
+    } else {
+      queue_.push(Event{at, id, tag, std::move(fn)});
+    }
     pending_ids_.insert(id);
     return id;
   }
@@ -86,7 +117,7 @@ class Scheduler {
     if (cancelled_.insert(id).second) ++cancelled_live_;
   }
 
-  bool empty() const { return queue_.size() == cancelled_live_; }
+  bool empty() const { return StoredCount() == cancelled_live_; }
 
   // Installs (or clears, with nullptr) the same-time tie-break strategy.
   // The pointer is borrowed and must outlive the scheduler or be cleared.
@@ -94,15 +125,28 @@ class Scheduler {
 
   // Earliest live (non-cancelled) event time; kTimeZero - 1 convention is
   // avoided: returns `fallback` when no live event remains. Prunes
-  // cancelled heap tops as a side effect (they are dead either way).
+  // cancelled store fronts as a side effect (they are dead either way).
   TimePoint NextEventTime(TimePoint fallback) {
     DiscardCancelledTop();
-    return queue_.empty() ? fallback : queue_.top().at;
+    const Event* e = Peek();
+    return e == nullptr ? fallback : e->at;
   }
 
   // Runs the next event; returns false if none remain.
   bool RunOne() {
     if (strategy_ != nullptr) return RunOneWithStrategy();
+    if (core_ == Core::kWheel) {
+      while (!wheel_.empty()) {
+        Event* e = wheel_.RemoveMin();
+        if (Cancelled(e->id)) {
+          ReleaseRecord(e);
+          continue;
+        }
+        FireRecord(e);
+        return true;
+      }
+      return false;
+    }
     while (!queue_.empty()) {
       Event ev = PopTop();
       if (Cancelled(ev.id)) continue;
@@ -116,7 +160,8 @@ class Scheduler {
   void RunUntil(TimePoint t) {
     while (true) {
       DiscardCancelledTop();
-      if (queue_.empty() || queue_.top().at > t) break;
+      const Event* e = Peek();
+      if (e == nullptr || e->at > t) break;
       if (!RunOne()) break;
     }
     if (now_ < t) now_ = t;
@@ -130,12 +175,20 @@ class Scheduler {
     }
   }
 
-  std::size_t pending() const { return queue_.size(); }
+  std::size_t pending() const { return StoredCount(); }
 
   // ---- Dispatch counters (exported into the cluster metrics snapshot) ----
   std::uint64_t events_run() const { return events_run_; }
   std::uint64_t events_scheduled() const { return next_id_; }
   std::uint64_t events_cancelled() const { return events_cancelled_; }
+
+  // ---- Event-record pool stats (wheel core; zero under the pq core) ----
+  std::size_t pool_allocated() const {
+    return core_ == Core::kWheel ? wheel_.pool_allocated() : 0;
+  }
+  std::uint64_t pool_reused() const {
+    return core_ == Core::kWheel ? wheel_.pool_reused() : 0;
+  }
 
  private:
   struct Event {
@@ -151,12 +204,30 @@ class Scheduler {
     }
   };
 
+  std::size_t StoredCount() const {
+    return core_ == Core::kWheel ? wheel_.size() : queue_.size();
+  }
+
+  // Front of the event store (including cancelled entries), nullptr when
+  // the store is empty. Non-const: the wheel may cascade to find it.
+  const Event* Peek() {
+    if (core_ == Core::kWheel) return wheel_.PeekMin();
+    return queue_.empty() ? nullptr : &queue_.top();
+  }
+
   Event PopTop() {
     // const_cast to move out of the priority_queue top; the element is
     // removed immediately afterwards.
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     return ev;
+  }
+
+  // Returns a pooled record, dropping its closure first so captured
+  // state is freed now rather than at the next reuse.
+  void ReleaseRecord(Event* e) {
+    e->fn = nullptr;
+    wheel_.Release(e);
   }
 
   // True (and accounted) when the popped event was cancelled.
@@ -171,7 +242,15 @@ class Scheduler {
   }
 
   void DiscardCancelledTop() {
-    while (!queue_.empty() && Cancelled(queue_.top().id)) queue_.pop();
+    while (true) {
+      const Event* e = Peek();
+      if (e == nullptr || !Cancelled(e->id)) return;
+      if (core_ == Core::kWheel) {
+        ReleaseRecord(wheel_.RemoveMin());
+      } else {
+        queue_.pop();
+      }
+    }
   }
 
   void Fire(Event ev) {
@@ -181,7 +260,51 @@ class Scheduler {
     ++events_run_;
   }
 
+  // Wheel-core firing: the record returns to the pool before the
+  // callback runs, so work the callback schedules reuses it.
+  void FireRecord(Event* e) {
+    pending_ids_.erase(e->id);
+    now_ = e->at;
+    std::function<void()> fn = std::move(e->fn);
+    ReleaseRecord(e);
+    fn();
+    ++events_run_;
+  }
+
   bool RunOneWithStrategy() {
+    return core_ == Core::kWheel ? RunOneWithStrategyWheel()
+                                 : RunOneWithStrategyPq();
+  }
+
+  bool RunOneWithStrategyWheel() {
+    while (true) {
+      DiscardCancelledTop();
+      if (wheel_.empty()) return false;
+      const TimePoint t = wheel_.PeekMin()->at;
+      // Pop every live event enabled at the minimal time; the wheel
+      // yields them id-ascending at equal times.
+      std::vector<Event*> enabled;
+      while (!wheel_.empty() && wheel_.PeekMin()->at == t) {
+        Event* e = wheel_.RemoveMin();
+        if (Cancelled(e->id)) {
+          ReleaseRecord(e);
+          continue;
+        }
+        enabled.push_back(e);
+      }
+      if (enabled.empty()) continue;
+      const std::size_t pick = PickIndex(enabled);
+      // Reinsert the rest; ids are unchanged, so the sorted current slot
+      // restores their relative order and the default tie-break.
+      for (std::size_t i = 0; i < enabled.size(); ++i) {
+        if (i != pick) wheel_.Insert(enabled[i]);
+      }
+      FireRecord(enabled[pick]);
+      return true;
+    }
+  }
+
+  bool RunOneWithStrategyPq() {
     DiscardCancelledTop();
     if (queue_.empty()) return false;
     const TimePoint t = queue_.top().at;
@@ -193,7 +316,7 @@ class Scheduler {
       if (Cancelled(ev.id)) continue;
       enabled.push_back(std::move(ev));
     }
-    if (enabled.empty()) return RunOneWithStrategy();
+    if (enabled.empty()) return RunOneWithStrategyPq();
     std::size_t pick = 0;
     if (enabled.size() > 1) {
       std::vector<EventInfo> infos;
@@ -212,16 +335,27 @@ class Scheduler {
     return true;
   }
 
+  std::size_t PickIndex(const std::vector<Event*>& enabled) {
+    if (enabled.size() <= 1) return 0;
+    std::vector<EventInfo> infos;
+    infos.reserve(enabled.size());
+    for (const Event* e : enabled) infos.push_back({e->id, e->at, e->tag});
+    const std::size_t pick = strategy_->PickNext(infos);
+    return pick >= enabled.size() ? 0 : pick;
+  }
+
   TimePoint now_{0};
   EventId next_id_ = 0;
+  Core core_ = Core::kWheel;
+  TimerWheel<Event> wheel_;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unordered_set<EventId> cancelled_;
   // Ids scheduled but not yet fired/cancelled. Cancel consults it so a
   // stale cancellation (id already ran, or never existed) cannot inflate
   // cancelled_live_ and make empty() lie about live events.
   std::unordered_set<EventId> pending_ids_;
-  // Cancelled-but-unpopped entries still sitting in queue_. Kept in sync
-  // by Cancel/RunOne so empty() can subtract them without draining.
+  // Cancelled-but-unpopped entries still sitting in the store. Kept in
+  // sync by Cancel/RunOne so empty() can subtract them without draining.
   std::size_t cancelled_live_ = 0;
   Strategy* strategy_ = nullptr;
   std::uint64_t events_run_ = 0;

@@ -1,0 +1,244 @@
+// Hierarchical timer wheel: the event store behind sim::Scheduler's
+// default core (docs/SIMULATOR.md). Holds pointers to pooled event
+// records and yields them in exact (time, insertion id) order — the
+// same total order the reference priority-queue core produces — so
+// swapping cores never changes a trace byte.
+//
+// Layout: kLevels wheels of kSlots slots each. A level-k slot spans
+// 2^(kGranularityBits + k*kSlotBits) ns, so with the defaults
+// (1024 ns granularity, 64 slots, 4 levels) the wheels cover ~17 s of
+// future; anything beyond parks in an exact-ordered overflow heap and
+// is consulted (not cascaded) at pop time. Insert is O(1); popping pays
+// O(1) amortised bitmap scans plus an O(s log s) sort the first time a
+// slot of s events becomes current — s is the number of events sharing
+// one 1024 ns tick, which stays small in real deployments. The current
+// slot drains through a cursor, so same-tick bursts cost no memmoves.
+//
+// The wheel intentionally does not quantise: `at` values keep full
+// nanosecond resolution, ticks only bucket them. Events sharing a tick
+// are ordered by (at, id) when their slot becomes current.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/pool.h"
+#include "common/types.h"
+
+namespace mrp::sim {
+
+// Event must expose `TimePoint at` and an unsigned unique `id` that
+// increases with insertion order. The wheel owns every event record via
+// its internal pool: callers Acquire(), fill, Insert(), and Release()
+// after consuming a popped event.
+template <typename Event>
+class TimerWheel {
+ public:
+  static constexpr int kGranularityBits = 10;  // 1024 ns per tick
+  static constexpr int kSlotBits = 6;          // 64 slots per level
+  static constexpr int kLevels = 4;
+  static constexpr std::size_t kSlots = 1u << kSlotBits;
+  // Ticks covered by the wheels; beyond this inserts go to overflow.
+  static constexpr std::uint64_t kHorizonTicks = 1ULL
+                                                 << (kSlotBits * kLevels);
+
+  Event* Acquire() { return pool_.Acquire(); }
+  void Release(Event* e) { pool_.Release(e); }
+
+  void Insert(Event* e) {
+    ++size_;
+    // Ticks in the past are clamped into the current slot: ordering is
+    // by exact (at, id), so a late event still fires first within it.
+    const std::uint64_t tick = std::max(TickOf(e->at), cur_tick_);
+    // Overflow is gated on the top level's rotating window, not the raw
+    // tick distance: a tick can be < cur + kHorizonTicks yet land past
+    // the window, which would alias a wrapped slot and re-cascade onto
+    // itself forever.
+    constexpr int kTopShift = (kLevels - 1) * kSlotBits;
+    if ((tick >> kTopShift) - (cur_tick_ >> kTopShift) >= kSlots) {
+      overflow_.push(e);
+      return;
+    }
+    const int level = LevelFor(tick);
+    const std::size_t slot = SlotIndex(tick, level);
+    auto& vec = slots_[static_cast<std::size_t>(level)][slot];
+    if (level == 0 && tick == sorted_tick_ && !vec.empty()) {
+      // The slot being drained is kept sorted past its cursor; keep the
+      // invariant so a callback scheduling into its own tick fires in
+      // (at, id) order.
+      vec.insert(std::upper_bound(vec.begin() +
+                                      static_cast<std::ptrdiff_t>(cur_pos_),
+                                  vec.end(), e, Earlier),
+                 e);
+    } else {
+      vec.push_back(e);
+    }
+    occupied_[static_cast<std::size_t>(level)] |= 1ULL << slot;
+  }
+
+  // Event with the smallest (at, id), or nullptr when empty. The
+  // returned event stays stored; RemoveMin() extracts it.
+  Event* PeekMin() {
+    Event* w = WheelFront();
+    Event* o = overflow_.empty() ? nullptr : overflow_.top();
+    if (w == nullptr) return o;
+    if (o == nullptr) return w;
+    return Earlier(o, w) ? o : w;
+  }
+
+  // Extracts the event PeekMin() would return. Call only when nonempty.
+  Event* RemoveMin() {
+    Event* w = WheelFront();
+    Event* o = overflow_.empty() ? nullptr : overflow_.top();
+    --size_;
+    if (w != nullptr && (o == nullptr || Earlier(w, o))) {
+      const std::size_t slot = SlotIndex(cur_tick_, 0);
+      auto& vec = slots_[0][slot];
+      ++cur_pos_;
+      if (cur_pos_ == vec.size()) {
+        vec.clear();
+        cur_pos_ = 0;
+        ClearBit(0, slot);
+      }
+      return w;
+    }
+    // Advancing to the overflow event's tick is safe: every wheel event
+    // orders after it, so their ticks are >= this one.
+    if (o != nullptr) cur_tick_ = std::max(cur_tick_, TickOf(o->at));
+    overflow_.pop();
+    return o;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // ---- Pool stats (exported by the perf/scale suites) ----
+  std::size_t pool_allocated() const { return pool_.allocated(); }
+  std::uint64_t pool_reused() const { return pool_.reused(); }
+
+ private:
+  static bool Earlier(const Event* a, const Event* b) {
+    if (a->at != b->at) return a->at < b->at;
+    return a->id < b->id;
+  }
+  struct OverflowLater {
+    bool operator()(const Event* a, const Event* b) const {
+      return Earlier(b, a);
+    }
+  };
+
+  static std::uint64_t TickOf(TimePoint at) {
+    const auto ns = at.count() < 0 ? 0 : static_cast<std::uint64_t>(at.count());
+    return ns >> kGranularityBits;
+  }
+
+  // Smallest level whose window [cur >> shift, (cur >> shift) + kSlots)
+  // contains the tick. Insert() clamps, so tick >= cur_tick_ here.
+  int LevelFor(std::uint64_t tick) const {
+    for (int k = 0; k < kLevels - 1; ++k) {
+      const int shift = k * kSlotBits;
+      if ((tick >> shift) - (cur_tick_ >> shift) < kSlots) return k;
+    }
+    return kLevels - 1;  // horizon already checked by Insert
+  }
+
+  std::size_t SlotIndex(std::uint64_t tick, int level) const {
+    return (tick >> (level * kSlotBits)) & (kSlots - 1);
+  }
+
+  void ClearBit(int level, std::size_t slot) {
+    occupied_[static_cast<std::size_t>(level)] &= ~(1ULL << slot);
+  }
+
+  // First occupied slot of `level` at or after the level's current
+  // position, searching the full wrapped window. Returns the slot's
+  // absolute level-k tick, or ~0 when the level is empty.
+  std::uint64_t NextOccupiedTick(int level) const {
+    const std::uint64_t bits = occupied_[static_cast<std::size_t>(level)];
+    if (bits == 0) return ~0ULL;
+    const std::uint64_t cur_k = cur_tick_ >> (level * kSlotBits);
+    const unsigned r = static_cast<unsigned>(cur_k & (kSlots - 1));
+    const std::uint64_t rot =
+        r == 0 ? bits : (bits >> r) | (bits << (kSlots - r));
+    const unsigned dist =
+        static_cast<unsigned>(__builtin_ctzll(rot));  // rot != 0
+    return cur_k + dist;
+  }
+
+  // Positions the level-0 current slot on the earliest wheel event and
+  // returns its front, or nullptr when all wheels are empty. Advances
+  // cur_tick_ to that tick, never past any stored event's tick.
+  //
+  // The level-0 window slides tick by tick, so it can come to overlap a
+  // higher-level slot that has not cascaded yet — and that slot may hide
+  // events at or before the level-0 front (a nested callback inserting
+  // near `now` lands in level 0 while an older same-tick event still
+  // sits in level 1). So before trusting level 0, any occupied higher
+  // slot whose span starts at or before the candidate tick is cascaded;
+  // afterwards every remaining higher-level event is strictly later.
+  Event* WheelFront() {
+    while (true) {
+      const std::uint64_t t0 = NextOccupiedTick(0);  // ~0 when level empty
+      int best_k = 0;
+      std::uint64_t best_start = ~0ULL;
+      std::uint64_t best_sk = 0;
+      for (int k = 1; k < kLevels; ++k) {
+        const std::uint64_t sk = NextOccupiedTick(k);
+        if (sk == ~0ULL) continue;
+        const std::uint64_t start = sk << (k * kSlotBits);
+        if (start <= best_start) {  // ties: prefer the higher level
+          best_k = k;
+          best_start = start;
+          best_sk = sk;
+        }
+      }
+      if (best_k != 0 && best_start <= t0) {
+        // Enter the slot: redistribute its events into lower levels.
+        // Their ticks are all >= max(cur, span start), so cur_tick_
+        // never passes a live event; each event moves strictly down a
+        // level, so the loop terminates.
+        cur_tick_ = std::max(cur_tick_, best_start);
+        const std::size_t slot = best_sk & (kSlots - 1);
+        auto& vec = slots_[static_cast<std::size_t>(best_k)][slot];
+        cascade_.swap(vec);
+        ClearBit(best_k, slot);
+        for (Event* e : cascade_) {
+          --size_;  // Insert re-counts
+          Insert(e);
+        }
+        cascade_.clear();
+        continue;
+      }
+      if (t0 == ~0ULL) return nullptr;  // wheels empty
+      cur_tick_ = t0;
+      auto& vec = slots_[0][SlotIndex(t0, 0)];
+      if (sorted_tick_ != t0) {
+        std::sort(vec.begin(), vec.end(), Earlier);
+        sorted_tick_ = t0;
+        cur_pos_ = 0;
+      }
+      return vec[cur_pos_];
+    }
+  }
+
+  ObjectPool<Event> pool_;
+  std::array<std::array<std::vector<Event*>, kSlots>, kLevels> slots_;
+  std::array<std::uint64_t, kLevels> occupied_{};
+  // Events at or beyond the wheel horizon, exact-ordered; consulted at
+  // peek/pop time so far-future timers never perturb the firing order.
+  std::priority_queue<Event*, std::vector<Event*>, OverflowLater> overflow_;
+  std::uint64_t cur_tick_ = 0;
+  // Tick whose level-0 slot is known sorted (slots are sorted lazily
+  // when they become current; inserts into the current tick keep order)
+  // and the drain cursor into that slot — entries before cur_pos_ have
+  // already been removed.
+  std::uint64_t sorted_tick_ = ~0ULL;
+  std::size_t cur_pos_ = 0;
+  std::vector<Event*> cascade_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mrp::sim

@@ -1,0 +1,137 @@
+// Open-loop arrival processes (docs/WORKLOADS.md): Poisson, bursty
+// MMPP on-off, and diurnal rate curves. Each process is a small value
+// object holding only phase state; every random draw comes from the
+// caller's seeded Rng, so a fixed seed plus a fixed call sequence gives
+// bit-identical arrival times — the property the determinism gates
+// byte-diff.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+#include "common/fingerprint.h"
+#include "common/rand.h"
+#include "common/types.h"
+
+namespace mrp::workload {
+
+enum class ArrivalKind : std::uint8_t {
+  kPoisson = 0,  // exponential gaps at a constant rate
+  kMmpp = 1,     // 2-state Markov-modulated Poisson (on/off bursts)
+  kDiurnal = 2,  // sinusoidal rate curve, Lewis-Shedler thinning
+};
+
+struct ArrivalSpec {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  // Poisson: the rate. Diurnal: the mean rate of the sinusoid.
+  double rate_per_sec = 100.0;
+  // MMPP: per-state rates and exponential mean dwell times. off_rate = 0
+  // gives pure on-off bursts.
+  double on_rate_per_sec = 0;
+  double off_rate_per_sec = 0;
+  Duration mean_on = Seconds(1);
+  Duration mean_off = Seconds(1);
+  // Diurnal: rate(t) = rate * (1 + amplitude * sin(2*pi*t/period)),
+  // clamped at 0. |amplitude| <= 1 keeps the curve non-negative anyway.
+  double amplitude = 0.5;
+  Duration period = Seconds(60);
+};
+
+// Phase state of one arrival stream. Copy-constructible so 10^5 session
+// records can embed one; the spec is shared (borrowed from the tenant,
+// which outlives every session).
+class ArrivalProcess {
+ public:
+  ArrivalProcess() = default;
+  explicit ArrivalProcess(const ArrivalSpec* spec) : spec_(spec) {}
+
+  // Absolute time of the next arrival after `now`, advancing phase
+  // state. Draws come only from `rng`.
+  TimePoint Next(TimePoint now, Rng& rng) {
+    switch (spec_->kind) {
+      case ArrivalKind::kPoisson:
+        return now + Gap(spec_->rate_per_sec, rng);
+      case ArrivalKind::kMmpp:
+        return NextMmpp(now, rng);
+      case ArrivalKind::kDiurnal:
+        return NextDiurnal(now, rng);
+    }
+    return now;  // unreachable
+  }
+
+  // Phase digest: replaying a run must land every stream in the same
+  // burst phase. The spec is config, not state, so only its kind is
+  // mixed (distinguishing processes with otherwise-equal phase).
+  std::uint64_t Fingerprint() const {
+    Fingerprinter f;
+    f.U64(static_cast<std::uint64_t>(spec_->kind));
+    f.Bool(on_);
+    f.U64(static_cast<std::uint64_t>(state_until_.count()));
+    return f.digest();
+  }
+
+ private:
+  static Duration Gap(double rate_per_sec, Rng& rng) {
+    if (rate_per_sec <= 0) return Seconds(3600);  // effectively never
+    return std::max<Duration>(Duration{1},
+                              FromSeconds(rng.exponential(1.0 / rate_per_sec)));
+  }
+
+  // The exponential gap is memoryless, so sampling restarts cleanly at
+  // each dwell boundary: draw in the current state; if the candidate
+  // crosses the boundary, toggle state and redraw from the boundary.
+  TimePoint NextMmpp(TimePoint now, Rng& rng) {
+    if (spec_->on_rate_per_sec <= 0 && spec_->off_rate_per_sec <= 0) {
+      return now + Seconds(3600);  // both states silent
+    }
+    TimePoint t = now;
+    while (true) {
+      if (t >= state_until_) {
+        if (state_until_.count() != 0) on_ = !on_;
+        const Duration dwell = std::max<Duration>(
+            Duration{1},
+            FromSeconds(rng.exponential(
+                ToSeconds(on_ ? spec_->mean_on : spec_->mean_off))));
+        state_until_ = std::max(t, state_until_) + dwell;
+      }
+      const double rate =
+          on_ ? spec_->on_rate_per_sec : spec_->off_rate_per_sec;
+      if (rate <= 0) {
+        t = state_until_;
+        continue;
+      }
+      const TimePoint candidate = t + Gap(rate, rng);
+      if (candidate <= state_until_) return candidate;
+      t = state_until_;
+    }
+  }
+
+  double DiurnalRate(TimePoint t) const {
+    const double phase =
+        2.0 * std::numbers::pi * ToSeconds(t) / ToSeconds(spec_->period);
+    return std::max(0.0,
+                    spec_->rate_per_sec * (1.0 + spec_->amplitude *
+                                                     std::sin(phase)));
+  }
+
+  // Lewis-Shedler thinning against the curve's peak rate: candidates
+  // arrive at the peak rate and are accepted with probability
+  // rate(t)/peak, yielding an inhomogeneous Poisson process.
+  TimePoint NextDiurnal(TimePoint now, Rng& rng) {
+    const double peak =
+        spec_->rate_per_sec * (1.0 + std::abs(spec_->amplitude));
+    TimePoint t = now;
+    while (true) {
+      t = t + Gap(peak, rng);
+      if (rng.uniform() * peak <= DiurnalRate(t)) return t;
+    }
+  }
+
+  const ArrivalSpec* spec_ = nullptr;
+  bool on_ = true;            // MMPP state (starts bursting)
+  TimePoint state_until_{0};  // MMPP dwell boundary; 0 = not started
+};
+
+}  // namespace mrp::workload

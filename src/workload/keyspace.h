@@ -1,0 +1,131 @@
+// Key-skew generators (docs/WORKLOADS.md): uniform, Zipfian (the
+// Gray et al. incremental algorithm YCSB popularised) and hotspot.
+// One generator is shared per tenant — the zeta precomputation is paid
+// once, not per session — and all draws come from the caller's Rng.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/fingerprint.h"
+#include "common/rand.h"
+
+namespace mrp::workload {
+
+enum class KeyDistKind : std::uint8_t {
+  kUniform = 0,
+  kZipfian = 1,
+  kHotspot = 2,
+};
+
+struct KeySpec {
+  KeyDistKind kind = KeyDistKind::kUniform;
+  std::uint64_t keys = 1u << 20;  // size of the tenant's key range
+  std::uint64_t base = 0;         // range start (tenant offset)
+  // Zipfian skew; theta in [0, 1). 0.99 is the YCSB default. Ranks are
+  // scrambled across the range by default so the popular keys are not
+  // clustered at the low end of every tenant's range.
+  double theta = 0.99;
+  bool scramble = true;
+  // Hotspot: hot_ops fraction of draws hit the first hot_fraction of
+  // the range (uniformly); the rest scatter uniformly over the range.
+  double hot_fraction = 0.01;
+  double hot_ops = 0.9;
+};
+
+class KeyGenerator {
+ public:
+  KeyGenerator() = default;
+  explicit KeyGenerator(const KeySpec& spec) : spec_(spec) {
+    if (spec_.keys == 0) spec_.keys = 1;
+    if (spec_.kind == KeyDistKind::kZipfian) {
+      // theta -> 1 diverges (alpha = 1/(1-theta)); clamp just below.
+      if (spec_.theta >= 0.999) spec_.theta = 0.999;
+      zetan_ = Zeta(spec_.keys, spec_.theta);
+      const double zeta2 = Zeta(2, spec_.theta);
+      alpha_ = 1.0 / (1.0 - spec_.theta);
+      eta_ = (1.0 - std::pow(2.0 / static_cast<double>(spec_.keys),
+                             1.0 - spec_.theta)) /
+             (1.0 - zeta2 / zetan_);
+    }
+  }
+
+  std::uint64_t Next(Rng& rng) {
+    switch (spec_.kind) {
+      case KeyDistKind::kUniform:
+        return spec_.base + rng.below(spec_.keys);
+      case KeyDistKind::kZipfian:
+        return spec_.base + Place(NextZipfRank(rng));
+      case KeyDistKind::kHotspot:
+        return spec_.base + NextHotspot(rng);
+    }
+    return spec_.base;  // unreachable
+  }
+
+  const KeySpec& spec() const { return spec_; }
+
+  // Generators are stateless between draws (all state is in the Rng),
+  // so the digest covers the derived constants: a replay with a
+  // different effective distribution must not merge.
+  std::uint64_t Fingerprint() const {
+    Fingerprinter f;
+    f.U64(static_cast<std::uint64_t>(spec_.kind));
+    f.U64(spec_.keys);
+    f.U64(spec_.base);
+    f.F64(spec_.theta);
+    f.Bool(spec_.scramble);
+    f.F64(spec_.hot_fraction);
+    f.F64(spec_.hot_ops);
+    f.F64(zetan_);
+    return f.digest();
+  }
+
+ private:
+  static double Zeta(std::uint64_t n, double theta) {
+    double z = 0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      z += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return z;
+  }
+
+  // Gray et al. "Quickly generating billion-record synthetic databases":
+  // rank 0 is the most popular key.
+  std::uint64_t NextZipfRank(Rng& rng) {
+    const double u = rng.uniform();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, spec_.theta)) return 1;
+    const auto rank = static_cast<std::uint64_t>(
+        static_cast<double>(spec_.keys) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= spec_.keys ? spec_.keys - 1 : rank;
+  }
+
+  // Spreads popular ranks across the range with an FNV-1a mix so skew
+  // does not equal spatial clustering (YCSB's "scrambled zipfian").
+  std::uint64_t Place(std::uint64_t rank) const {
+    if (!spec_.scramble) return rank;
+    std::uint64_t h = Fingerprinter::kOffset;
+    for (int i = 0; i < 8; ++i) {
+      h ^= static_cast<unsigned char>(rank >> (8 * i));
+      h *= Fingerprinter::kPrime;
+    }
+    return h % spec_.keys;
+  }
+
+  std::uint64_t NextHotspot(Rng& rng) {
+    auto hot = static_cast<std::uint64_t>(
+        spec_.hot_fraction * static_cast<double>(spec_.keys));
+    if (hot == 0) hot = 1;
+    if (rng.uniform() < spec_.hot_ops) return rng.below(hot);
+    return rng.below(spec_.keys);
+  }
+
+  KeySpec spec_;
+  double zetan_ = 0;
+  double alpha_ = 0;
+  double eta_ = 0;
+};
+
+}  // namespace mrp::workload

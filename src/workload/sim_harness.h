@@ -1,0 +1,44 @@
+// Glue between the workload engine and SimDeployment: one call stands
+// up a WorkloadDriver node bound to a set of rings, mirroring
+// SimDeployment::AddProposer (infinite-CPU client node subscribed to
+// each ring's control channel). Kept here, not in multiring, so the
+// deployment layer does not depend on src/workload.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "multiring/sim_deployment.h"
+#include "workload/driver.h"
+
+namespace mrp::workload {
+
+// Instantiates cfg.mix's sessions on every listed ring. cfg.rings is
+// overwritten from the deployment (ring id, group, initial
+// coordinator); set the mix/jitter/driver_id fields only.
+inline WorkloadDriver* AddWorkloadDriver(multiring::SimDeployment& d,
+                                         DriverConfig cfg,
+                                         const std::vector<int>& ring_indices,
+                                         sim::SiteId site = 0) {
+  cfg.rings.clear();
+  cfg.rings.reserve(ring_indices.size());
+  for (int idx : ring_indices) {
+    RingBinding b;
+    b.ring = d.ring(idx).ring;
+    b.group = d.ring(idx).group;
+    b.coordinator = d.ring(idx).ring_members[0];
+    cfg.rings.push_back(b);
+  }
+  sim::NodeSpec spec = d.net().config().default_spec;
+  spec.infinite_cpu = true;  // clients are never the bottleneck
+  auto& node = d.net().AddNode(spec, site);
+  for (int idx : ring_indices) {
+    d.net().Subscribe(node.self(), d.ring(idx).control_channel);
+  }
+  auto driver = std::make_unique<WorkloadDriver>(std::move(cfg));
+  auto* raw = driver.get();
+  node.BindProtocol(std::move(driver));
+  return raw;
+}
+
+}  // namespace mrp::workload

@@ -1,0 +1,94 @@
+// Multi-tenant traffic mix configuration (docs/WORKLOADS.md). A tenant
+// bundles an arrival process, a key distribution over its own key
+// range, a read/write ratio and a payload shape; a mix is the list of
+// tenants one WorkloadDriver instantiates per ring it drives.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/arrival.h"
+#include "workload/keyspace.h"
+
+namespace mrp::workload {
+
+struct TenantSpec {
+  std::string name;
+  // Concurrent open-loop client sessions per ring. Each session runs
+  // its own arrival process; tenant offered load per ring is
+  // sessions x arrival rate.
+  std::uint32_t sessions = 1;
+  ArrivalSpec arrival;
+  KeySpec keys;
+  // Fraction of operations that are reads. Only meaningful in command
+  // mode, where reads encode as range queries and writes as inserts;
+  // raw-payload mode submits opaque bytes.
+  double read_ratio = 0.0;
+  // Raw mode: payload bytes per message. Command mode: value bytes per
+  // insert (the wire size is the encoded command).
+  std::uint32_t payload_bytes = 200;
+  // Command mode: payloads are session-stamped smr::Command encodings
+  // riding the session layer (docs/SESSIONS.md) — each session lazily
+  // opens with kSessionOpen and stamps (session_id, session_seq) for
+  // exactly-once dedup at the replicas. Raw mode keeps payloads opaque
+  // for pure transport/ordering benchmarks at scale.
+  bool encode_commands = false;
+};
+
+struct MixSpec {
+  std::vector<TenantSpec> tenants;
+
+  std::uint32_t total_sessions_per_ring() const {
+    std::uint32_t n = 0;
+    for (const auto& t : tenants) n += t.sessions;
+    return n;
+  }
+};
+
+// A ready-made mix exercising all three arrival kinds and all three key
+// distributions; scenario configs start from this and scale counts.
+inline MixSpec DefaultMix() {
+  MixSpec mix;
+  TenantSpec oltp;
+  oltp.name = "oltp";
+  oltp.sessions = 4;
+  oltp.arrival.kind = ArrivalKind::kPoisson;
+  oltp.arrival.rate_per_sec = 50;
+  oltp.keys.kind = KeyDistKind::kZipfian;
+  oltp.keys.keys = 1u << 20;
+  oltp.read_ratio = 0.5;
+  oltp.payload_bytes = 128;
+  mix.tenants.push_back(oltp);
+
+  TenantSpec batch;
+  batch.name = "batch";
+  batch.sessions = 2;
+  batch.arrival.kind = ArrivalKind::kMmpp;
+  batch.arrival.on_rate_per_sec = 400;
+  batch.arrival.off_rate_per_sec = 5;
+  batch.arrival.mean_on = Millis(200);
+  batch.arrival.mean_off = Seconds(1);
+  batch.keys.kind = KeyDistKind::kHotspot;
+  batch.keys.base = 1u << 20;
+  batch.keys.keys = 1u << 16;
+  batch.payload_bytes = 1024;
+  mix.tenants.push_back(batch);
+
+  TenantSpec diurnal;
+  diurnal.name = "web";
+  diurnal.sessions = 4;
+  diurnal.arrival.kind = ArrivalKind::kDiurnal;
+  diurnal.arrival.rate_per_sec = 30;
+  diurnal.arrival.amplitude = 0.8;
+  diurnal.arrival.period = Seconds(10);
+  diurnal.keys.kind = KeyDistKind::kUniform;
+  diurnal.keys.base = (1u << 20) + (1u << 16);
+  diurnal.keys.keys = 1u << 18;
+  diurnal.read_ratio = 0.9;
+  diurnal.payload_bytes = 64;
+  mix.tenants.push_back(diurnal);
+  return mix;
+}
+
+}  // namespace mrp::workload

@@ -35,6 +35,7 @@
 #include "session/client.h"
 #include "session/lease.h"
 #include "smr/replica.h"
+#include "workload/driver.h"
 
 namespace mrp {
 namespace {
@@ -321,6 +322,41 @@ TEST(FingerprintTest, ReconfigRoles) {
   ASSERT_FALSE(env.timers.empty());
   env.timers.front()();  // start delay elapses: Begin() seals
   EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(FingerprintTest, WorkloadDriver) {
+  // workload::WorkloadDriver: session cursors, arrival phases and the
+  // coordinator view are state; delivery timing (histograms) is not.
+  workload::DriverConfig cfg;
+  workload::RingBinding bind;
+  bind.ring = 0;
+  bind.group = 0;
+  bind.coordinator = 1;
+  cfg.rings = {bind};
+  cfg.mix = workload::DefaultMix();
+  cfg.start_jitter = Duration{0};
+  workload::WorkloadDriver a(cfg), b(cfg);
+  FakeEnv env(40), env2(40);
+  a.OnStart(env);
+  b.OnStart(env2);
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  ASSERT_FALSE(env.timers.empty());
+  env.timers.front()();  // first arrival fires: seq cursors advance
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  env2.timers.front()();
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+
+  // A coordinator handover observed via heartbeat is state.
+  a.OnMessage(env, 3, MakeMessage<ringpaxos::Heartbeat>(0, 7, 2));
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  b.OnMessage(env2, 3, MakeMessage<ringpaxos::Heartbeat>(0, 7, 2));
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+
+  // Delivery accounting must not perturb the digest (timing-blind).
+  paxos::ClientMsg m = Cmd((1ULL << 48) | 1);
+  m.proposer = 40;
+  a.RecordDelivery(Millis(5), m);
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
 }
 
 }  // namespace

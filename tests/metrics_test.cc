@@ -3,7 +3,10 @@
 // snapshot/delta semantics, and the structured tracer's export formats.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <sstream>
+#include <vector>
 
 #include "common/metrics.h"
 #include "common/stats.h"
@@ -73,6 +76,60 @@ TEST(HistogramTest, TrimmedMeanDiscardsHighTail) {
   // Discarding the top 5% removes the outliers entirely.
   EXPECT_DOUBLE_EQ(h.TrimmedMean(0.05), 10.0);
   EXPECT_GT(h.mean(), 10.0);
+}
+
+TEST(HistogramTest, BucketBoundsAreTightUpToSubBucketResolution) {
+  // The log-scale buckets have 16 linear sub-buckets per octave, so any
+  // value v >= 16 lands in a bucket whose width is < v/16: the reported
+  // upper bound overestimates by at most 6.25%. Values < 16 are exact
+  // singleton buckets. A single-value histogram makes every quantile
+  // report that value's bucket bound, which pins the bound per value.
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    Histogram h;
+    h.RecordValue(v);
+    EXPECT_EQ(h.Quantile(0.5), v) << "v=" << v;
+  }
+  for (std::uint64_t v : {16ull, 17ull, 31ull, 32ull, 1000ull, 4095ull,
+                          4096ull, 123'456'789ull, 1ull << 40,
+                          (1ull << 40) + 12345, (1ull << 62) + 99}) {
+    Histogram h;
+    h.RecordValue(v);
+    const std::uint64_t got = h.Quantile(0.5);
+    EXPECT_GE(got, v) << "v=" << v;
+    EXPECT_LE(static_cast<double>(got),
+              static_cast<double>(v) * (1.0 + 1.0 / 16.0))
+        << "v=" << v;
+  }
+}
+
+TEST(HistogramTest, QuantileErrorBoundedOverMillionSamples) {
+  // p50/p99/p99.9 over 10^6 log-uniform-ish samples must stay within
+  // the sub-bucket error bound of the exact nearest-rank quantile —
+  // this is what lets Summarize() report p99.9 without ever sorting.
+  Histogram h;
+  std::vector<std::uint64_t> exact;
+  const std::size_t kN = 1'000'000;
+  exact.reserve(kN);
+  std::uint64_t x = 88172645463325252ull;  // xorshift64
+  for (std::size_t i = 0; i < kN; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    // Spread samples across ~6 decades so many octaves participate.
+    const std::uint64_t v = (x % 1'000'000'000ull) + 16;
+    h.RecordValue(v);
+    exact.push_back(v);
+  }
+  std::sort(exact.begin(), exact.end());
+  for (double q : {0.10, 0.50, 0.90, 0.99, 0.999, 0.9999}) {
+    const std::uint64_t truth =
+        exact[static_cast<std::size_t>(q * static_cast<double>(kN - 1))];
+    const std::uint64_t got = h.Quantile(q);
+    EXPECT_GE(got, truth) << "q=" << q;
+    EXPECT_LE(static_cast<double>(got),
+              static_cast<double>(truth) * (1.0 + 1.0 / 16.0))
+        << "q=" << q;
+  }
 }
 
 TEST(HistogramTest, MergeAndReset) {

@@ -3,10 +3,13 @@
 // fault injection and the simulated disk.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/rand.h"
 #include "paxos/storage.h"
 #include "sim/disk_storage.h"
 #include "sim/network.h"
@@ -26,8 +29,21 @@ TEST(Scheduler, FiresInTimeThenInsertionOrder) {
   EXPECT_EQ(s.now(), Millis(2));
 }
 
-TEST(Scheduler, CancelSuppressesEvent) {
-  Scheduler s;
+// The Cancel accounting contract must hold on both scheduler cores:
+// the default timer wheel and the reference priority queue.
+class SchedulerCore : public ::testing::TestWithParam<Scheduler::Core> {};
+
+INSTANTIATE_TEST_SUITE_P(Cores, SchedulerCore,
+                         ::testing::Values(Scheduler::Core::kWheel,
+                                           Scheduler::Core::kPq),
+                         [](const auto& info) {
+                           return info.param == Scheduler::Core::kWheel
+                                      ? "Wheel"
+                                      : "Pq";
+                         });
+
+TEST_P(SchedulerCore, CancelSuppressesEvent) {
+  Scheduler s(GetParam());
   int fired = 0;
   auto id = s.At(Millis(1), [&] { ++fired; });
   s.At(Millis(2), [&] { ++fired; });
@@ -36,8 +52,8 @@ TEST(Scheduler, CancelSuppressesEvent) {
   EXPECT_EQ(fired, 1);
 }
 
-TEST(Scheduler, EmptyTracksCancelledEvents) {
-  Scheduler s;
+TEST_P(SchedulerCore, EmptyTracksCancelledEvents) {
+  Scheduler s(GetParam());
   EXPECT_TRUE(s.empty());
   auto a = s.At(Millis(1), [] {});
   auto b = s.At(Millis(2), [] {});
@@ -51,12 +67,12 @@ TEST(Scheduler, EmptyTracksCancelledEvents) {
   EXPECT_EQ(s.events_cancelled(), 2u);
 }
 
-TEST(Scheduler, CancelOfFiredOrUnknownIdKeepsEmptyTruthful) {
+TEST_P(SchedulerCore, CancelOfFiredOrUnknownIdKeepsEmptyTruthful) {
   // Regression: cancelling an id that already ran (or was never
   // scheduled) used to bump the cancelled-live count forever, so empty()
   // claimed the queue was drained while live events remained and
   // RunAll-style loops terminated early.
-  Scheduler s;
+  Scheduler s(GetParam());
   int fired = 0;
   auto a = s.At(Millis(1), [&] { ++fired; });
   ASSERT_TRUE(s.RunOne());  // `a` has fired
@@ -71,10 +87,10 @@ TEST(Scheduler, CancelOfFiredOrUnknownIdKeepsEmptyTruthful) {
   EXPECT_EQ(s.events_cancelled(), 0u);
 }
 
-TEST(Scheduler, RunUntilSkipsCancelledHeadWithoutOverrunning) {
+TEST_P(SchedulerCore, RunUntilSkipsCancelledHeadWithoutOverrunning) {
   // A cancelled event at the head of the queue inside the RunUntil
   // horizon must not let a live event beyond the horizon fire early.
-  Scheduler s;
+  Scheduler s(GetParam());
   int fired = 0;
   auto a = s.At(Millis(1), [&] { ++fired; });
   s.At(Millis(5), [&] { ++fired; });
@@ -84,6 +100,17 @@ TEST(Scheduler, RunUntilSkipsCancelledHeadWithoutOverrunning) {
   EXPECT_EQ(s.now(), Millis(2));
   s.RunUntil(Millis(5));
   EXPECT_EQ(fired, 1);
+}
+
+TEST_P(SchedulerCore, NextEventTimeSkipsCancelledOnBothCores) {
+  Scheduler s(GetParam());
+  auto a = s.At(Millis(1), [] {});
+  s.At(Millis(3), [] {});
+  EXPECT_EQ(s.NextEventTime(Millis(99)), Millis(1));
+  s.Cancel(a);
+  EXPECT_EQ(s.NextEventTime(Millis(99)), Millis(3));
+  s.RunAll();
+  EXPECT_EQ(s.NextEventTime(Millis(99)), Millis(99));
 }
 
 TEST(Scheduler, StrategyPicksAmongSameTimeEvents) {
@@ -154,6 +181,99 @@ TEST(Scheduler, EventsScheduledInPastFireNow) {
   s.RunOne();
   EXPECT_TRUE(fired);
   EXPECT_EQ(s.now(), Millis(10));
+}
+
+TEST(Scheduler, WheelPoolsEventRecords) {
+  Scheduler s(Scheduler::Core::kWheel);
+  // A self-rescheduling chain should reuse one pooled record, not
+  // allocate per event.
+  std::function<void()> tick;
+  int remaining = 1000;
+  tick = [&] {
+    if (--remaining > 0) s.After(Micros(3), tick);
+  };
+  s.After(Micros(3), tick);
+  s.RunAll();
+  EXPECT_EQ(remaining, 0);
+  EXPECT_LE(s.pool_allocated(), 4u);
+  EXPECT_GE(s.pool_reused(), 990u);
+}
+
+TEST(Scheduler, WheelHandlesFarFutureAndSameTickMixes) {
+  // Events far past the wheel horizon (overflow heap) must interleave
+  // exactly with near ones, and same-timestamp events keep insertion
+  // order.
+  Scheduler s(Scheduler::Core::kWheel);
+  std::vector<int> order;
+  s.At(Seconds(400), [&] { order.push_back(4); });  // beyond ~17s horizon
+  s.At(Millis(1), [&] { order.push_back(1); });
+  s.At(Seconds(400), [&] { order.push_back(5); });  // same far timestamp
+  s.At(Millis(1) + Duration{1}, [&] { order.push_back(2); });  // same tick
+  s.At(Seconds(30), [&] { order.push_back(3); });
+  s.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(s.now(), Seconds(400));
+}
+
+// Differential parity: both cores must agree on firing order, clock,
+// pending accounting and NextEventTime across randomized schedules with
+// nested scheduling, cancels (live and stale), same-time bursts and
+// far-future overflow times. Any divergence would silently re-order a
+// simulation, so this is the gate that lets the wheel replace the heap.
+TEST(Scheduler, WheelMatchesPriorityQueueOnRandomSchedules) {
+  struct Probe {
+    std::vector<std::int64_t> log;
+  };
+  auto run = [](Scheduler::Core core, std::uint64_t seed) {
+    Rng rng(seed);
+    Scheduler s(core);
+    Probe p;
+    std::vector<Scheduler::EventId> ids;
+    std::function<void()> make = [&] {
+      const std::uint64_t kind = rng.below(100);
+      Duration d{0};
+      if (kind < 25) {
+        d = Duration{static_cast<std::int64_t>(rng.below(2048))};
+      } else if (kind < 85) {
+        d = Duration{static_cast<std::int64_t>(rng.below(20'000'000))};
+      } else {
+        // Often past the wheel horizon: exercises the overflow heap.
+        d = Duration{static_cast<std::int64_t>(rng.below(40'000'000'000))};
+      }
+      ids.push_back(s.After(d, [&] {
+        p.log.push_back(s.now().count());
+        if (rng.chance(0.3)) make();
+      }));
+    };
+    for (int i = 0; i < 150; ++i) make();
+    int steps = 0;
+    while (!s.empty() && steps < 3000) {
+      ++steps;
+      const std::uint64_t op = rng.below(100);
+      if (op < 10 && !ids.empty()) {
+        s.Cancel(ids[rng.below(ids.size())]);  // may be live or stale
+        continue;
+      }
+      if (op < 20) {
+        s.RunFor(Duration{static_cast<std::int64_t>(rng.below(5'000'000))});
+      } else if (op < 25) {
+        p.log.push_back(s.NextEventTime(s.now()).count());
+        continue;
+      } else {
+        s.RunOne();
+      }
+      p.log.push_back(static_cast<std::int64_t>(s.pending()));
+      p.log.push_back(s.empty() ? 1 : 0);
+    }
+    p.log.push_back(static_cast<std::int64_t>(s.events_run()));
+    p.log.push_back(static_cast<std::int64_t>(s.events_cancelled()));
+    return p.log;
+  };
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    EXPECT_EQ(run(Scheduler::Core::kWheel, seed),
+              run(Scheduler::Core::kPq, seed))
+        << "cores diverged at seed " << seed;
+  }
 }
 
 // ---- Test protocol plumbing ----

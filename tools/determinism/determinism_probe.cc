@@ -40,6 +40,13 @@
 //                        mid-run — seal, chunked state handoff, routing
 //                        flip and redirects must all be
 //                        byte-deterministic (docs/RECONFIG.md)
+//   --workload           replace the per-ring closed-loop proposers with
+//                        one WorkloadDriver running the multi-tenant mix
+//                        (Zipfian + MMPP-bursty + diurnal tenants) across
+//                        every ring — the gate then proves the workload
+//                        engine's arrival sampling, key-skew draws and
+//                        session multiplexing are byte-deterministic
+//                        (docs/WORKLOADS.md)
 //   --out-trace <file>   JSONL trace output (required)
 //   --out-metrics <file> metrics JSON output (required)
 #include <cstdint>
@@ -64,6 +71,7 @@
 #include "session/client.h"
 #include "session/lease.h"
 #include "smr/replica.h"
+#include "workload/sim_harness.h"
 
 namespace {
 
@@ -128,6 +136,7 @@ int main(int argc, char** argv) {
   const bool recovery = HasFlag(argc, argv, "--recovery");
   const bool sessions = HasFlag(argc, argv, "--sessions");
   const bool reconfig = HasFlag(argc, argv, "--reconfig");
+  const bool workload = HasFlag(argc, argv, "--workload");
   if (reconfig && rings < 2) {
     std::fprintf(stderr, "determinism_probe: --reconfig needs --rings >= 2\n");
     return 2;
@@ -379,13 +388,27 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Two closed-loop clients per ring.
-  for (int r = 0; r < rings; ++r) {
-    for (int c = 0; c < 2; ++c) {
-      mrp::ringpaxos::ProposerConfig pc;
-      pc.payload_size = 512;
-      pc.max_outstanding = 8;
-      d.AddProposer(r, pc);
+  // --workload: the multi-tenant workload engine instead of plain
+  // closed-loop proposers; otherwise two closed-loop clients per ring.
+  if (workload) {
+    mrp::workload::DriverConfig wc;
+    wc.mix = mrp::workload::DefaultMix();
+    auto* driver = mrp::workload::AddWorkloadDriver(d, std::move(wc),
+                                                    all_rings);
+    // Deliveries feed back into the driver's per-tenant accounting, so
+    // the metrics snapshot the gate byte-compares covers both ends.
+    d.AddMergeLearner(all_rings)->set_on_deliver(
+        [driver, &d](mrp::GroupId, const mrp::paxos::ClientMsg& m) {
+          driver->RecordDelivery(d.net().now(), m);
+        });
+  } else {
+    for (int r = 0; r < rings; ++r) {
+      for (int c = 0; c < 2; ++c) {
+        mrp::ringpaxos::ProposerConfig pc;
+        pc.payload_size = 512;
+        pc.max_outstanding = 8;
+        d.AddProposer(r, pc);
+      }
     }
   }
 

@@ -29,7 +29,7 @@ def first_diff(path_a, path_b):
 
 
 def run_probe(probe, out_base, seed, rings, run_ms, sites, recovery,
-              sessions, reconfig, perturb):
+              sessions, reconfig, workload, perturb):
     trace = out_base + ".trace.jsonl"
     metrics = out_base + ".metrics.json"
     cmd = [probe, "--seed", str(seed), "--rings", str(rings),
@@ -41,6 +41,8 @@ def run_probe(probe, out_base, seed, rings, run_ms, sites, recovery,
         cmd.append("--sessions")
     if reconfig:
         cmd.append("--reconfig")
+    if workload:
+        cmd.append("--workload")
     env = dict(os.environ)
     if perturb:
         cmd += ["--perturb-heap", str(0x9E3779B9 ^ seed)]
@@ -77,6 +79,10 @@ def main():
     # client plus a RepartitionCoordinator performing a live key-range
     # split from ring 0 to ring 1 mid-run (docs/RECONFIG.md).
     ap.add_argument("--reconfig", action="store_true")
+    # Replaces the closed-loop proposers with the workload engine: one
+    # WorkloadDriver running the multi-tenant mix (Zipfian keys, MMPP
+    # bursts, diurnal curves) over every ring (docs/WORKLOADS.md).
+    ap.add_argument("--workload", action="store_true")
     args = ap.parse_args()
 
     os.makedirs(args.workdir, exist_ok=True)
@@ -85,11 +91,13 @@ def main():
         base = os.path.join(args.workdir, f"seed{seed}")
         ref = run_probe(args.probe, base + ".a", seed, args.rings,
                         args.run_ms, args.sites, args.recovery,
-                        args.sessions, args.reconfig, perturb=False)
+                        args.sessions, args.reconfig, args.workload,
+                        perturb=False)
         for tag, perturb in (("rerun", False), ("perturbed", True)):
             got = run_probe(args.probe, f"{base}.{tag}", seed, args.rings,
                             args.run_ms, args.sites, args.recovery,
-                            args.sessions, args.reconfig, perturb=perturb)
+                            args.sessions, args.reconfig, args.workload,
+                            perturb=perturb)
             for kind, a, b in (("trace", ref[0], got[0]),
                                ("metrics", ref[1], got[1])):
                 if not filecmp.cmp(a, b, shallow=False):

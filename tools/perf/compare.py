@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
 """Perf-gate comparator for the core benchmark suite.
 
-Diffs a candidate BENCH_core.json (bench/perf_suite output) against the
-committed baseline and fails when any scenario's rate regressed by more
-than the threshold. Latency percentiles are reported and warned on, but
+Diffs a candidate benchmark JSON (bench/perf_suite's BENCH_core.json or
+bench/scale_suite's BENCH_scale.json) against the committed baseline and
+fails when any scenario's rate regressed by more than the threshold.
+Baseline and candidate must carry the same schema tag. Latency percentiles are reported and warned on, but
 only rates gate: p50/p99 of the short CI runs are too noisy to block on.
 
 Usage:
@@ -24,7 +25,7 @@ import copy
 import json
 import sys
 
-SCHEMA = "mrp-bench-core/v1"
+SCHEMAS = ("mrp-bench-core/v1", "mrp-bench-scale/v1")
 
 
 def load(path):
@@ -33,9 +34,10 @@ def load(path):
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         raise SystemExit(f"perf-compare: cannot read {path}: {e}")
-    if doc.get("schema") != SCHEMA:
+    if doc.get("schema") not in SCHEMAS:
         raise SystemExit(
-            f"perf-compare: {path}: schema {doc.get('schema')!r}, want {SCHEMA!r}")
+            f"perf-compare: {path}: schema {doc.get('schema')!r}, "
+            f"want one of {SCHEMAS!r}")
     scenarios = doc.get("scenarios")
     if not isinstance(scenarios, dict) or not scenarios:
         raise SystemExit(f"perf-compare: {path}: no scenarios")
@@ -67,7 +69,7 @@ def compare(baseline, candidate, threshold, lat_threshold):
                 f"{name}: rate regressed {delta:+.1%} "
                 f"({b_rate:.0f} -> {c_rate:.0f} {b['unit']}, "
                 f"threshold -{threshold:.0%})")
-        for q in ("p50_ns", "p99_ns"):
+        for q in ("p50_ns", "p99_ns", "p999_ns"):
             bq, cq = float(b.get(q, 0)), float(c.get(q, 0))
             if bq > 0 and cq > bq * (1.0 + lat_threshold):
                 warnings.append(
@@ -82,6 +84,10 @@ def compare(baseline, candidate, threshold, lat_threshold):
 def run_compare(args):
     baseline = load(args.baseline)
     candidate = load(args.candidate)
+    if baseline["schema"] != candidate["schema"]:
+        raise SystemExit(
+            f"perf-compare: schema mismatch: baseline "
+            f"{baseline['schema']!r} vs candidate {candidate['schema']!r}")
     failures, warnings, lines = compare(
         baseline, candidate, args.threshold, args.lat_threshold)
     print("\n".join(lines))
@@ -98,7 +104,7 @@ def run_compare(args):
 
 def self_test():
     fixture = {
-        "schema": SCHEMA,
+        "schema": SCHEMAS[0],
         "mode": "quick",
         "scenarios": {
             "codec_encode": {"unit": "bytes/s", "rate": 1e9,
@@ -132,6 +138,16 @@ def self_test():
     fail, _, _ = compare(fixture, wobble, 0.25, 1.0)
     if fail:
         print("self-test: -10% wobble failed a 25% gate:", fail)
+        return 1
+    # The scale schema is accepted too, and p999_ns rides along
+    # untouched (only p50/p99 are warned on, only rate gates).
+    scale = copy.deepcopy(fixture)
+    scale["schema"] = SCHEMAS[1]
+    for sc in scale["scenarios"].values():
+        sc["p999_ns"] = 500
+    fail, _, _ = compare(scale, copy.deepcopy(scale), 0.25, 1.0)
+    if fail:
+        print("self-test: identical scale-schema runs flagged:", fail)
         return 1
     print("self-test: OK (gate catches regressions and missing scenarios)")
     return 0
